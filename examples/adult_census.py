@@ -1,0 +1,121 @@
+"""Full publishing pipeline on the (synthetic) Adult census projection.
+
+This is the paper's Section-4 scenario as a data publisher would run it:
+
+1. load the microdata (45,222 tuples; occupation is sensitive),
+2. build the 72-node generalization lattice of Section 4,
+3. find ALL minimal (c,k)-safe generalizations with the Incognito-style
+   bottom-up search (Theorem 14 supplies the monotonicity the pruning needs),
+4. pick the one maximizing utility (precision),
+5. compare with what k-anonymity and ℓ-diversity would have certified,
+6. also locate a safe node by binary search on a lattice chain.
+
+Run with:  python examples/adult_census.py  [--rows N]
+"""
+
+import argparse
+import time
+
+from repro import (
+    ADULT_SCHEMA,
+    GeneralizationLattice,
+    SafetyChecker,
+    adult_hierarchies,
+    bucketize_at,
+    generate_adult,
+)
+from repro.anonymity import distinct_diversity, max_k_anonymity
+from repro.core.negation import max_disclosure_negations
+from repro.generalization.search import (
+    SearchStats,
+    binary_search_chain,
+    find_minimal_safe_nodes,
+)
+from repro.utility.entropy import min_bucket_entropy
+from repro.utility.metrics import discernibility, precision
+
+parser = argparse.ArgumentParser()
+parser.add_argument("--rows", type=int, default=45222)
+parser.add_argument("--c", type=float, default=0.75, help="disclosure threshold")
+parser.add_argument("--k", type=int, default=3, help="attacker power")
+args = parser.parse_args()
+
+# ---------------------------------------------------------------------------
+# 1-2. Data and lattice.
+# ---------------------------------------------------------------------------
+t0 = time.time()
+table = generate_adult(args.rows)
+lattice = GeneralizationLattice(
+    adult_hierarchies(), ADULT_SCHEMA.quasi_identifiers
+)
+print(
+    f"dataset: {len(table)} tuples; lattice: {lattice!r} "
+    f"(generated in {time.time() - t0:.2f}s)"
+)
+
+# ---------------------------------------------------------------------------
+# 3. All minimal (c,k)-safe nodes, Incognito style.
+# ---------------------------------------------------------------------------
+checker = SafetyChecker(args.c, args.k)
+stats = SearchStats()
+t0 = time.time()
+minimal = find_minimal_safe_nodes(
+    lattice,
+    lambda node: checker.is_safe(bucketize_at(table, lattice, node)),
+    stats=stats,
+)
+elapsed = time.time() - t0
+print(
+    f"\n(c={args.c}, k={args.k})-safety sweep: {stats.predicate_checks} "
+    f"checks, {stats.pruned} pruned of {stats.nodes_total} nodes "
+    f"({elapsed:.2f}s, {checker.cache_hits} signature-cache hits)"
+)
+if not minimal:
+    raise SystemExit("no safe generalization exists — lower c or k")
+print(f"minimal safe nodes ({len(minimal)}):")
+for node in minimal:
+    b = bucketize_at(table, lattice, node)
+    print(
+        f"  {node}: disclosure={checker.disclosure(b):.4f} "
+        f"buckets={len(b)} precision={precision(lattice, node):.3f} "
+        f"discernibility={discernibility(b)}"
+    )
+
+# ---------------------------------------------------------------------------
+# 4. Choose the publication: maximize precision among minimal safe nodes.
+# ---------------------------------------------------------------------------
+best = max(minimal, key=lambda node: precision(lattice, node))
+published = bucketize_at(table, lattice, best)
+print(f"\npublishing node {best} "
+      f"(precision {precision(lattice, best):.3f})")
+
+# ---------------------------------------------------------------------------
+# 5. What would the baselines have said about this publication?
+# ---------------------------------------------------------------------------
+print("\nbaseline view of the published bucketization:")
+print(f"  k-anonymity level      : {max_k_anonymity(published)}")
+print(f"  distinct ℓ-diversity   : {distinct_diversity(published)}")
+print(f"  min bucket entropy     : {min_bucket_entropy(published):.3f}")
+print(
+    f"  worst case, {args.k} negations (ℓ-diversity attacker): "
+    f"{max_disclosure_negations(published, args.k):.4f}"
+)
+print(
+    f"  worst case, {args.k} implications (this paper)       : "
+    f"{checker.disclosure(published):.4f}"
+)
+
+# ---------------------------------------------------------------------------
+# 6. Binary search on a chain: logarithmically many checks (Section 3.4).
+# ---------------------------------------------------------------------------
+chain = lattice.default_chain()
+chain_stats = SearchStats()
+lowest = binary_search_chain(
+    chain,
+    lambda node: checker.is_safe(bucketize_at(table, lattice, node)),
+    stats=chain_stats,
+)
+print(
+    f"\nbinary search on a {len(chain)}-node chain: lowest safe node "
+    f"{lowest} found with {chain_stats.predicate_checks} checks"
+)

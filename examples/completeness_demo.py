@@ -1,0 +1,66 @@
+"""Theorem 3 in action: any table predicate as basic implications.
+
+The paper's language claim is that basic implications are a *complete* basic
+unit: with full identification information, any predicate on tables is a
+finite conjunction of them. This demo encodes two very different predicates —
+an aggregate statement and a correlation statement — over a small
+bucketization and verifies, with the exact random-worlds engine, that the
+encoded formula conditions probabilities exactly like the raw predicate.
+
+Run with:  python examples/completeness_demo.py
+"""
+
+from repro import Atom, Bucketization, probability
+from repro.core.exact import enumerate_worlds
+from repro.knowledge.completeness import encode_predicate
+
+bucketization = Bucketization.from_value_lists([
+    ["flu", "flu", "cancer"],
+    ["flu", "cold", "cancer"],
+])
+worlds = list(enumerate_worlds(bucketization))
+domain = ["flu", "cold", "cancer"]
+print(f"bucketization: {bucketization}")
+print(f"consistent worlds: {len(worlds)}")
+
+
+def show(name, predicate, event):
+    """Encode `predicate`, then compare conditioning on the raw predicate
+    against conditioning on its basic-implication encoding."""
+    phi = encode_predicate(worlds, predicate, domain)
+    raw = probability(bucketization, event, predicate)
+    enc = probability(bucketization, event, phi)
+    sizes = [len(imp.antecedents) for imp in phi.implications]
+    print(f"\n{name}")
+    print(f"  encoding: {phi.k} basic implications "
+          f"(antecedent sizes {sorted(set(sizes)) or '-'})")
+    print(f"  Pr(event | predicate) = {raw}")
+    print(f"  Pr(event | encoding ) = {enc}")
+    assert raw == enc, "Theorem 3 encoding must condition identically"
+
+
+# An aggregate predicate over a sub-population. (Whole-table value counts are
+# fixed by the bucketization, so aggregates must range over a proper subset
+# of people to be informative.)
+show(
+    'aggregate: "at most 1 flu case among persons 0, 3, 4"',
+    lambda w: sum(1 for p in (0, 3, 4) if w[p] == "flu") <= 1,
+    Atom(0, "flu"),
+)
+
+# A correlation predicate across buckets: "person 0 and person 3 match".
+show(
+    'correlation: "persons 0 and 3 have the same disease"',
+    lambda w: w[0] == w[3],
+    Atom(3, "flu"),
+)
+
+# A negative existential over two people: "neither 3 nor 4 has a cold"
+# (forcing the second bucket's cold onto person 5).
+show(
+    'existential: "persons 3 and 4 both avoid cold"',
+    lambda w: w[3] != "cold" and w[4] != "cold",
+    Atom(5, "cold"),
+)
+
+print("\nall three predicates round-tripped through basic implications")

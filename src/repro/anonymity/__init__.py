@@ -1,0 +1,27 @@
+"""Baseline privacy criteria: k-anonymity and ℓ-diversity.
+
+These are the two prior criteria the paper positions itself against
+(Section 1): k-anonymity ignores the sensitive attribute entirely, and
+ℓ-diversity guards only against negated-atom knowledge. Both are monotone
+along the generalization lattice, so they plug into the same search machinery
+as (c,k)-safety — which is how the paper's comparisons are run.
+"""
+
+from repro.anonymity.kanonymity import is_k_anonymous, max_k_anonymity
+from repro.anonymity.ldiversity import (
+    distinct_diversity,
+    entropy_diversity,
+    is_distinct_l_diverse,
+    is_entropy_l_diverse,
+    is_recursive_cl_diverse,
+)
+
+__all__ = [
+    "is_k_anonymous",
+    "max_k_anonymity",
+    "is_distinct_l_diverse",
+    "is_entropy_l_diverse",
+    "is_recursive_cl_diverse",
+    "distinct_diversity",
+    "entropy_diversity",
+]

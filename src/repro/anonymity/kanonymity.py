@@ -1,0 +1,32 @@
+"""k-anonymity (Samarati & Sweeney): bucket-size-only privacy.
+
+A bucketization is k-anonymous when every bucket holds at least ``k`` tuples
+— each individual is indistinguishable from at least ``k - 1`` others with
+respect to the non-sensitive attributes. As the paper stresses (footnote 1),
+the definition never mentions the sensitive attribute, which is exactly why
+it fails against background knowledge; it is implemented here as the
+historical baseline and for lattice-search comparisons.
+"""
+
+from __future__ import annotations
+
+from repro.bucketization.bucketization import Bucketization
+
+__all__ = ["is_k_anonymous", "max_k_anonymity"]
+
+
+def is_k_anonymous(bucketization: Bucketization, k: int) -> bool:
+    """True iff every bucket has at least ``k`` tuples.
+
+    Monotone along the paper's partial order: merging buckets only grows
+    them, so this predicate plugs into the lattice search directly.
+    """
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    return all(bucket.size >= k for bucket in bucketization.buckets)
+
+
+def max_k_anonymity(bucketization: Bucketization) -> int:
+    """The largest ``k`` for which the bucketization is k-anonymous
+    (the minimum bucket size)."""
+    return min(bucket.size for bucket in bucketization.buckets)

@@ -1,0 +1,38 @@
+"""Bucketization: the paper's sanitization method (Section 2.1).
+
+A bucketization partitions the table's tuples into buckets and, within each
+bucket, randomly permutes the sensitive column. What the attacker learns from
+the published data is therefore, per bucket, the *multiset* of sensitive
+values and (under full identification information) the set of people in the
+bucket — exactly what :class:`repro.bucketization.bucket.Bucket` records.
+
+Partitioning strategies live in :mod:`repro.bucketization.partition`;
+:mod:`repro.bucketization.anatomy` implements the Anatomy-style partitioner
+cited by the paper as the bucketization it matches.
+"""
+
+from repro.bucketization.bucket import Bucket
+from repro.bucketization.bucketization import Bucketization
+from repro.bucketization.anatomy import anatomize
+from repro.bucketization.mondrian import mondrian_partition
+from repro.bucketization.partition import (
+    partition_by_attribute,
+    partition_by_qi,
+    partition_into_chunks,
+)
+from repro.bucketization.suppression import SuppressionResult, suppress_to_safety
+from repro.bucketization.swapping import SwapResult, swap_sensitive_values
+
+__all__ = [
+    "Bucket",
+    "Bucketization",
+    "anatomize",
+    "mondrian_partition",
+    "partition_by_qi",
+    "partition_by_attribute",
+    "partition_into_chunks",
+    "suppress_to_safety",
+    "SuppressionResult",
+    "swap_sensitive_values",
+    "SwapResult",
+]

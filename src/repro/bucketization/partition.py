@@ -1,0 +1,58 @@
+"""Partitioning strategies that produce bucketizations from tables.
+
+These are thin, composable helpers over
+:meth:`repro.bucketization.bucketization.Bucketization.from_table`:
+
+- :func:`partition_by_qi` — one bucket per quasi-identifier equivalence class
+  (what full-domain generalization induces).
+- :func:`partition_by_attribute` — one bucket per value of a single attribute.
+- :func:`partition_into_chunks` — fixed-size buckets in row order (the
+  simplest k-anonymous bucketization, useful as a baseline).
+"""
+
+from __future__ import annotations
+
+from repro.bucketization.bucket import Bucket
+from repro.bucketization.bucketization import Bucketization
+from repro.data.table import Table
+
+__all__ = [
+    "partition_by_qi",
+    "partition_by_attribute",
+    "partition_into_chunks",
+]
+
+
+def partition_by_qi(table: Table) -> Bucketization:
+    """One bucket per distinct quasi-identifier tuple."""
+    return Bucketization.from_table(table)
+
+
+def partition_by_attribute(table: Table, attribute: str) -> Bucketization:
+    """One bucket per distinct value of ``attribute``."""
+    if attribute not in table.schema.attributes:
+        raise ValueError(f"unknown attribute {attribute!r}")
+    return Bucketization.from_table(table, key=lambda record: record[attribute])
+
+
+def partition_into_chunks(table: Table, chunk_size: int) -> Bucketization:
+    """Consecutive buckets of ``chunk_size`` rows (last one may be smaller).
+
+    Guarantees every bucket has at least one tuple; ``chunk_size`` must be
+    positive.
+    """
+    if chunk_size <= 0:
+        raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+    table.require_nonempty()
+    sensitive = table.schema.sensitive
+    pids = table.person_ids
+    buckets = []
+    for start in range(0, len(table), chunk_size):
+        stop = min(start + chunk_size, len(table))
+        buckets.append(
+            Bucket(
+                pids[start:stop],
+                [table[i][sensitive] for i in range(start, stop)],
+            )
+        )
+    return Bucketization(buckets)

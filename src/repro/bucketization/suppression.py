@@ -1,0 +1,114 @@
+"""Tuple suppression: drop records until the publication is (c,k)-safe.
+
+Suppression (Samarati & Sweeney; Cox 1980) removes tuples entirely instead
+of coarsening them. Within this paper's framework, removing a tuple changes
+its bucket's histogram; the greedy sanitizer here repeatedly suppresses one
+tuple from the currently worst bucket — the tuple carrying that bucket's
+*most frequent* sensitive value, since worst-case disclosure within a bucket
+is driven by its top frequency — until (c,k)-safety holds or the bucket is
+exhausted.
+
+Greedy suppression is not guaranteed minimal (minimal suppression is
+NP-hard already for k-anonymity); the tests check soundness (the result is
+safe), progress (each step strictly shrinks the table) and that buckets are
+dropped entirely only when no sub-multiset of them can be made safe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bucketization.bucket import Bucket
+from repro.bucketization.bucketization import Bucketization
+from repro.core.minimize1 import Minimize1Solver
+from repro.core.disclosure import max_disclosure
+
+__all__ = ["SuppressionResult", "suppress_to_safety"]
+
+
+@dataclass(frozen=True)
+class SuppressionResult:
+    """Outcome of greedy suppression.
+
+    Attributes
+    ----------
+    bucketization:
+        The safe publication, or ``None`` when everything was suppressed.
+    suppressed:
+        Person ids removed, in suppression order.
+    disclosure:
+        Maximum disclosure of the result (0.0 when nothing remains).
+    """
+
+    bucketization: Bucketization | None
+    suppressed: tuple
+    disclosure: float
+
+
+def _without_one_top_value(bucket: Bucket) -> Bucket | None:
+    """Remove one tuple holding the bucket's most frequent value; ``None``
+    when the bucket would become empty."""
+    if bucket.size == 1:
+        return None
+    top = bucket.top_value
+    pids = list(bucket.person_ids)
+    values = list(bucket.sensitive_values)
+    index = values.index(top)
+    del pids[index], values[index]
+    return Bucket(pids, values)
+
+
+def suppress_to_safety(
+    bucketization: Bucketization, c: float, k: int
+) -> SuppressionResult:
+    """Greedily suppress tuples until the bucketization is (c,k)-safe.
+
+    Each round recomputes the maximum disclosure, finds a bucket whose local
+    worst case attains it, and suppresses one of that bucket's top-value
+    tuples (or the whole bucket once it is a singleton). Terminates because
+    every round removes at least one tuple.
+
+    Returns
+    -------
+    SuppressionResult
+        ``bucketization=None`` if safety is unachievable even by suppressing
+        everything (c so strict that any single bucket violates it).
+    """
+    if not 0 < c <= 1:
+        raise ValueError(f"threshold c must be in (0, 1], got {c}")
+    if k < 0:
+        raise ValueError(f"k must be non-negative, got {k}")
+
+    solver = Minimize1Solver()
+    suppressed: list = []
+    buckets = list(bucketization.buckets)
+
+    def bucket_ratio(bucket: Bucket) -> float:
+        n = bucket.size
+        return solver.minimum(bucket.signature, k + 1) * n / bucket.top_frequency
+
+    while buckets:
+        current = Bucketization(buckets)
+        disclosure = max_disclosure(current, k, solver=solver)
+        if disclosure < c:
+            return SuppressionResult(
+                bucketization=current,
+                suppressed=tuple(suppressed),
+                disclosure=disclosure,
+            )
+        # The observed single-bucket concentration means some bucket's local
+        # ratio attains the global minimum; shrink the worst one.
+        worst_index = min(range(len(buckets)), key=lambda i: bucket_ratio(buckets[i]))
+        worst = buckets[worst_index]
+        shrunk = _without_one_top_value(worst)
+        if shrunk is None:
+            suppressed.extend(worst.person_ids)
+            del buckets[worst_index]
+        else:
+            removed = set(worst.person_ids) - set(shrunk.person_ids)
+            suppressed.extend(sorted(removed, key=repr))
+            buckets[worst_index] = shrunk
+
+    return SuppressionResult(
+        bucketization=None, suppressed=tuple(suppressed), disclosure=0.0
+    )

@@ -1,0 +1,362 @@
+"""Command-line interface: ``repro-wcbk`` (or ``python -m repro.cli``).
+
+Subcommands
+-----------
+``generate``
+    Write the synthetic Adult projection to a CSV.
+``fig5`` / ``fig6``
+    Reproduce the paper's evaluation figures and print their data series.
+``disclosure``
+    Maximum disclosure (implications and negations) of one anonymization.
+``search``
+    Find all minimal (c,k)-safe lattice nodes and the best one by precision.
+``witness``
+    Print a concrete worst-case formula for an anonymization.
+``breach``
+    Minimum attacker power k whose worst case reaches a disclosure level.
+``estimate``
+    Monte Carlo estimate of Pr(atom | B and formula) for a *given* formula
+    (the #P-hard quantity of Theorem 8), with the formula written in the
+    text syntax of :mod:`repro.knowledge.parser`.
+
+Every command accepts ``--rows``/``--seed`` to control the synthetic dataset
+or ``--csv`` to use a file produced by ``generate`` (or the real Adult data
+converted with :func:`repro.data.loader.load_adult_file`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro.core.disclosure import max_disclosure, min_k_to_breach
+from repro.core.negation import max_disclosure_negations
+from repro.core.safety import SafetyChecker
+from repro.core.sampling import sample_probability
+from repro.core.witness import worst_case_witness
+from repro.knowledge.parser import parse_atom, parse_conjunction
+from repro.data.adult import ADULT_SCHEMA, ADULT_SIZE
+from repro.data.hierarchies import adult_hierarchies
+from repro.data.loader import load_csv, save_csv
+from repro.data.table import Table
+from repro.errors import SearchError
+from repro.experiments.fig5 import FIG5_NODE, run_figure5
+from repro.experiments.fig6 import run_figure6
+from repro.experiments.runner import (
+    default_adult_table,
+    figure5_csv,
+    figure6_csv,
+    render_figure5,
+    render_figure6,
+)
+from repro.generalization.apply import bucketize_at
+from repro.generalization.lattice import GeneralizationLattice
+from repro.generalization.search import SearchStats, find_minimal_safe_nodes
+from repro.utility.metrics import precision
+
+__all__ = ["main", "build_parser"]
+
+
+def _add_dataset_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--rows",
+        type=int,
+        default=ADULT_SIZE,
+        help=f"synthetic dataset size (default {ADULT_SIZE})",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=20070419, help="synthetic dataset seed"
+    )
+    parser.add_argument(
+        "--csv", type=str, default=None, help="load this CSV instead of generating"
+    )
+
+
+def _parse_node(text: str) -> tuple[int, ...]:
+    try:
+        return tuple(int(part) for part in text.split(","))
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"node must be comma-separated integers, got {text!r}"
+        ) from None
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse tree (exposed for tests and shell completion)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-wcbk",
+        description=(
+            "Worst-case background knowledge for privacy-preserving data "
+            "publishing (ICDE 2007) — reproduction toolkit"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_gen = sub.add_parser("generate", help="write the synthetic Adult CSV")
+    p_gen.add_argument("--out", required=True, help="output CSV path")
+    p_gen.add_argument("--rows", type=int, default=ADULT_SIZE)
+    p_gen.add_argument("--seed", type=int, default=20070419)
+
+    p_fig5 = sub.add_parser("fig5", help="reproduce Figure 5")
+    _add_dataset_options(p_fig5)
+    p_fig5.add_argument(
+        "--node",
+        type=_parse_node,
+        default=FIG5_NODE,
+        help="lattice node, e.g. 3,2,1,1 (default: the paper's)",
+    )
+    p_fig5.add_argument(
+        "--out", type=str, default=None, help="also write the series as CSV"
+    )
+
+    p_fig6 = sub.add_parser("fig6", help="reproduce Figure 6")
+    _add_dataset_options(p_fig6)
+    p_fig6.add_argument(
+        "--per-node", action="store_true", help="also print the raw node sweep"
+    )
+    p_fig6.add_argument(
+        "--out", type=str, default=None, help="also write the envelopes as CSV"
+    )
+
+    p_disc = sub.add_parser(
+        "disclosure", help="max disclosure of one anonymization"
+    )
+    _add_dataset_options(p_disc)
+    p_disc.add_argument("--node", type=_parse_node, default=FIG5_NODE)
+    p_disc.add_argument("--k", type=int, default=3, help="attacker power")
+
+    p_search = sub.add_parser(
+        "search", help="find minimal (c,k)-safe lattice nodes"
+    )
+    _add_dataset_options(p_search)
+    p_search.add_argument("--c", type=float, default=0.7, help="threshold")
+    p_search.add_argument("--k", type=int, default=3, help="attacker power")
+    p_search.add_argument(
+        "--incognito",
+        action="store_true",
+        help="use the multi-phase Incognito search (subset pruning)",
+    )
+
+    p_wit = sub.add_parser(
+        "witness", help="print a worst-case formula for an anonymization"
+    )
+    _add_dataset_options(p_wit)
+    p_wit.add_argument("--node", type=_parse_node, default=FIG5_NODE)
+    p_wit.add_argument("--k", type=int, default=2, help="attacker power")
+
+    p_breach = sub.add_parser(
+        "breach", help="min attacker power reaching a disclosure level"
+    )
+    _add_dataset_options(p_breach)
+    p_breach.add_argument("--node", type=_parse_node, default=FIG5_NODE)
+    p_breach.add_argument(
+        "--level", type=float, default=1.0, help="disclosure level to reach"
+    )
+
+    p_est = sub.add_parser(
+        "estimate",
+        help="Monte Carlo Pr(atom | B and formula) for a given formula",
+    )
+    _add_dataset_options(p_est)
+    p_est.add_argument("--node", type=_parse_node, default=FIG5_NODE)
+    p_est.add_argument(
+        "--atom", required=True, help="target, e.g. 't[17] = Sales'"
+    )
+    p_est.add_argument(
+        "--formula",
+        default="",
+        help="';'-joined implications, e.g. 't[3] = Sales -> t[17] = Sales'",
+    )
+    p_est.add_argument("--samples", type=int, default=20000)
+    p_est.add_argument("--sample-seed", type=int, default=0)
+
+    return parser
+
+
+def _load_table(args: argparse.Namespace) -> Table:
+    if args.csv:
+        return load_csv(args.csv, ADULT_SCHEMA)
+    return default_adult_table(args.rows, args.seed)
+
+
+def _adult_lattice() -> GeneralizationLattice:
+    return GeneralizationLattice(
+        adult_hierarchies(), ADULT_SCHEMA.quasi_identifiers
+    )
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    table = default_adult_table(args.rows, args.seed)
+    save_csv(table, args.out)
+    print(f"wrote {len(table)} rows to {args.out}")
+    return 0
+
+
+def _cmd_fig5(args: argparse.Namespace) -> int:
+    result = run_figure5(_load_table(args), node=args.node)
+    print(render_figure5(result))
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(figure5_csv(result))
+        print(f"series written to {args.out}")
+    return 0
+
+
+def _cmd_fig6(args: argparse.Namespace) -> int:
+    result = run_figure6(_load_table(args))
+    print(render_figure6(result, per_node=args.per_node))
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(figure6_csv(result))
+        print(f"envelopes written to {args.out}")
+    return 0
+
+
+def _cmd_disclosure(args: argparse.Namespace) -> int:
+    table = _load_table(args)
+    bucketization = bucketize_at(table, _adult_lattice(), args.node)
+    implication = max_disclosure(bucketization, args.k)
+    negation = max_disclosure_negations(bucketization, args.k)
+    print(f"node {tuple(args.node)}: {len(bucketization)} buckets")
+    print(f"max disclosure, {args.k} implications : {implication:.6f}")
+    print(f"max disclosure, {args.k} negations    : {negation:.6f}")
+    return 0
+
+
+def _cmd_search(args: argparse.Namespace) -> int:
+    table = _load_table(args)
+    lattice = _adult_lattice()
+    checker = SafetyChecker(args.c, args.k)
+    if args.incognito:
+        from repro.generalization.incognito import (
+            IncognitoStats,
+            incognito_minimal_safe_nodes,
+        )
+
+        incognito_stats = IncognitoStats()
+        minimal = sorted(
+            incognito_minimal_safe_nodes(
+                table, lattice, checker.is_safe, stats=incognito_stats
+            )
+        )
+        print(
+            f"(c={args.c}, k={args.k})-safety via multi-phase Incognito: "
+            f"{len(minimal)} minimal safe node(s); "
+            f"{incognito_stats.final_phase_evaluated} full-lattice checks "
+            f"({incognito_stats.evaluated} incl. subset phases)"
+        )
+    else:
+        stats = SearchStats()
+        minimal = find_minimal_safe_nodes(
+            lattice,
+            lambda node: checker.is_safe(bucketize_at(table, lattice, node)),
+            stats=stats,
+        )
+        print(
+            f"(c={args.c}, k={args.k})-safety: {len(minimal)} minimal safe "
+            f"node(s); {stats.predicate_checks} checks, {stats.pruned} pruned "
+            f"of {stats.nodes_total} nodes"
+        )
+    if not minimal:
+        print("no safe node exists in this lattice", file=sys.stderr)
+        return 1
+    for node in minimal:
+        disclosure = checker.disclosure(bucketize_at(table, lattice, node))
+        print(
+            f"  node {node}  disclosure={disclosure:.6f}  "
+            f"precision={precision(lattice, node):.4f}"
+        )
+    best = max(minimal, key=lambda node: precision(lattice, node))
+    print(f"best by precision: {best}")
+    return 0
+
+
+def _cmd_witness(args: argparse.Namespace) -> int:
+    table = _load_table(args)
+    bucketization = bucketize_at(table, _adult_lattice(), args.node)
+    witness = worst_case_witness(bucketization, args.k)
+    print(f"disclosure {witness.disclosure:.6f} via consequent {witness.consequent}")
+    for implication in witness.implications:
+        print(f"  {implication}")
+    return 0
+
+
+def _cmd_breach(args: argparse.Namespace) -> int:
+    table = _load_table(args)
+    bucketization = bucketize_at(table, _adult_lattice(), args.node)
+    k = min_k_to_breach(bucketization, args.level)
+    print(
+        f"node {tuple(args.node)}: {k} basic implication(s) suffice to reach "
+        f"disclosure >= {args.level}"
+    )
+    return 0
+
+
+def _coerce_person(atom):
+    """Person ids in generated tables are integer row indices; parsed atoms
+    carry strings. Coerce when the text is an integer literal."""
+    from repro.knowledge.atoms import Atom
+
+    try:
+        return Atom(int(atom.person), atom.value)
+    except (TypeError, ValueError):
+        return atom
+
+
+def _cmd_estimate(args: argparse.Namespace) -> int:
+    from repro.knowledge.formulas import BasicImplication, Conjunction
+
+    table = _load_table(args)
+    bucketization = bucketize_at(table, _adult_lattice(), args.node)
+    atom = _coerce_person(parse_atom(args.atom))
+    phi = parse_conjunction(args.formula)
+    phi = Conjunction(
+        tuple(
+            BasicImplication(
+                antecedents=tuple(_coerce_person(a) for a in imp.antecedents),
+                consequents=tuple(_coerce_person(b) for b in imp.consequents),
+            )
+            for imp in phi.implications
+        )
+    )
+    result = sample_probability(
+        bucketization,
+        atom,
+        phi if phi.k else None,
+        samples=args.samples,
+        seed=args.sample_seed,
+    )
+    print(
+        f"Pr({atom} | B{' and ' + str(phi) if phi.k else ''}) "
+        f"~ {result.estimate:.4f}  "
+        f"(95% CI [{result.low:.4f}, {result.high:.4f}], "
+        f"{result.accepted}/{result.samples} worlds accepted)"
+    )
+    return 0
+
+
+_COMMANDS = {
+    "generate": _cmd_generate,
+    "fig5": _cmd_fig5,
+    "fig6": _cmd_fig6,
+    "disclosure": _cmd_disclosure,
+    "search": _cmd_search,
+    "witness": _cmd_witness,
+    "breach": _cmd_breach,
+    "estimate": _cmd_estimate,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except SearchError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

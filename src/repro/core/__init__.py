@@ -1,0 +1,86 @@
+"""Core algorithms: the paper's primary contribution.
+
+- :mod:`repro.core.exact` — exact random-worlds probabilities by enumeration
+  (the #P-hard quantity of Theorem 8; the test oracle for everything else).
+- :mod:`repro.core.minimize1` — Algorithm 1 / Lemma 12: per-bucket minimum of
+  ``Pr(AND_i NOT A_i | B)``.
+- :mod:`repro.core.minimize2` — Algorithm 2: cross-bucket minimization of
+  Formula (1).
+- :mod:`repro.core.disclosure` — maximum disclosure w.r.t. ``L^k_basic``
+  (Definition 6) in ``O(|B| k^3)``.
+- :mod:`repro.core.negation` — worst case for ``k`` negated atoms (the
+  ℓ-diversity adversary; the dotted line of Figure 5).
+- :mod:`repro.core.safety` — (c,k)-safety (Definition 13).
+- :mod:`repro.core.witness` — reconstruction of a worst-case formula.
+"""
+
+from repro.core.disclosure import (
+    max_disclosure,
+    max_disclosure_series,
+    min_formula1_ratio,
+    min_k_to_breach,
+)
+from repro.core.exact import (
+    enumerate_worlds,
+    exact_disclosure_risk,
+    exact_max_disclosure_simple,
+    probability,
+    world_count,
+)
+from repro.core.minimize1 import Minimize1Solver, lemma12_probability
+from repro.core.minimize2 import min_ratio_table
+from repro.core.negation import (
+    max_disclosure_negations,
+    max_disclosure_negations_series,
+    negation_witness,
+)
+from repro.core.probabilistic import (
+    jeffrey_disclosure_risk,
+    jeffrey_probability,
+    max_jeffrey_disclosure_single,
+)
+from repro.core.safety import SafetyChecker, is_ck_safe
+from repro.core.sampling import (
+    SampledProbability,
+    sample_disclosure_risk,
+    sample_probability,
+)
+from repro.core.weighted import (
+    exact_weighted_disclosure,
+    weighted_baseline_disclosure,
+    weighted_implication_bounds,
+    weighted_negation_disclosure,
+)
+from repro.core.witness import WorstCaseWitness, worst_case_witness
+
+__all__ = [
+    "max_disclosure",
+    "max_disclosure_series",
+    "min_formula1_ratio",
+    "min_k_to_breach",
+    "jeffrey_probability",
+    "jeffrey_disclosure_risk",
+    "max_jeffrey_disclosure_single",
+    "sample_probability",
+    "sample_disclosure_risk",
+    "SampledProbability",
+    "weighted_baseline_disclosure",
+    "weighted_negation_disclosure",
+    "weighted_implication_bounds",
+    "exact_weighted_disclosure",
+    "probability",
+    "enumerate_worlds",
+    "world_count",
+    "exact_disclosure_risk",
+    "exact_max_disclosure_simple",
+    "Minimize1Solver",
+    "lemma12_probability",
+    "min_ratio_table",
+    "max_disclosure_negations",
+    "max_disclosure_negations_series",
+    "negation_witness",
+    "is_ck_safe",
+    "SafetyChecker",
+    "WorstCaseWitness",
+    "worst_case_witness",
+]

@@ -1,0 +1,287 @@
+"""Exact probabilities under the random-worlds model, by enumeration.
+
+Section 2.2: with no knowledge beyond the bucketization, every table
+consistent with it is equally likely. Consistent tables ("worlds") are the
+assignments that, within each bucket, give its people exactly its multiset of
+sensitive values; buckets are independent.
+
+``Pr(C | B AND phi)`` is the fraction of worlds satisfying ``phi`` that also
+satisfy ``C`` — exactly the quantity Theorem 8 proves #P-complete, which is
+why everything here enumerates and is intended for *small* instances: it is
+the ground-truth oracle the polynomial algorithms are validated against, and
+the reference implementation of Definitions 5 and 6.
+
+All results are :class:`fractions.Fraction` — no floating-point noise in the
+oracle.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterator, Mapping, Sequence
+from fractions import Fraction
+from functools import reduce
+from itertools import permutations, product
+from math import factorial
+from typing import Any
+
+from repro.bucketization.bucket import Bucket
+from repro.bucketization.bucketization import Bucketization
+from repro.errors import InconsistentWorldError
+from repro.knowledge.atoms import Atom
+from repro.knowledge.formulas import Conjunction
+from repro.knowledge.language import (
+    enumerate_same_consequent_conjunctions,
+    enumerate_simple_conjunctions,
+)
+
+__all__ = [
+    "bucket_assignments",
+    "enumerate_worlds",
+    "world_count",
+    "probability",
+    "exact_disclosure_risk",
+    "exact_max_disclosure_simple",
+    "exact_max_disclosure_negations",
+]
+
+#: Guard: refuse enumerations beyond this many worlds (anything bigger is a
+#: caller bug — the polynomial algorithms exist for a reason).
+MAX_WORLDS = 2_000_000
+
+Event = Callable[[Mapping[Any, Any]], bool]
+
+
+def _as_event(formula: Any) -> Event:
+    """Accept an Atom/BasicImplication/Conjunction or a plain callable."""
+    if hasattr(formula, "holds_in"):
+        return formula.holds_in
+    if callable(formula):
+        return formula
+    raise TypeError(f"not a formula or predicate: {formula!r}")
+
+
+def bucket_assignments(bucket: Bucket) -> list[tuple]:
+    """All distinct assignments of the bucket's multiset to its people.
+
+    Each assignment is a tuple aligned with ``bucket.person_ids``. Because the
+    published permutation is uniform over the ``n!`` orderings and every
+    distinct assignment corresponds to the same number of orderings
+    (``prod_s n_b(s)!``), distinct assignments are equally likely.
+    """
+    return sorted(set(permutations(bucket.sensitive_values)), key=repr)
+
+
+def world_count(bucketization: Bucketization) -> int:
+    """Number of distinct worlds: the product over buckets of multinomial
+    coefficients ``n_b! / prod_s n_b(s)!``."""
+
+    def multinomial(bucket: Bucket) -> int:
+        denom = reduce(
+            lambda acc, c: acc * factorial(c), bucket.signature, 1
+        )
+        return factorial(bucket.size) // denom
+
+    return reduce(lambda acc, b: acc * multinomial(b), bucketization.buckets, 1)
+
+
+def enumerate_worlds(
+    bucketization: Bucketization,
+) -> Iterator[dict[Any, Any]]:
+    """Yield every world consistent with ``bucketization``.
+
+    Raises
+    ------
+    InconsistentWorldError
+        If the enumeration would exceed :data:`MAX_WORLDS`.
+    """
+    total = world_count(bucketization)
+    if total > MAX_WORLDS:
+        raise InconsistentWorldError(
+            f"{total} worlds exceed the enumeration guard ({MAX_WORLDS}); "
+            f"use the polynomial algorithms for instances this large"
+        )
+    per_bucket = [bucket_assignments(b) for b in bucketization.buckets]
+    pid_lists = [b.person_ids for b in bucketization.buckets]
+    for combo in product(*per_bucket):
+        world: dict[Any, Any] = {}
+        for pids, assignment in zip(pid_lists, combo):
+            world.update(zip(pids, assignment))
+        yield world
+
+
+def probability(
+    bucketization: Bucketization,
+    event: Any,
+    given: Any = None,
+) -> Fraction:
+    """``Pr(event | B AND given)`` as an exact fraction.
+
+    Parameters
+    ----------
+    event, given:
+        Formulas (anything with ``holds_in``) or predicates over worlds.
+        ``given=None`` conditions only on the bucketization.
+
+    Raises
+    ------
+    InconsistentWorldError
+        If no world satisfies ``given`` (the conditional is undefined).
+    """
+    event_fn = _as_event(event)
+    given_fn = _as_event(given) if given is not None else None
+    satisfying = 0
+    conditioning = 0
+    for world in enumerate_worlds(bucketization):
+        if given_fn is not None and not given_fn(world):
+            continue
+        conditioning += 1
+        if event_fn(world):
+            satisfying += 1
+    if conditioning == 0:
+        raise InconsistentWorldError(
+            "conditioning event has probability zero under the bucketization"
+        )
+    return Fraction(satisfying, conditioning)
+
+
+def exact_disclosure_risk(
+    bucketization: Bucketization, phi: Any = None
+) -> Fraction:
+    """Definition 5: ``max_{p, s} Pr(t_p[S] = s | B AND phi)``.
+
+    One pass over the worlds, counting per (person, value) jointly, instead of
+    one conditional-probability query per atom.
+    """
+    given_fn = _as_event(phi) if phi is not None else None
+    conditioning = 0
+    counts: dict[tuple[Any, Any], int] = {}
+    for world in enumerate_worlds(bucketization):
+        if given_fn is not None and not given_fn(world):
+            continue
+        conditioning += 1
+        for person, value in world.items():
+            key = (person, value)
+            counts[key] = counts.get(key, 0) + 1
+    if conditioning == 0:
+        raise InconsistentWorldError(
+            "phi is inconsistent with the bucketization"
+        )
+    best = max(counts.values())
+    return Fraction(best, conditioning)
+
+
+def _risk_over_worlds(worlds: list[dict], event: Event | None) -> Fraction | None:
+    """Definition 5 over a pre-materialized world list; ``None`` when no
+    world satisfies ``event``."""
+    counts: dict[tuple[Any, Any], int] = {}
+    conditioning = 0
+    for world in worlds:
+        if event is not None and not event(world):
+            continue
+        conditioning += 1
+        for person, value in world.items():
+            key = (person, value)
+            counts[key] = counts.get(key, 0) + 1
+    if conditioning == 0:
+        return None
+    return Fraction(max(counts.values()), conditioning)
+
+
+def _max_over_formulas(
+    bucketization: Bucketization, formulas: Iterator[Conjunction]
+) -> tuple[Fraction, Conjunction | None]:
+    """Maximize Definition 5 over a finite family of formulas, skipping
+    formulas inconsistent with the bucketization (the max in Definition 6
+    ranges over satisfiable knowledge).
+
+    Seeded with the no-knowledge risk: ``L^k_basic`` always contains
+    tautological conjunctions (e.g. repeated ``A -> A``), so the maximum can
+    never drop below the ``k = 0`` disclosure even when the enumerated family
+    happens to be empty or fully inconsistent. Worlds are materialized once
+    and shared across the whole formula family.
+    """
+    worlds = list(enumerate_worlds(bucketization))
+    best = _risk_over_worlds(worlds, None)
+    assert best is not None  # the unconditional risk always exists
+    best_formula: Conjunction | None = Conjunction(())
+    for formula in formulas:
+        risk = _risk_over_worlds(worlds, formula.holds_in)
+        if risk is not None and risk > best:
+            best, best_formula = risk, formula
+    return best, best_formula
+
+
+def exact_max_disclosure_simple(
+    bucketization: Bucketization,
+    k: int,
+    *,
+    same_consequent_only: bool = False,
+    return_witness: bool = False,
+):
+    """Definition 6 restricted to conjunctions of ``k`` *simple* implications,
+    by brute force (exponential — small instances only).
+
+    With ``same_consequent_only`` the search covers just the Theorem-9 family
+    (all k implications share one consequent atom); comparing the two modes on
+    small instances is the empirical validation of Theorem 9.
+    """
+    if k < 0:
+        raise ValueError(f"k must be non-negative, got {k}")
+    persons = list(bucketization.person_ids)
+    values = sorted(
+        {v for b in bucketization.buckets for v in b.values_by_frequency},
+        key=repr,
+    )
+    if k == 0:
+        risk = exact_disclosure_risk(bucketization, None)
+        return (risk, Conjunction(())) if return_witness else risk
+    if same_consequent_only:
+        formulas: Iterator[Conjunction] = (
+            formula
+            for _, formula in enumerate_same_consequent_conjunctions(
+                persons, values, k
+            )
+        )
+    else:
+        formulas = enumerate_simple_conjunctions(persons, values, k)
+    best, witness = _max_over_formulas(bucketization, formulas)
+    return (best, witness) if return_witness else best
+
+
+def exact_max_disclosure_negations(
+    bucketization: Bucketization, k: int
+) -> Fraction:
+    """Worst case over all sets of **at most** ``k`` negated atoms, by brute
+    force.
+
+    "At most" because the sensitive domain ``S`` is not limited to the values
+    realized in the bucketization: the attacker can always spend a negation
+    on a value absent from the target's bucket (vacuously true), so ``k``
+    pieces of negation knowledge subsume every smaller number. The
+    enumeration here ranges over subsets of atoms built from *realized*
+    values only, hence the explicit union over sizes ``0..k``.
+    """
+    if k < 0:
+        raise ValueError(f"k must be non-negative, got {k}")
+    from itertools import combinations
+
+    persons = list(bucketization.person_ids)
+    values = sorted(
+        {v for b in bucketization.buckets for v in b.values_by_frequency},
+        key=repr,
+    )
+    atoms = [Atom(p, s) for p in persons for s in values]
+
+    worlds = list(enumerate_worlds(bucketization))
+    best = _risk_over_worlds(worlds, None)
+    assert best is not None
+    for size in range(1, k + 1):
+        for negated in combinations(atoms, size):
+
+            def phi(world: Mapping[Any, Any], _negated=negated) -> bool:
+                return not any(atom.holds_in(world) for atom in _negated)
+
+            risk = _risk_over_worlds(worlds, phi)
+            if risk is not None and risk > best:
+                best = risk
+    return best

@@ -1,0 +1,241 @@
+"""MINIMIZE1 — Algorithm 1 and Lemma 12 of the paper.
+
+Minimizes ``Pr(AND_{i in [m]} NOT A_i | B)`` over all choices of ``m`` atoms
+that involve people in a single bucket ``b``. Lemma 12 reduces the search to
+*shapes*: pick ``l`` distinct people, give the ``i``-th person the bucket's
+``k_i`` most frequent values (``k_0 >= k_1 >= ... >= k_{l-1}``,
+``sum k_i = m``), and the probability has the closed form
+
+    prod_{i in [l]}  (n_b - i - sum_{j in [k_i]} n_b(s_b^j)) / (n_b - i)
+
+so minimizing over atom sets becomes minimizing over integer partitions of
+``m``. This module provides:
+
+- :func:`lemma12_probability` — the closed form for one partition (with the
+  factor clamped at 0; see DESIGN.md "known discrepancies" item 3),
+- :class:`Minimize1Solver` — the paper's memoized ``O(k^3)`` dynamic program,
+  usable in float or exact-:class:`~fractions.Fraction` arithmetic,
+- :func:`minimize1_reference` / :func:`best_partition` — direct enumeration
+  over all partitions (the independent reference used by tests and by witness
+  reconstruction).
+
+A bucket enters these functions only through its *signature* (its sensitive
+frequencies in descending order), so results are memoized per signature and
+shared across buckets and across bucketizations — this implements the
+incremental-recomputation remark at the end of Section 3.3.3.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+from fractions import Fraction
+
+__all__ = [
+    "INFEASIBLE",
+    "lemma12_probability",
+    "iter_partitions",
+    "minimize1_reference",
+    "best_partition",
+    "Minimize1Solver",
+]
+
+#: Marker for infeasible placements (more people needed than the bucket has).
+INFEASIBLE = float("inf")
+
+
+def _validate_signature(signature: Sequence[int]) -> tuple[int, ...]:
+    sig = tuple(signature)
+    if not sig:
+        raise ValueError("signature must be non-empty")
+    if any(c <= 0 for c in sig):
+        raise ValueError(f"signature counts must be positive: {sig}")
+    if any(a < b for a, b in zip(sig, sig[1:])):
+        raise ValueError(f"signature must be non-increasing: {sig}")
+    return sig
+
+
+def _prefix_sums(signature: tuple[int, ...]) -> list[int]:
+    """``prefix[j] = n_b(s^0) + ... + n_b(s^{j-1})``; saturates past the last
+    distinct value (frequencies of absent values are zero)."""
+    prefix = [0]
+    for count in signature:
+        prefix.append(prefix[-1] + count)
+    return prefix
+
+
+def lemma12_probability(
+    signature: Sequence[int], parts: Sequence[int], *, exact: bool = False
+):
+    """Closed form of Lemma 12 for one partition ``parts = (k_0, ..., k_{l-1})``.
+
+    Returns the probability that, for each ``i``, person ``i`` (all distinct,
+    in one bucket with the given frequency ``signature``) has none of the
+    bucket's ``k_i`` most frequent values. Factors are clamped at 0: when the
+    top-``k_i`` values exhaust the remaining slots the event is impossible.
+
+    Raises
+    ------
+    ValueError
+        If ``parts`` is not non-increasing with positive entries, or uses
+        more people than the bucket holds.
+    """
+    sig = _validate_signature(signature)
+    parts = tuple(parts)
+    if any(p <= 0 for p in parts):
+        raise ValueError(f"partition parts must be positive: {parts}")
+    if any(a < b for a, b in zip(parts, parts[1:])):
+        raise ValueError(f"partition must be non-increasing: {parts}")
+    n = sum(sig)
+    if len(parts) > n:
+        raise ValueError(
+            f"partition uses {len(parts)} people but the bucket has {n} tuples"
+        )
+    prefix = _prefix_sums(sig)
+    d = len(sig)
+    result = Fraction(1) if exact else 1.0
+    for i, k_i in enumerate(parts):
+        numerator = n - i - prefix[min(k_i, d)]
+        if numerator <= 0:
+            return Fraction(0) if exact else 0.0
+        if exact:
+            result *= Fraction(numerator, n - i)
+        else:
+            result *= numerator / (n - i)
+    return result
+
+
+def iter_partitions(m: int, max_parts: int) -> Iterator[tuple[int, ...]]:
+    """All partitions of ``m`` into at most ``max_parts`` positive,
+    non-increasing parts. ``m = 0`` yields the empty partition."""
+    if m < 0:
+        raise ValueError(f"m must be non-negative, got {m}")
+
+    def recurse(remaining: int, cap: int, slots: int, acc: list[int]):
+        if remaining == 0:
+            yield tuple(acc)
+            return
+        if slots == 0:
+            return
+        for part in range(min(cap, remaining), 0, -1):
+            acc.append(part)
+            yield from recurse(remaining - part, part, slots - 1, acc)
+            acc.pop()
+
+    yield from recurse(m, m, max_parts, [])
+
+
+def minimize1_reference(
+    signature: Sequence[int], m: int, *, exact: bool = False
+):
+    """Minimum of Lemma 12's closed form over all partitions of ``m``, by
+    direct enumeration. Exponential in ``m`` — the reference the DP is
+    validated against, and small-``m`` witness reconstruction."""
+    value, _ = best_partition(signature, m, exact=exact)
+    return value
+
+
+def best_partition(
+    signature: Sequence[int], m: int, *, exact: bool = False
+) -> tuple:
+    """``(minimum probability, argmin partition)`` over partitions of ``m``
+    into at most ``min(m, n_b)`` people."""
+    sig = _validate_signature(signature)
+    if m == 0:
+        return (Fraction(1) if exact else 1.0), ()
+    n = sum(sig)
+    best_value = None
+    best_parts: tuple[int, ...] = ()
+    for parts in iter_partitions(m, min(m, n)):
+        value = lemma12_probability(sig, parts, exact=exact)
+        if best_value is None or value < best_value:
+            best_value, best_parts = value, parts
+    if best_value is None:  # m > 0 but no partition fits (cannot happen: n >= 1)
+        raise ValueError(f"no feasible partition of {m} atoms in bucket {sig}")
+    return best_value, best_parts
+
+
+class Minimize1Solver:
+    """The paper's MINIMIZE1 dynamic program, memoized per bucket signature.
+
+    ``minimum(signature, m)`` equals ``MINIMIZE1(b, 0, m, m)`` from
+    Algorithm 1: the minimum of ``Pr(AND_{i in [m]} NOT A_i | B)`` over atoms
+    within one bucket with that signature. States ``(i, cap, rem)`` are
+    bounded by ``m`` each, giving the paper's ``O(k^3)`` time and space per
+    bucket; the memo is keyed by signature, so repeated signatures — within
+    one bucketization or across many — are solved once (the Section 3.3.3
+    incremental-cost remark).
+
+    Parameters
+    ----------
+    exact:
+        Use :class:`~fractions.Fraction` arithmetic (slower, exact) instead
+        of floats.
+    """
+
+    def __init__(self, *, exact: bool = False) -> None:
+        self._exact = exact
+        self._one = Fraction(1) if exact else 1.0
+        self._memo: dict[tuple[int, ...], dict] = {}
+
+    @property
+    def exact(self) -> bool:
+        """Whether results are exact fractions."""
+        return self._exact
+
+    def minimum(self, signature: Sequence[int], m: int):
+        """Minimum of ``Pr(AND_{i in [m]} NOT A_i | B)`` for ``m`` atoms in a
+        bucket with the given signature (``m = 0`` gives 1)."""
+        sig = _validate_signature(signature)
+        if m < 0:
+            raise ValueError(f"m must be non-negative, got {m}")
+        if m == 0:
+            return self._one
+        n = sum(sig)
+        prefix = _prefix_sums(sig)
+        d = len(sig)
+        memo = self._memo.setdefault(sig, {})
+
+        def g(i: int, cap: int, rem: int):
+            if rem == 0:
+                return self._one
+            if i >= n:
+                return INFEASIBLE
+            key = (i, cap, rem)
+            cached = memo.get(key)
+            if cached is not None:
+                return cached
+            best = INFEASIBLE
+            for k_i in range(1, min(cap, rem) + 1):
+                rest = g(i + 1, k_i, rem - k_i)
+                if rest == INFEASIBLE:
+                    continue
+                numerator = n - i - prefix[min(k_i, d)]
+                if numerator <= 0:
+                    best = Fraction(0) if self._exact else 0.0
+                    break  # cannot do better than zero
+                if self._exact:
+                    candidate = Fraction(numerator, n - i) * rest
+                else:
+                    candidate = (numerator / (n - i)) * rest
+                if candidate < best:
+                    best = candidate
+            memo[key] = best
+            return best
+
+        result = g(0, m, m)
+        if result == INFEASIBLE:  # pragma: no cover - unreachable for n >= 1
+            raise ValueError(f"no feasible atom placement for m={m} in {sig}")
+        return result
+
+    def table(self, signature: Sequence[int], max_m: int) -> list:
+        """``[minimum(signature, m) for m in 0..max_m]`` — one list the
+        cross-bucket DP consumes. Sub-problems are shared across ``m``."""
+        return [self.minimum(signature, m) for m in range(max_m + 1)]
+
+    def memo_size(self) -> int:
+        """Total number of memoized DP states (for the incremental bench)."""
+        return sum(len(states) for states in self._memo.values())
+
+    def known_signatures(self) -> int:
+        """Number of distinct bucket signatures solved so far."""
+        return len(self._memo)

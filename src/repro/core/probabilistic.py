@@ -1,0 +1,165 @@
+"""Probabilistic background knowledge — the paper's Section-6 future work.
+
+The base framework assumes the attacker *knows* phi. A realistic attacker is
+often only *confident*: "Hannah's flu probably implies Charlie's (90%)".
+The standard treatment is Jeffrey conditionalization: given confidence ``q``
+in ``phi``, the posterior of an event ``C`` is
+
+    P'(C) = q * Pr(C | B AND phi) + (1 - q) * Pr(C | B AND NOT phi)
+
+(with the degenerate cases: ``q = 1`` is ordinary conditioning; if ``phi``
+is certain or impossible under ``B`` the corresponding branch is dropped and
+its weight renormalized onto the other — Jeffrey's rule requires the
+evidence partition to have positive prior probability).
+
+This module evaluates Jeffrey posteriors exactly via the world oracle and
+derives the worst case over *which* single formula the attacker is confident
+about — showing how disclosure degrades gracefully as confidence drops below
+certainty. Exact and small-instance only, like everything oracle-based.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Any
+
+from repro.bucketization.bucketization import Bucketization
+from repro.core.exact import enumerate_worlds
+from repro.errors import InconsistentWorldError
+from repro.knowledge.language import enumerate_simple_implications
+
+__all__ = [
+    "jeffrey_probability",
+    "jeffrey_disclosure_risk",
+    "max_jeffrey_disclosure_single",
+]
+
+
+def _as_event(formula: Any):
+    return formula.holds_in if hasattr(formula, "holds_in") else formula
+
+
+def jeffrey_probability(
+    bucketization: Bucketization,
+    event: Any,
+    phi: Any,
+    confidence: Fraction | float,
+) -> Fraction:
+    """Jeffrey posterior of ``event`` given confidence ``q`` in ``phi``.
+
+    Parameters
+    ----------
+    confidence:
+        The attacker's probability ``q`` that ``phi`` holds, in [0, 1].
+
+    Raises
+    ------
+    InconsistentWorldError
+        If ``q > 0`` but no world satisfies ``phi`` (confidence in an
+        impossible statement), or ``q < 1`` but every world satisfies ``phi``
+        (doubt about a tautology) — Jeffrey's rule needs the weighted cells
+        to have positive prior probability.
+    """
+    q = Fraction(confidence).limit_denominator(10**9)
+    if not 0 <= q <= 1:
+        raise ValueError(f"confidence must be in [0, 1], got {confidence}")
+    event_fn = _as_event(event)
+    phi_fn = _as_event(phi)
+
+    with_phi = hit_phi = without_phi = hit_not_phi = 0
+    for world in enumerate_worlds(bucketization):
+        if phi_fn(world):
+            with_phi += 1
+            if event_fn(world):
+                hit_phi += 1
+        else:
+            without_phi += 1
+            if event_fn(world):
+                hit_not_phi += 1
+
+    if q > 0 and with_phi == 0:
+        raise InconsistentWorldError(
+            "positive confidence in a formula inconsistent with B"
+        )
+    if q < 1 and without_phi == 0:
+        raise InconsistentWorldError(
+            "doubt about a formula implied by B (NOT phi has probability 0)"
+        )
+    posterior = Fraction(0)
+    if with_phi:
+        posterior += q * Fraction(hit_phi, with_phi)
+    if without_phi:
+        posterior += (1 - q) * Fraction(hit_not_phi, without_phi)
+    return posterior
+
+
+def jeffrey_disclosure_risk(
+    bucketization: Bucketization, phi: Any, confidence: Fraction | float
+) -> Fraction:
+    """Definition 5 under Jeffrey conditioning: the maximum posterior over
+    all (person, value) atoms, in one pass over the worlds."""
+    q = Fraction(confidence).limit_denominator(10**9)
+    if not 0 <= q <= 1:
+        raise ValueError(f"confidence must be in [0, 1], got {confidence}")
+    phi_fn = _as_event(phi)
+
+    with_phi = without_phi = 0
+    counts_phi: dict[tuple, int] = {}
+    counts_not: dict[tuple, int] = {}
+    for world in enumerate_worlds(bucketization):
+        if phi_fn(world):
+            with_phi += 1
+            target = counts_phi
+        else:
+            without_phi += 1
+            target = counts_not
+        for person, value in world.items():
+            key = (person, value)
+            target[key] = target.get(key, 0) + 1
+
+    if q > 0 and with_phi == 0:
+        raise InconsistentWorldError("confidence in an impossible formula")
+    if q < 1 and without_phi == 0:
+        raise InconsistentWorldError("doubt about a certain formula")
+
+    keys = set(counts_phi) | set(counts_not)
+    best = Fraction(0)
+    for key in keys:
+        posterior = Fraction(0)
+        if with_phi:
+            posterior += q * Fraction(counts_phi.get(key, 0), with_phi)
+        if without_phi:
+            posterior += (1 - q) * Fraction(counts_not.get(key, 0), without_phi)
+        best = max(best, posterior)
+    return best
+
+
+def max_jeffrey_disclosure_single(
+    bucketization: Bucketization, confidence: Fraction | float
+) -> Fraction:
+    """Worst case over all *single simple implications* the attacker might
+    hold with the given confidence (the probabilistic analogue of
+    ``L^1_basic``'s maximum disclosure).
+
+    Equals the standard ``k = 1`` maximum disclosure at ``confidence = 1``.
+    It is **not** monotone in ``confidence``: each formula's posterior is
+    linear in ``q``, so the maximum over the pool is convex in ``q`` and
+    peaks at an endpoint — and at ``q = 0`` the attacker effectively holds
+    ``NOT (A -> B) = A AND NOT B``, conjunctive knowledge that can disclose
+    *more* than any single implication (property-tested). Oracle-based:
+    small instances only.
+    """
+    persons = list(bucketization.person_ids)
+    values = sorted(
+        {v for b in bucketization.buckets for v in b.values_by_frequency},
+        key=repr,
+    )
+    # The attacker can always hold vacuous knowledge: baseline risk.
+    best = jeffrey_disclosure_risk(bucketization, lambda w: True, 1)
+    for implication in enumerate_simple_implications(persons, values):
+        try:
+            risk = jeffrey_disclosure_risk(bucketization, implication, confidence)
+        except InconsistentWorldError:
+            continue
+        best = max(best, risk)
+    return best

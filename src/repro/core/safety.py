@@ -1,0 +1,109 @@
+"""(c,k)-safety — Definition 13 — plus a caching checker for lattice search.
+
+A bucketization is *(c,k)-safe* when its maximum disclosure w.r.t.
+``L^k_basic`` is **strictly less than** ``c``. Theorem 14 makes this predicate
+monotone along the paper's partial order (coarser is never less safe), which
+is what lets Incognito-style search and binary search find minimal safe
+bucketizations.
+
+:class:`SafetyChecker` memoizes on the multiset of bucket signatures: two
+bucketizations that partition people differently but induce the same
+signature multiset have identical maximum disclosure, and during a lattice
+sweep that happens constantly.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.bucketization.bucketization import Bucketization
+from repro.core.disclosure import max_disclosure
+from repro.core.minimize1 import Minimize1Solver
+
+__all__ = ["is_ck_safe", "SafetyChecker"]
+
+
+def is_ck_safe(
+    bucketization: Bucketization, c: float, k: int, *, exact: bool = False
+) -> bool:
+    """True iff the maximum disclosure w.r.t. ``L^k_basic`` is below ``c``.
+
+    Parameters
+    ----------
+    c:
+        Disclosure threshold in (0, 1]; ``c = 1`` tolerates everything short
+        of certainty, smaller ``c`` is stricter.
+    k:
+        Attacker power: number of basic implications.
+
+    Examples
+    --------
+    >>> from repro.bucketization import Bucketization
+    >>> b = Bucketization.from_value_lists([["flu", "cold", "mumps"] * 2])
+    >>> is_ck_safe(b, 0.75, 1)
+    True
+    >>> is_ck_safe(b, 0.5, 1)
+    False
+    """
+    if not 0 < c <= 1:
+        raise ValueError(f"threshold c must be in (0, 1], got {c}")
+    if k < 0:
+        raise ValueError(f"k must be non-negative, got {k}")
+    return max_disclosure(bucketization, k, exact=exact) < c
+
+
+class SafetyChecker:
+    """Reusable (c,k)-safety checker with cross-bucketization caching.
+
+    One instance shares a single :class:`~repro.core.minimize1.Minimize1Solver`
+    (per-signature DP memo) and caches whole-bucketization disclosures keyed
+    by the signature multiset, so sweeping a generalization lattice re-solves
+    only genuinely new bucket shapes — the paper's incremental-cost remark
+    (end of Section 3.3.3) realized.
+
+    Parameters
+    ----------
+    c, k:
+        The safety threshold and attacker power (fixed per checker).
+    exact:
+        Use exact fractions throughout.
+    """
+
+    def __init__(self, c: float, k: int, *, exact: bool = False) -> None:
+        if not 0 < c <= 1:
+            raise ValueError(f"threshold c must be in (0, 1], got {c}")
+        if k < 0:
+            raise ValueError(f"k must be non-negative, got {k}")
+        self.c = c
+        self.k = k
+        self.solver = Minimize1Solver(exact=exact)
+        self._cache: dict[frozenset, object] = {}
+        self.checks = 0
+        self.cache_hits = 0
+
+    def _key(self, bucketization: Bucketization) -> frozenset:
+        return frozenset(bucketization.signature_multiset().items())
+
+    def disclosure(self, bucketization: Bucketization):
+        """Maximum disclosure w.r.t. ``L^k_basic`` (cached)."""
+        self.checks += 1
+        key = self._key(bucketization)
+        cached = self._cache.get(key)
+        if cached is not None:
+            self.cache_hits += 1
+            return cached
+        value = max_disclosure(bucketization, self.k, solver=self.solver)
+        self._cache[key] = value
+        return value
+
+    def is_safe(self, bucketization: Bucketization) -> bool:
+        """(c,k)-safety of ``bucketization`` (Definition 13)."""
+        threshold = (
+            Fraction(self.c).limit_denominator()
+            if self.solver.exact
+            else self.c
+        )
+        return self.disclosure(bucketization) < threshold
+
+    def __call__(self, bucketization: Bucketization) -> bool:
+        return self.is_safe(bucketization)

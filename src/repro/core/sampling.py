@@ -1,0 +1,184 @@
+"""Monte Carlo estimation of ``Pr(C | B AND phi)`` for large instances.
+
+Theorem 8: computing this probability exactly for a *given* formula is
+#P-complete, and :mod:`repro.core.exact` only scales to toy instances. For
+everything else this module estimates it by sampling worlds: draw a uniform
+random permutation of each bucket's sensitive multiset (exactly the
+bucketization's generative process), apply rejection on the conditioning
+formula, and count.
+
+The estimator is unbiased with a Wilson confidence interval; rejection makes
+it practical only when ``Pr(phi | B)`` is non-negligible — which is the
+typical regime for plausible background knowledge (knowledge that is almost
+surely false barely conditions anything real). For formulas with tiny
+acceptance rates, fall back to :func:`repro.core.exact.probability` on a
+reduced instance.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from collections.abc import Callable, Mapping
+from dataclasses import dataclass
+from typing import Any
+
+from repro.bucketization.bucketization import Bucketization
+from repro.errors import InconsistentWorldError
+
+__all__ = ["SampledProbability", "sample_probability", "sample_disclosure_risk"]
+
+
+@dataclass(frozen=True)
+class SampledProbability:
+    """A Monte Carlo estimate with its sampling metadata.
+
+    Attributes
+    ----------
+    estimate:
+        ``accepted_and_event / accepted`` — the conditional probability.
+    samples:
+        Total worlds drawn.
+    accepted:
+        Worlds satisfying the conditioning formula (rejection survivors).
+    low, high:
+        95% Wilson score interval for the estimate.
+    """
+
+    estimate: float
+    samples: int
+    accepted: int
+    low: float
+    high: float
+
+    @property
+    def acceptance_rate(self) -> float:
+        """Fraction of sampled worlds that satisfied the conditioning."""
+        return self.accepted / self.samples if self.samples else 0.0
+
+
+def _wilson(successes: int, trials: int, z: float = 1.959964) -> tuple[float, float]:
+    """95% Wilson score interval for a binomial proportion."""
+    if trials == 0:
+        return 0.0, 1.0
+    p = successes / trials
+    denom = 1 + z**2 / trials
+    center = (p + z**2 / (2 * trials)) / denom
+    margin = (
+        z * math.sqrt(p * (1 - p) / trials + z**2 / (4 * trials**2)) / denom
+    )
+    return max(0.0, center - margin), min(1.0, center + margin)
+
+
+def _draw_world(
+    bucketization: Bucketization, rng: random.Random
+) -> dict[Any, Any]:
+    """One world: an independent uniform permutation per bucket."""
+    world: dict[Any, Any] = {}
+    for bucket in bucketization.buckets:
+        values = list(bucket.sensitive_values)
+        rng.shuffle(values)
+        world.update(zip(bucket.person_ids, values))
+    return world
+
+
+def sample_probability(
+    bucketization: Bucketization,
+    event: Any,
+    given: Any = None,
+    *,
+    samples: int = 20_000,
+    seed: int = 0,
+) -> SampledProbability:
+    """Estimate ``Pr(event | B AND given)`` by rejection sampling.
+
+    Parameters
+    ----------
+    event, given:
+        Formulas (``holds_in``) or world predicates, as in
+        :func:`repro.core.exact.probability`.
+    samples:
+        Number of worlds to draw (before rejection).
+    seed:
+        PRNG seed; fixed for reproducibility.
+
+    Raises
+    ------
+    InconsistentWorldError
+        If no sampled world satisfied ``given`` — either the knowledge is
+        inconsistent with the bucketization or its probability is too small
+        for rejection sampling at this sample size.
+    """
+    if samples <= 0:
+        raise ValueError(f"samples must be positive, got {samples}")
+    event_fn: Callable[[Mapping], bool] = (
+        event.holds_in if hasattr(event, "holds_in") else event
+    )
+    given_fn = None
+    if given is not None:
+        given_fn = given.holds_in if hasattr(given, "holds_in") else given
+
+    rng = random.Random(seed)
+    accepted = 0
+    hits = 0
+    for _ in range(samples):
+        world = _draw_world(bucketization, rng)
+        if given_fn is not None and not given_fn(world):
+            continue
+        accepted += 1
+        if event_fn(world):
+            hits += 1
+    if accepted == 0:
+        raise InconsistentWorldError(
+            f"no world among {samples} samples satisfied the conditioning "
+            f"formula; it is inconsistent or too rare for rejection sampling"
+        )
+    low, high = _wilson(hits, accepted)
+    return SampledProbability(
+        estimate=hits / accepted,
+        samples=samples,
+        accepted=accepted,
+        low=low,
+        high=high,
+    )
+
+
+def sample_disclosure_risk(
+    bucketization: Bucketization,
+    phi: Any = None,
+    *,
+    samples: int = 20_000,
+    seed: int = 0,
+) -> SampledProbability:
+    """Estimate Definition 5 (``max_{p,s} Pr(t_p = s | B AND phi)``) from one
+    sampling pass: count per-(person, value) frequencies among accepted
+    worlds and report the maximum with its interval."""
+    if samples <= 0:
+        raise ValueError(f"samples must be positive, got {samples}")
+    given_fn = None
+    if phi is not None:
+        given_fn = phi.holds_in if hasattr(phi, "holds_in") else phi
+    rng = random.Random(seed)
+    accepted = 0
+    counts: dict[tuple[Any, Any], int] = {}
+    for _ in range(samples):
+        world = _draw_world(bucketization, rng)
+        if given_fn is not None and not given_fn(world):
+            continue
+        accepted += 1
+        for person, value in world.items():
+            key = (person, value)
+            counts[key] = counts.get(key, 0) + 1
+    if accepted == 0:
+        raise InconsistentWorldError(
+            f"no world among {samples} samples satisfied phi"
+        )
+    best = max(counts.values())
+    low, high = _wilson(best, accepted)
+    return SampledProbability(
+        estimate=best / accepted,
+        samples=samples,
+        accepted=accepted,
+        low=low,
+        high=high,
+    )

@@ -1,0 +1,191 @@
+"""Reconstruct a concrete worst-case formula, not just its probability.
+
+The paper notes (Sections 3.3.1, 3.3.3) that MINIMIZE1 and MINIMIZE2 are
+"easy to modify ... to remember the minimizing values" and hence the
+minimizing atoms. This module does exactly that: it walks the retained DP
+tables of :class:`~repro.core.minimize2.MinRatioComputation` forward to find
+an optimal placement of atoms into buckets, expands each bucket's share with
+Lemma 12 (top values to the first people), and emits the ``k`` simple
+implications — all sharing the consequent atom — that achieve the maximum
+disclosure. Tests feed the witness back through the exact oracle and check
+``Pr(A | B and formula)`` equals the DP's answer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+
+from repro.bucketization.bucket import Bucket
+from repro.bucketization.bucketization import Bucketization
+from repro.core.minimize1 import (
+    INFEASIBLE,
+    Minimize1Solver,
+    best_partition,
+)
+from repro.core.minimize2 import MinRatioComputation, _times
+from repro.knowledge.atoms import Atom
+from repro.knowledge.formulas import BasicImplication, Conjunction
+
+__all__ = ["WorstCaseWitness", "worst_case_witness"]
+
+
+@dataclass(frozen=True)
+class WorstCaseWitness:
+    """A maximizing formula for Definition 6.
+
+    Attributes
+    ----------
+    consequent:
+        The atom ``A`` whose probability the formula maximizes (the disclosed
+        fact).
+    implications:
+        Exactly ``k`` simple implications, every one with consequent ``A``
+        (Theorem 9's special form). May contain repeats when the optimum
+        needs fewer than ``k`` distinct statements.
+    ratio:
+        The minimized Formula (1) value.
+    disclosure:
+        ``Pr(consequent | B and formula) = 1 / (1 + ratio)``.
+    """
+
+    consequent: Atom
+    implications: tuple[BasicImplication, ...]
+    ratio: object
+    disclosure: object
+
+    @property
+    def formula(self) -> Conjunction:
+        """The witness as an ``L^k_basic`` formula."""
+        return Conjunction(self.implications)
+
+    @property
+    def k(self) -> int:
+        """Number of implication conjuncts."""
+        return len(self.implications)
+
+
+def _bucket_atoms(bucket: Bucket, total_atoms: int, *, exact: bool) -> list[Atom]:
+    """Lemma-12 atoms for ``total_atoms`` atoms inside ``bucket``: person ``i``
+    receives the bucket's ``k_i`` most frequent values, for the minimizing
+    partition. Parts are clamped at the number of distinct values — extra
+    atoms are redundant once a person's every value is excluded."""
+    _, parts = best_partition(bucket.signature, total_atoms, exact=exact)
+    order = bucket.values_by_frequency
+    atoms = []
+    for person_index, k_i in enumerate(parts):
+        person = bucket.person_ids[person_index]
+        for j in range(min(k_i, len(order))):
+            atoms.append(Atom(person, order[j]))
+    return atoms
+
+
+def worst_case_witness(
+    bucketization: Bucketization, k: int, *, exact: bool = False
+) -> WorstCaseWitness:
+    """Compute maximum disclosure *and* a formula achieving it.
+
+    Parameters
+    ----------
+    bucketization:
+        The published buckets.
+    k:
+        Attacker power (number of simple-implication conjuncts to emit).
+    exact:
+        Exact fraction arithmetic end to end.
+
+    Notes
+    -----
+    Witness reconstruction enumerates integer partitions per chosen bucket
+    (exact but exponential in ``k``); for the disclosure *number* alone use
+    :func:`repro.core.disclosure.max_disclosure`, which stays polynomial.
+    """
+    if k < 0:
+        raise ValueError(f"k must be non-negative, got {k}")
+    solver = Minimize1Solver(exact=exact)
+
+    # Deduplicate buckets by signature but keep real Bucket objects: one
+    # representative per copy so reconstructed atoms involve real people.
+    by_signature: dict[tuple[int, ...], list[Bucket]] = {}
+    for bucket in bucketization.buckets:
+        by_signature.setdefault(bucket.signature, []).append(bucket)
+    effective: list[Bucket] = []
+    for signature in sorted(by_signature, key=repr):
+        effective.extend(by_signature[signature][: k + 1])
+
+    comp = MinRatioComputation(
+        [b.signature for b in effective], k, solver
+    )
+
+    # Forward walk: at each position re-derive the argmin the backward pass
+    # took. h = antecedent atoms still unplaced, placed_a = consequent placed.
+    h = k
+    placed_a = False
+    plan: list[tuple[Bucket, int, bool]] = []  # (bucket, antecedents, hosts A)
+    for position, bucket in enumerate(effective):
+        g = solver.table(bucket.signature, k + 1)
+        n = bucket.size
+        top = bucket.top_frequency
+        boost = Fraction(n, top) if solver.exact else n / top
+        next_fa, next_ff = comp.tables_at(position + 1)
+
+        if placed_a:
+            options = [
+                (_times(g[m], next_fa[h - m]), m, False) for m in range(h + 1)
+            ]
+        else:
+            options = [
+                (_times(g[m], next_ff[h - m]), m, False) for m in range(h + 1)
+            ]
+            options += [
+                (_times(_times(g[m + 1], boost), next_fa[h - m]), m, True)
+                for m in range(h + 1)
+            ]
+        value, m, hosts_a = min(options, key=lambda o: (o[0], o[1]))
+        if value == INFEASIBLE:  # pragma: no cover - defensive
+            raise AssertionError("DP walk entered an infeasible state")
+        plan.append((bucket, m, hosts_a))
+        h -= m
+        placed_a = placed_a or hosts_a
+    if h != 0 or not placed_a:  # pragma: no cover - defensive
+        raise AssertionError("DP walk did not place every atom")
+
+    consequent: Atom | None = None
+    antecedent_atoms: list[Atom] = []
+    for bucket, m, hosts_a in plan:
+        total = m + (1 if hosts_a else 0)
+        if total == 0:
+            continue
+        atoms = _bucket_atoms(bucket, total, exact=exact)
+        if hosts_a:
+            # Lemma 12 gives person 0 the most frequent value first: that atom
+            # is the consequent A (maximal Pr(A | B) in this bucket).
+            consequent = atoms[0]
+            antecedent_atoms.extend(atoms[1:])
+        else:
+            antecedent_atoms.extend(atoms)
+    assert consequent is not None  # placed_a guarantees it
+
+    implications = [
+        BasicImplication(antecedents=(atom,), consequents=(consequent,))
+        for atom in antecedent_atoms
+    ]
+    # Partitions clamp redundant atoms (a person never needs more atoms than
+    # distinct values); pad with repeats so the witness sits in L^k exactly.
+    while len(implications) < k:
+        filler = implications[-1] if implications else BasicImplication(
+            antecedents=(consequent,), consequents=(consequent,)
+        )
+        implications.append(filler)
+
+    ratio = comp.ratio(k)
+    if solver.exact:
+        disclosure = Fraction(1) / (1 + ratio)
+    else:
+        disclosure = 1.0 / (1.0 + ratio)
+    return WorstCaseWitness(
+        consequent=consequent,
+        implications=tuple(implications),
+        ratio=ratio,
+        disclosure=disclosure,
+    )

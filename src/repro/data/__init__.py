@@ -1,0 +1,31 @@
+"""Data substrate: schemas, tables, the synthetic Adult dataset, and loaders.
+
+This subpackage provides everything the paper's evaluation consumes as input:
+
+- :class:`repro.data.schema.Schema` / :class:`repro.data.table.Table` — the
+  microdata model (one sensitive attribute, several quasi-identifiers).
+- :func:`repro.data.adult.generate_adult` — a deterministic synthetic stand-in
+  for the UCI Adult dataset projection used in the paper (Age, Marital Status,
+  Race, Gender, Occupation; 45,222 tuples).
+- :func:`repro.data.hierarchies.adult_hierarchies` — the paper's
+  generalization hierarchies (6 x 3 x 2 x 2 lattice).
+- :mod:`repro.data.loader` — CSV round-trip so the real Adult file can be
+  dropped in.
+"""
+
+from repro.data.schema import Schema
+from repro.data.table import Table
+from repro.data.adult import ADULT_SCHEMA, OCCUPATIONS, generate_adult
+from repro.data.hierarchies import adult_hierarchies
+from repro.data.loader import load_csv, save_csv
+
+__all__ = [
+    "Schema",
+    "Table",
+    "ADULT_SCHEMA",
+    "OCCUPATIONS",
+    "generate_adult",
+    "adult_hierarchies",
+    "load_csv",
+    "save_csv",
+]

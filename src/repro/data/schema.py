@@ -1,0 +1,71 @@
+"""Schema declaration for published microdata tables.
+
+The paper's model (Section 2) is a table with one *sensitive* attribute ``S``
+(finite domain) and one or more *non-sensitive* (quasi-identifier) attributes.
+:class:`Schema` captures exactly that and is shared by :class:`repro.data.table.Table`,
+the bucketizer, and the generalization machinery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SchemaError
+
+__all__ = ["Schema"]
+
+
+@dataclass(frozen=True)
+class Schema:
+    """Column roles of a microdata table.
+
+    Parameters
+    ----------
+    quasi_identifiers:
+        Ordered non-sensitive attribute names (``Zip``, ``Age``, ... in the
+        paper's Figure 1). Order matters: generalization-lattice nodes are
+        level vectors aligned with this order.
+    sensitive:
+        Name of the single sensitive attribute (``Disease`` / ``Occupation``).
+    identifier:
+        Optional name of an explicit person-identifier column (``Name``). When
+        absent, the row index within the table is used as the person id.
+
+    Raises
+    ------
+    SchemaError
+        If attribute names collide or no quasi-identifier is given.
+    """
+
+    quasi_identifiers: tuple[str, ...]
+    sensitive: str
+    identifier: str | None = field(default=None)
+
+    def __post_init__(self) -> None:
+        qi = tuple(self.quasi_identifiers)
+        object.__setattr__(self, "quasi_identifiers", qi)
+        if not qi:
+            raise SchemaError("a schema needs at least one quasi-identifier")
+        names = list(qi) + [self.sensitive]
+        if self.identifier is not None:
+            names.append(self.identifier)
+        if len(set(names)) != len(names):
+            raise SchemaError(f"attribute names must be distinct, got {names}")
+
+    @property
+    def attributes(self) -> tuple[str, ...]:
+        """All attribute names, quasi-identifiers first, then the sensitive one."""
+        base = self.quasi_identifiers + (self.sensitive,)
+        if self.identifier is not None:
+            return (self.identifier,) + base
+        return base
+
+    def validate_record(self, record: dict) -> None:
+        """Raise :class:`SchemaError` unless ``record`` has every attribute."""
+        missing = [a for a in self.attributes if a not in record]
+        if missing:
+            raise SchemaError(f"record {record!r} is missing attributes {missing}")
+
+    def qi_tuple(self, record: dict) -> tuple:
+        """Project ``record`` onto the quasi-identifiers, preserving order."""
+        return tuple(record[a] for a in self.quasi_identifiers)

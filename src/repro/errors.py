@@ -1,0 +1,50 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch everything raised by this package with a single ``except`` clause while
+still letting programming errors (``TypeError`` etc.) propagate unchanged.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "SchemaError",
+    "EmptyTableError",
+    "InconsistentWorldError",
+    "HierarchyError",
+    "LatticeError",
+    "SearchError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class SchemaError(ReproError):
+    """A table, record, or formula does not match the declared schema."""
+
+
+class EmptyTableError(ReproError):
+    """An operation that requires at least one tuple was given none."""
+
+
+class InconsistentWorldError(ReproError):
+    """A conditioning event has probability zero under the random-worlds model.
+
+    Raised by the exact engine when asked for ``Pr(event | condition)`` and no
+    world consistent with the bucketization satisfies ``condition``.
+    """
+
+
+class HierarchyError(ReproError):
+    """A generalization hierarchy is malformed or cannot map a value."""
+
+
+class LatticeError(ReproError):
+    """A generalization-lattice node is out of range or malformed."""
+
+
+class SearchError(ReproError):
+    """A lattice search failed, e.g. no safe node exists in the lattice."""

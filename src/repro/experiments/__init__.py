@@ -1,0 +1,26 @@
+"""Reproduction of the paper's evaluation (Section 4).
+
+- :mod:`repro.experiments.fig5` — Figure 5: maximum disclosure vs. number of
+  conjuncts, implications (solid line) against negated atoms (dotted line).
+- :mod:`repro.experiments.fig6` — Figure 6: minimum bucket entropy vs. the
+  least maximum disclosure among anonymizations with that entropy, for
+  k in {1, 3, 5, 7, 9, 11}.
+- :mod:`repro.experiments.runner` — shared dataset handling and plain-text
+  rendering of both figures (used by the CLI, the benchmarks, and
+  ``EXPERIMENTS.md``).
+"""
+
+from repro.experiments.fig5 import FIG5_NODE, Figure5Result, run_figure5
+from repro.experiments.fig6 import Figure6Result, run_figure6
+from repro.experiments.runner import default_adult_table, render_figure5, render_figure6
+
+__all__ = [
+    "FIG5_NODE",
+    "Figure5Result",
+    "run_figure5",
+    "Figure6Result",
+    "run_figure6",
+    "default_adult_table",
+    "render_figure5",
+    "render_figure6",
+]

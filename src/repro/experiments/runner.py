@@ -1,0 +1,91 @@
+"""Shared experiment plumbing: default dataset and plain-text rendering.
+
+The CLI (:mod:`repro.cli`), the benchmark harness (``benchmarks/``) and the
+``EXPERIMENTS.md`` generator all funnel through these helpers so the numbers
+they report are produced identically.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.data.adult import ADULT_SIZE, generate_adult
+from repro.data.table import Table
+from repro.experiments.fig5 import Figure5Result, run_figure5
+from repro.experiments.fig6 import Figure6Result, run_figure6
+
+__all__ = [
+    "default_adult_table",
+    "render_figure5",
+    "render_figure6",
+    "figure5_csv",
+    "figure6_csv",
+]
+
+
+@lru_cache(maxsize=4)
+def default_adult_table(rows: int = ADULT_SIZE, seed: int = 20070419) -> Table:
+    """The experiments' default dataset, generated once per (rows, seed)."""
+    return generate_adult(rows, seed=seed)
+
+
+def render_figure5(result: Figure5Result) -> str:
+    """Figure 5 as a fixed-width text table (one row per ``k``)."""
+    lines = [
+        "Figure 5 — max disclosure vs. number of conjuncts",
+        f"anonymization node: {result.node}   "
+        f"buckets: {result.num_buckets}   rows: {result.num_rows}",
+        f"{'k':>3}  {'implication':>12}  {'negation':>12}",
+    ]
+    for row in result.rows:
+        lines.append(
+            f"{row.k:>3}  {row.implication:>12.6f}  {row.negation:>12.6f}"
+        )
+    return "\n".join(lines)
+
+
+def figure5_csv(result: Figure5Result) -> str:
+    """Figure 5 as CSV (``k, implication, negation``) for external plotting."""
+    lines = ["k,implication,negation"]
+    for row in result.rows:
+        lines.append(f"{row.k},{row.implication:.10g},{row.negation:.10g}")
+    return "\n".join(lines) + "\n"
+
+
+def figure6_csv(result: Figure6Result) -> str:
+    """Figure 6 as CSV: one row per (k, envelope point) —
+    ``k, min_entropy, least_max_disclosure`` — ready for gnuplot/matplotlib."""
+    lines = ["k,min_entropy,least_max_disclosure"]
+    for k in result.ks:
+        for h, d in result.envelope(k):
+            lines.append(f"{k},{h:.10g},{d:.10g}")
+    return "\n".join(lines) + "\n"
+
+
+def render_figure6(result: Figure6Result, *, per_node: bool = False) -> str:
+    """Figure 6 as text: per-``k`` envelopes of (min entropy, least max
+    disclosure), optionally followed by the full per-node sweep."""
+    lines = [
+        "Figure 6 — min bucket entropy vs. least max disclosure",
+        f"nodes swept: {len(result.nodes)}   rows: {result.num_rows}",
+    ]
+    for k in result.ks:
+        lines.append(f"-- k = {k} implications --")
+        lines.append(f"{'min entropy':>12}  {'min worst-case disclosure':>26}")
+        for h, d in result.envelope(k):
+            lines.append(f"{h:>12.4f}  {d:>26.6f}")
+    if per_node:
+        lines.append("-- per-node sweep --")
+        header = f"{'node':>14}  {'min entropy':>12}  {'buckets':>8}  " + "  ".join(
+            f"k={k:>2}" for k in result.ks
+        )
+        lines.append(header)
+        for record in result.nodes:
+            disclosures = "  ".join(
+                f"{record.disclosure[k]:.4f}" for k in result.ks
+            )
+            lines.append(
+                f"{str(record.node):>14}  {record.min_entropy:>12.4f}  "
+                f"{record.num_buckets:>8}  {disclosures}"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,50 @@
+"""Full-domain generalization: hierarchies, the lattice, and safe search.
+
+Full-domain generalization (Samarati/Sweeney) coarsens each quasi-identifier
+uniformly to one level of its value-generalization hierarchy. A choice of
+levels for all quasi-identifiers is a *lattice node*; the set of nodes forms
+the generalization lattice that Incognito-style algorithms search. Because
+(c,k)-safety is monotone along this lattice (Theorem 14), minimal safe nodes
+can be found bottom-up with pruning (:func:`repro.generalization.search.find_minimal_safe_nodes`)
+or by binary search on chains (:func:`repro.generalization.search.binary_search_chain`).
+
+``apply`` and ``search`` are imported lazily (PEP 562): they depend on the
+bucketization package, which itself needs :class:`Hierarchy` through the data
+package — eager imports here would close an import cycle.
+"""
+
+from repro.generalization.hierarchy import Hierarchy
+from repro.generalization.lattice import GeneralizationLattice
+
+__all__ = [
+    "Hierarchy",
+    "GeneralizationLattice",
+    "generalize_table",
+    "bucketize_at",
+    "find_minimal_safe_nodes",
+    "find_best_safe_node",
+    "binary_search_chain",
+    "SearchStats",
+    "incognito_minimal_safe_nodes",
+    "IncognitoStats",
+]
+
+_LAZY = {
+    "generalize_table": "repro.generalization.apply",
+    "bucketize_at": "repro.generalization.apply",
+    "find_minimal_safe_nodes": "repro.generalization.search",
+    "find_best_safe_node": "repro.generalization.search",
+    "binary_search_chain": "repro.generalization.search",
+    "SearchStats": "repro.generalization.search",
+    "incognito_minimal_safe_nodes": "repro.generalization.incognito",
+    "IncognitoStats": "repro.generalization.incognito",
+}
+
+
+def __getattr__(name: str):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)

@@ -1,0 +1,215 @@
+"""Value-generalization hierarchies (DGHs) for single attributes.
+
+A :class:`Hierarchy` maps an attribute value to its generalized label at each
+level: level 0 is the identity, the top level is usually full suppression
+(``"*"``). The paper's Adult hierarchies (Section 4) — Age with six levels,
+Marital Status with three, Race and Gender with two — are built from the
+constructors here (see :mod:`repro.data.hierarchies`).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Mapping
+from typing import Any
+
+from repro.errors import HierarchyError
+
+__all__ = ["Hierarchy", "SUPPRESSED"]
+
+#: Label used for a fully suppressed value.
+SUPPRESSED = "*"
+
+
+class Hierarchy:
+    """A per-attribute domain generalization hierarchy.
+
+    Parameters
+    ----------
+    attribute:
+        The attribute name this hierarchy generalizes.
+    levels:
+        One mapping function per level. ``levels[0]`` must be the identity
+        (it is validated lazily: level 0 returns its input unchanged).
+        Each function takes a ground value and returns its label at that level.
+
+    Notes
+    -----
+    For full-domain generalization to be sound, each level must *refine
+    consistently*: two values with equal labels at level ``i`` must also have
+    equal labels at every level ``j > i``. The provided constructors
+    (:meth:`from_intervals`, :meth:`from_grouping`, :meth:`identity_or_suppress`)
+    guarantee that by building each level independently of the others from the
+    ground value; :meth:`validate_consistency` checks it for a concrete domain.
+    """
+
+    __slots__ = ("_attribute", "_levels")
+
+    def __init__(
+        self, attribute: str, levels: Iterable[Callable[[Any], Any]]
+    ) -> None:
+        self._attribute = attribute
+        self._levels: tuple[Callable[[Any], Any], ...] = tuple(levels)
+        if not self._levels:
+            raise HierarchyError(f"hierarchy for {attribute!r} has no levels")
+
+    @property
+    def attribute(self) -> str:
+        """The attribute this hierarchy applies to."""
+        return self._attribute
+
+    @property
+    def num_levels(self) -> int:
+        """Number of levels including level 0 (identity)."""
+        return len(self._levels)
+
+    @property
+    def max_level(self) -> int:
+        """The coarsest level index."""
+        return len(self._levels) - 1
+
+    def generalize(self, value: Any, level: int) -> Any:
+        """Return the label of ``value`` at ``level``.
+
+        Raises
+        ------
+        HierarchyError
+            If ``level`` is out of range or the level function fails.
+        """
+        if not 0 <= level < len(self._levels):
+            raise HierarchyError(
+                f"{self._attribute}: level {level} out of range "
+                f"[0, {self.max_level}]"
+            )
+        try:
+            return self._levels[level](value)
+        except Exception as exc:  # pragma: no cover - defensive
+            raise HierarchyError(
+                f"{self._attribute}: cannot generalize {value!r} at level {level}"
+            ) from exc
+
+    def validate_consistency(self, domain: Iterable[Any]) -> None:
+        """Check the refinement property over a concrete ``domain``.
+
+        Raises
+        ------
+        HierarchyError
+            If some level merges two values that a coarser level separates,
+            or level 0 is not the identity.
+        """
+        values = list(domain)
+        for value in values:
+            if self.generalize(value, 0) != value:
+                raise HierarchyError(
+                    f"{self._attribute}: level 0 must be the identity, "
+                    f"maps {value!r} to {self.generalize(value, 0)!r}"
+                )
+        for level in range(self.max_level):
+            labels_now = {}
+            for value in values:
+                labels_now.setdefault(self.generalize(value, level), set()).add(
+                    self.generalize(value, level + 1)
+                )
+            for label, coarser in labels_now.items():
+                if len(coarser) > 1:
+                    raise HierarchyError(
+                        f"{self._attribute}: level {level} label {label!r} maps "
+                        f"to multiple level-{level + 1} labels {sorted(map(repr, coarser))}"
+                    )
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_intervals(
+        cls,
+        attribute: str,
+        widths: Iterable[int],
+        *,
+        origin: int = 0,
+        suppress_top: bool = True,
+    ) -> "Hierarchy":
+        """Numeric hierarchy: level 0 identity, then one level per interval
+        width, optionally topped with full suppression.
+
+        A value ``v`` at a width-``w`` level becomes the label
+        ``"[lo-hi]"`` where ``lo = origin + w * floor((v - origin)/w)``.
+
+        Examples
+        --------
+        >>> h = Hierarchy.from_intervals("age", [5, 10], origin=0)
+        >>> h.generalize(23, 1)
+        '[20-24]'
+        >>> h.generalize(23, 2)
+        '[20-29]'
+        >>> h.generalize(23, 3)
+        '*'
+        """
+        widths = list(widths)
+        if any(w <= 0 for w in widths):
+            raise HierarchyError(f"{attribute}: interval widths must be positive")
+        if sorted(widths) != widths:
+            raise HierarchyError(
+                f"{attribute}: interval widths must be non-decreasing for "
+                f"levels to refine consistently"
+            )
+        for smaller, larger in zip(widths, widths[1:]):
+            if larger % smaller != 0:
+                raise HierarchyError(
+                    f"{attribute}: width {larger} is not a multiple of {smaller}; "
+                    f"levels would not nest"
+                )
+
+        def interval_fn(width: int) -> Callable[[Any], Any]:
+            def fn(value: Any) -> str:
+                lo = origin + width * ((int(value) - origin) // width)
+                return f"[{lo}-{lo + width - 1}]"
+
+            return fn
+
+        levels: list[Callable[[Any], Any]] = [lambda v: v]
+        levels.extend(interval_fn(w) for w in widths)
+        if suppress_top:
+            levels.append(lambda v: SUPPRESSED)
+        return cls(attribute, levels)
+
+    @classmethod
+    def from_grouping(
+        cls,
+        attribute: str,
+        groupings: Iterable[Mapping[Any, Any]],
+        *,
+        suppress_top: bool = True,
+    ) -> "Hierarchy":
+        """Categorical hierarchy: level 0 identity, then one level per mapping
+        from *ground value* to group label, optionally topped with suppression.
+
+        Each mapping is applied to the ground value directly (not to the
+        previous level's label), which keeps levels consistent as long as each
+        successive grouping is coarser.
+        """
+        tables = [dict(g) for g in groupings]
+
+        def grouping_fn(table: dict) -> Callable[[Any], Any]:
+            def fn(value: Any) -> Any:
+                if value not in table:
+                    raise HierarchyError(
+                        f"{attribute}: value {value!r} not covered by grouping"
+                    )
+                return table[value]
+
+            return fn
+
+        levels: list[Callable[[Any], Any]] = [lambda v: v]
+        levels.extend(grouping_fn(t) for t in tables)
+        if suppress_top:
+            levels.append(lambda v: SUPPRESSED)
+        return cls(attribute, levels)
+
+    @classmethod
+    def identity_or_suppress(cls, attribute: str) -> "Hierarchy":
+        """Two-level hierarchy: keep the value, or suppress it entirely
+        (the paper's Race and Gender hierarchies)."""
+        return cls(attribute, [lambda v: v, lambda v: SUPPRESSED])
+
+    def __repr__(self) -> str:
+        return f"Hierarchy({self._attribute!r}, levels={self.num_levels})"

@@ -1,0 +1,163 @@
+"""Lattice search for minimally sanitized safe generalizations (Section 3.4).
+
+Theorem 14 makes (c,k)-safety monotone: if a node is safe, every ancestor
+(coarser node) is safe. Two search strategies follow:
+
+- :func:`find_minimal_safe_nodes` — bottom-up level-wise sweep with
+  monotonicity pruning, in the spirit of the paper's Incognito modification:
+  "simply replacing the check for k-anonymity with the check for
+  (c,k)-safety". Returns *all* minimal safe nodes, so a utility function can
+  pick among them (:func:`find_best_safe_node`).
+- :func:`binary_search_chain` — the paper's observation that along a chain
+  the least safe node is found with logarithmically many checks.
+
+Both accept any monotone predicate, so they also serve k-anonymity and
+ℓ-diversity (see :mod:`repro.anonymity`).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
+
+from repro.errors import SearchError
+from repro.generalization.lattice import GeneralizationLattice, Node
+
+__all__ = [
+    "SearchStats",
+    "find_minimal_safe_nodes",
+    "find_best_safe_node",
+    "binary_search_chain",
+]
+
+
+@dataclass
+class SearchStats:
+    """Bookkeeping for a lattice search.
+
+    Attributes
+    ----------
+    nodes_total:
+        Number of lattice nodes in scope.
+    predicate_checks:
+        How many nodes the (expensive) safety predicate was evaluated on.
+    pruned:
+        Nodes skipped because an already-safe descendant made them
+        non-minimal (monotonicity pruning).
+    """
+
+    nodes_total: int = 0
+    predicate_checks: int = 0
+    pruned: int = 0
+    checked_nodes: list[Node] = field(default_factory=list)
+
+
+def find_minimal_safe_nodes(
+    lattice: GeneralizationLattice,
+    is_safe: Callable[[Node], bool],
+    *,
+    stats: SearchStats | None = None,
+) -> list[Node]:
+    """All componentwise-minimal nodes satisfying a monotone predicate.
+
+    Sweeps the lattice bottom-up by height. A node strictly above some
+    already-found safe node cannot be minimal and is skipped without
+    evaluating the predicate; every evaluated-safe node is therefore minimal.
+
+    Parameters
+    ----------
+    is_safe:
+        Monotone predicate on nodes (e.g. ``lambda node:
+        checker.is_safe(bucketize_at(table, lattice, node))``). Monotonicity
+        is the caller's responsibility; Theorem 14 provides it for
+        (c,k)-safety.
+    stats:
+        Optional :class:`SearchStats` to fill in.
+
+    Returns
+    -------
+    list[Node]
+        Minimal safe nodes (possibly empty if even the top node is unsafe).
+    """
+    if stats is None:
+        stats = SearchStats()
+    stats.nodes_total = lattice.size
+    minimal: list[Node] = []
+    for level in lattice.nodes_by_height():
+        for node in level:
+            if any(
+                lattice.is_ancestor_or_equal(found, node) for found in minimal
+            ):
+                stats.pruned += 1
+                continue
+            stats.predicate_checks += 1
+            stats.checked_nodes.append(node)
+            if is_safe(node):
+                minimal.append(node)
+    return minimal
+
+
+def find_best_safe_node(
+    lattice: GeneralizationLattice,
+    is_safe: Callable[[Node], bool],
+    utility: Callable[[Node], float],
+    *,
+    stats: SearchStats | None = None,
+) -> Node:
+    """The minimal safe node maximizing ``utility`` (Section 3.4's
+    "bucketization that maximizes a given utility function subject to the
+    constraint that the bucketization be (c,k)-safe").
+
+    Raises
+    ------
+    SearchError
+        If no safe node exists.
+    """
+    candidates = find_minimal_safe_nodes(lattice, is_safe, stats=stats)
+    if not candidates:
+        raise SearchError(
+            "no lattice node satisfies the safety predicate (even the top "
+            "node is unsafe)"
+        )
+    return max(candidates, key=utility)
+
+
+def binary_search_chain(
+    chain: Sequence[Node],
+    is_safe: Callable[[Node], bool],
+    *,
+    stats: SearchStats | None = None,
+) -> Node:
+    """Lowest safe node on a bottom-to-top chain, with O(log |chain|) checks.
+
+    The chain must be ordered fine-to-coarse so the predicate is monotone
+    along it (false...false true...true); the paper's Section 3.4 notes this
+    gives a search "logarithmic in the height of the bucketization lattice".
+
+    Raises
+    ------
+    SearchError
+        If even the last (coarsest) node is unsafe.
+    ValueError
+        If the chain is empty.
+    """
+    if not chain:
+        raise ValueError("chain must be non-empty")
+    if stats is None:
+        stats = SearchStats()
+    stats.nodes_total = len(chain)
+    lo, hi = 0, len(chain) - 1
+    # Establish the invariant: chain[hi] safe (else nothing on the chain is).
+    stats.predicate_checks += 1
+    stats.checked_nodes.append(chain[hi])
+    if not is_safe(chain[hi]):
+        raise SearchError("no safe node on the chain (top is unsafe)")
+    while lo < hi:
+        mid = (lo + hi) // 2
+        stats.predicate_checks += 1
+        stats.checked_nodes.append(chain[mid])
+        if is_safe(chain[mid]):
+            hi = mid
+        else:
+            lo = mid + 1
+    return chain[lo]

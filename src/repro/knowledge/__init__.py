@@ -1,0 +1,61 @@
+"""The background-knowledge language of Section 2.2.
+
+- :class:`repro.knowledge.atoms.Atom` — ``t_p[S] = s``.
+- :class:`repro.knowledge.formulas.BasicImplication` —
+  ``(AND_i A_i) -> (OR_j B_j)`` (Definition 2), the language's basic unit.
+- :class:`repro.knowledge.formulas.Conjunction` — a formula of
+  ``L^k_basic`` (Definition 4).
+- :func:`repro.knowledge.formulas.simple_implication` /
+  :func:`repro.knowledge.formulas.negation` — the special forms the theory
+  revolves around (Definition 7 and the negation encoding of Section 2.2).
+- :mod:`repro.knowledge.completeness` — the constructive content of
+  Theorem 3: any predicate on tables is a finite conjunction of basic
+  implications.
+
+Formulas evaluate against *worlds*: mappings from person id to sensitive
+value (one full assignment of the sensitive column).
+"""
+
+from repro.knowledge.atoms import Atom
+from repro.knowledge.formulas import (
+    TRUE,
+    BasicImplication,
+    Conjunction,
+    negation,
+    simple_implication,
+)
+from repro.knowledge.language import (
+    count_basic_implications,
+    enumerate_atoms,
+    enumerate_simple_implications,
+    is_in_lk_basic,
+)
+from repro.knowledge.completeness import (
+    encode_predicate,
+    implication_excluding_world,
+)
+from repro.knowledge.parser import (
+    ParseError,
+    parse_atom,
+    parse_conjunction,
+    parse_implication,
+)
+
+__all__ = [
+    "parse_atom",
+    "parse_implication",
+    "parse_conjunction",
+    "ParseError",
+    "Atom",
+    "BasicImplication",
+    "Conjunction",
+    "TRUE",
+    "simple_implication",
+    "negation",
+    "enumerate_atoms",
+    "enumerate_simple_implications",
+    "count_basic_implications",
+    "is_in_lk_basic",
+    "encode_predicate",
+    "implication_excluding_world",
+]

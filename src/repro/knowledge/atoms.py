@@ -1,0 +1,48 @@
+"""Atoms: the indivisible statements of the knowledge language.
+
+Definition 1 of the paper: an atom is a formula ``t_p[S] = s`` for a person
+``p`` and sensitive value ``s``. An atom *involves* person ``p`` and value
+``s``. Worlds are mappings from person id to sensitive value; an atom holds
+in a world iff the world assigns exactly that value to that person.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = ["Atom"]
+
+
+@dataclass(frozen=True, order=True)
+class Atom:
+    """The atom ``t_person[S] = value``.
+
+    Examples
+    --------
+    >>> a = Atom("Ed", "Flu")
+    >>> a.holds_in({"Ed": "Flu"})
+    True
+    >>> a.holds_in({"Ed": "Mumps"})
+    False
+    >>> str(a)
+    't[Ed] = Flu'
+    """
+
+    person: Any
+    value: Any
+
+    def holds_in(self, world: Mapping[Any, Any]) -> bool:
+        """True iff ``world`` assigns :attr:`value` to :attr:`person`.
+
+        Raises
+        ------
+        KeyError
+            If the world does not cover :attr:`person` — a world must assign
+            a sensitive value to every person the formula mentions.
+        """
+        return world[self.person] == self.value
+
+    def __str__(self) -> str:
+        return f"t[{self.person}] = {self.value}"

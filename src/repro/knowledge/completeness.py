@@ -1,0 +1,95 @@
+"""Constructive form of Theorem 3 (completeness of basic implications).
+
+Theorem 3: given full identification information, *any* predicate on tables
+can be expressed as a finite conjunction of basic implications. The proof
+idea is the standard CNF construction: for every world ``w`` that violates
+the predicate, add one basic implication that is false exactly at ``w``.
+
+That single-world excluder is :func:`implication_excluding_world`: the
+implication ``(AND_p t_p = w(p)) -> (t_{p0} = s')`` for an arbitrary witness
+value ``s' != w(p0)`` — at ``w`` the antecedent holds and the consequent fails
+(a person has exactly one sensitive value); at any other world some antecedent
+atom already fails.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Mapping, Sequence
+from typing import Any
+
+from repro.knowledge.atoms import Atom
+from repro.knowledge.formulas import BasicImplication, Conjunction
+
+__all__ = ["implication_excluding_world", "encode_predicate"]
+
+
+def implication_excluding_world(
+    world: Mapping[Any, Any], sensitive_domain: Sequence[Any]
+) -> BasicImplication:
+    """One basic implication that is false exactly at ``world``.
+
+    Parameters
+    ----------
+    world:
+        A full assignment person -> sensitive value.
+    sensitive_domain:
+        The sensitive attribute's domain; needed to pick a witness value
+        different from the world's value for one person. Must contain at
+        least two values (with a single-value domain there is only one world,
+        and no satisfiable formula can exclude it).
+
+    Examples
+    --------
+    >>> imp = implication_excluding_world({"p": "flu", "q": "mumps"},
+    ...                                   ["flu", "mumps"])
+    >>> imp.holds_in({"p": "flu", "q": "mumps"})
+    False
+    >>> imp.holds_in({"p": "mumps", "q": "flu"})
+    True
+    """
+    items = sorted(world.items(), key=lambda kv: repr(kv[0]))
+    if not items:
+        raise ValueError("cannot exclude the empty world")
+    antecedents = tuple(Atom(person, value) for person, value in items)
+    pivot_person, pivot_value = items[0]
+    witness = next((s for s in sensitive_domain if s != pivot_value), None)
+    if witness is None:
+        raise ValueError(
+            "sensitive domain must contain at least two values to express "
+            "a world's exclusion"
+        )
+    return BasicImplication(
+        antecedents=antecedents, consequents=(Atom(pivot_person, witness),)
+    )
+
+
+def encode_predicate(
+    worlds: Iterable[Mapping[Any, Any]],
+    predicate: Callable[[Mapping[Any, Any]], bool],
+    sensitive_domain: Sequence[Any],
+) -> Conjunction:
+    """Express ``predicate`` over ``worlds`` as a conjunction of basic
+    implications (Theorem 3, constructively).
+
+    The returned conjunction holds at a world ``w`` in ``worlds`` iff
+    ``predicate(w)`` — one conjunct per violating world. The conjunction is
+    exact on the supplied world set (for worlds outside it, conjuncts built
+    from other worlds may or may not hold; under full identification
+    information the supplied set is all worlds consistent with the
+    bucketization, which is the theorem's setting).
+
+    Examples
+    --------
+    >>> worlds = [{"p": "flu", "q": "mumps"}, {"p": "mumps", "q": "flu"}]
+    >>> phi = encode_predicate(worlds, lambda w: w["p"] == "flu",
+    ...                        ["flu", "mumps"])
+    >>> [phi.holds_in(w) for w in worlds]
+    [True, False]
+    """
+    conjuncts = []
+    for world in worlds:
+        if not predicate(world):
+            conjuncts.append(
+                implication_excluding_world(world, sensitive_domain)
+            )
+    return Conjunction(tuple(conjuncts))

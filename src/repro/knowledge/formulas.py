@@ -1,0 +1,177 @@
+"""Basic implications and conjunctions — the formulas of ``L^k_basic``.
+
+Definition 2: a *basic implication* is ``(AND_{i in [m]} A_i) -> (OR_{j in [n]} B_j)``
+with ``m, n >= 1`` and atoms ``A_i, B_j``. Definition 4: ``L^k_basic`` consists
+of conjunctions of ``k`` basic implications. Definition 7: a *simple
+implication* is ``A -> B`` for atoms ``A, B``.
+
+Negated atoms — the ℓ-diversity adversary's unit of knowledge — are encoded
+exactly as the paper does in Section 2.2: ``NOT (t[S] = s)`` is
+``(t[S] = s) -> (t[S] = s')`` for any ``s' != s``, which is sound because each
+tuple has exactly one sensitive value.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+from dataclasses import dataclass
+from typing import Any
+
+from repro.knowledge.atoms import Atom
+
+__all__ = [
+    "BasicImplication",
+    "Conjunction",
+    "TRUE",
+    "simple_implication",
+    "negation",
+]
+
+
+@dataclass(frozen=True)
+class BasicImplication:
+    """``(AND antecedents) -> (OR consequents)`` with at least one of each.
+
+    Examples
+    --------
+    >>> imp = BasicImplication(
+    ...     antecedents=(Atom("Hannah", "Flu"),),
+    ...     consequents=(Atom("Charlie", "Flu"),),
+    ... )
+    >>> imp.holds_in({"Hannah": "Flu", "Charlie": "Flu"})
+    True
+    >>> imp.holds_in({"Hannah": "Flu", "Charlie": "Mumps"})
+    False
+    >>> imp.holds_in({"Hannah": "Shot", "Charlie": "Mumps"})
+    True
+    """
+
+    antecedents: tuple[Atom, ...]
+    consequents: tuple[Atom, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "antecedents", tuple(self.antecedents))
+        object.__setattr__(self, "consequents", tuple(self.consequents))
+        if not self.antecedents:
+            raise ValueError("a basic implication needs m >= 1 antecedent atoms")
+        if not self.consequents:
+            raise ValueError("a basic implication needs n >= 1 consequent atoms")
+
+    @property
+    def is_simple(self) -> bool:
+        """True iff this is a simple implication ``A -> B`` (Definition 7)."""
+        return len(self.antecedents) == 1 and len(self.consequents) == 1
+
+    def holds_in(self, world: Mapping[Any, Any]) -> bool:
+        """Material implication: false only when every antecedent holds and
+        no consequent does."""
+        if not all(atom.holds_in(world) for atom in self.antecedents):
+            return True
+        return any(atom.holds_in(world) for atom in self.consequents)
+
+    def atoms(self) -> tuple[Atom, ...]:
+        """All atoms, antecedents first."""
+        return self.antecedents + self.consequents
+
+    def persons(self) -> frozenset:
+        """All persons this implication involves."""
+        return frozenset(atom.person for atom in self.atoms())
+
+    def __str__(self) -> str:
+        left = " AND ".join(str(a) for a in self.antecedents)
+        right = " OR ".join(str(b) for b in self.consequents)
+        return f"({left}) -> ({right})"
+
+
+@dataclass(frozen=True)
+class Conjunction:
+    """A conjunction of basic implications: one formula of ``L^k_basic``.
+
+    ``k`` is the number of conjuncts; conjuncts may repeat (the language does
+    not require distinctness, which is why ``L^k_basic`` formulas also express
+    any weaker ``L^j_basic`` knowledge for ``j < k``).
+
+    An empty conjunction is the vacuous knowledge ``TRUE`` (``k = 0``).
+    """
+
+    implications: tuple[BasicImplication, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "implications", tuple(self.implications))
+
+    @property
+    def k(self) -> int:
+        """Number of basic-implication conjuncts (the attacker-power bound)."""
+        return len(self.implications)
+
+    def holds_in(self, world: Mapping[Any, Any]) -> bool:
+        """True iff every conjunct holds in ``world``."""
+        return all(imp.holds_in(world) for imp in self.implications)
+
+    def and_also(self, implication: BasicImplication) -> "Conjunction":
+        """Return this conjunction extended by one more implication."""
+        return Conjunction(self.implications + (implication,))
+
+    def atoms(self) -> tuple[Atom, ...]:
+        """All atoms over all conjuncts (with repetitions)."""
+        return tuple(a for imp in self.implications for a in imp.atoms())
+
+    def persons(self) -> frozenset:
+        """All persons mentioned anywhere in the formula."""
+        return frozenset(a.person for a in self.atoms())
+
+    def __str__(self) -> str:
+        if not self.implications:
+            return "TRUE"
+        return " AND ".join(f"[{imp}]" for imp in self.implications)
+
+
+#: The vacuous background knowledge (k = 0).
+TRUE = Conjunction(())
+
+
+def simple_implication(
+    antecedent_person: Any,
+    antecedent_value: Any,
+    consequent_person: Any,
+    consequent_value: Any,
+) -> BasicImplication:
+    """Build the simple implication ``(t_p[S]=s) -> (t_q[S]=s')``.
+
+    Examples
+    --------
+    >>> str(simple_implication("Hannah", "Flu", "Charlie", "Flu"))
+    '(t[Hannah] = Flu) -> (t[Charlie] = Flu)'
+    """
+    return BasicImplication(
+        antecedents=(Atom(antecedent_person, antecedent_value),),
+        consequents=(Atom(consequent_person, consequent_value),),
+    )
+
+
+def negation(person: Any, value: Any, *, witness_value: Any) -> BasicImplication:
+    """Encode ``NOT (t_person[S] = value)`` as a basic implication.
+
+    Follows Section 2.2 of the paper: ``(t[S]=s) -> (t[S]=s')`` for any
+    ``s' != s`` is equivalent to ``NOT (t[S]=s)`` because every tuple has
+    exactly one sensitive value. ``witness_value`` is that ``s'``.
+
+    Raises
+    ------
+    ValueError
+        If ``witness_value`` equals ``value`` (the encoding would be vacuous,
+        not a negation).
+    """
+    if witness_value == value:
+        raise ValueError(
+            f"witness value must differ from the negated value {value!r}"
+        )
+    return BasicImplication(
+        antecedents=(Atom(person, value),),
+        consequents=(Atom(person, witness_value),),
+    )
+
+
+def conjunction_of(implications: Iterable[BasicImplication]) -> Conjunction:
+    """Convenience constructor for :class:`Conjunction`."""
+    return Conjunction(tuple(implications))

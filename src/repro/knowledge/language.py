@@ -1,0 +1,111 @@
+"""Finite enumeration and counting over ``L^k_basic`` fragments.
+
+Used by the exact (brute-force) maximum-disclosure oracle and by tests that
+validate Theorem 9 empirically: enumerating every set of ``k`` simple
+implications over a small bucketization and checking that none beats the
+same-consequent family the theorem promises.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Sequence
+from itertools import combinations_with_replacement, product
+from math import comb
+from typing import Any
+
+from repro.knowledge.atoms import Atom
+from repro.knowledge.formulas import BasicImplication, Conjunction
+
+__all__ = [
+    "enumerate_atoms",
+    "enumerate_simple_implications",
+    "enumerate_simple_conjunctions",
+    "enumerate_same_consequent_conjunctions",
+    "count_basic_implications",
+    "is_in_lk_basic",
+]
+
+
+def enumerate_atoms(
+    persons: Iterable[Any], values: Iterable[Any]
+) -> list[Atom]:
+    """All atoms over the given persons and sensitive values."""
+    return [Atom(p, s) for p in persons for s in values]
+
+
+def enumerate_simple_implications(
+    persons: Iterable[Any],
+    values: Iterable[Any],
+    *,
+    allow_trivial: bool = False,
+) -> list[BasicImplication]:
+    """All simple implications ``A -> B`` over the atom set.
+
+    ``A -> A`` is a tautology; it is skipped unless ``allow_trivial`` is set
+    (it never changes any probability, so excluding it loses no generality).
+    """
+    atoms = enumerate_atoms(persons, values)
+    implications = []
+    for a, b in product(atoms, repeat=2):
+        if a == b and not allow_trivial:
+            continue
+        implications.append(
+            BasicImplication(antecedents=(a,), consequents=(b,))
+        )
+    return implications
+
+
+def enumerate_simple_conjunctions(
+    persons: Sequence[Any], values: Sequence[Any], k: int
+) -> Iterator[Conjunction]:
+    """All conjunctions of ``k`` simple implications (up to reordering).
+
+    Conjunction is commutative and idempotent, so multisets of implications
+    suffice; ``combinations_with_replacement`` enumerates exactly those.
+    This is exponential — only for small test instances.
+    """
+    pool = enumerate_simple_implications(persons, values)
+    for chosen in combinations_with_replacement(pool, k):
+        yield Conjunction(chosen)
+
+
+def enumerate_same_consequent_conjunctions(
+    persons: Sequence[Any], values: Sequence[Any], k: int
+) -> Iterator[tuple[Atom, Conjunction]]:
+    """All ``(consequent, conjunction)`` pairs where the conjunction consists
+    of ``k`` simple implications all sharing that consequent atom — the
+    special form of Theorem 9.
+    """
+    atoms = enumerate_atoms(persons, values)
+    for consequent in atoms:
+        antecedent_pool = [a for a in atoms if a != consequent]
+        for chosen in combinations_with_replacement(antecedent_pool, k):
+            implications = tuple(
+                BasicImplication(antecedents=(a,), consequents=(consequent,))
+                for a in chosen
+            )
+            yield consequent, Conjunction(implications)
+
+
+def count_basic_implications(
+    num_persons: int, num_values: int, max_antecedents: int, max_consequents: int
+) -> int:
+    """Number of basic implications with bounded antecedent/consequent sizes.
+
+    Antecedent sets and consequent sets are sets of distinct atoms (repeating
+    an atom inside one side is redundant); the count is
+    ``sum_{m=1..M} C(A, m) * sum_{n=1..N} C(A, n)`` with ``A`` the atom count.
+    Useful to size brute-force searches before attempting them.
+    """
+    num_atoms = num_persons * num_values
+    ways_left = sum(comb(num_atoms, m) for m in range(1, max_antecedents + 1))
+    ways_right = sum(comb(num_atoms, n) for n in range(1, max_consequents + 1))
+    return ways_left * ways_right
+
+
+def is_in_lk_basic(formula: Conjunction, k: int) -> bool:
+    """True iff ``formula`` is a conjunction of exactly ``k`` basic
+    implications (Definition 4)."""
+    return formula.k == k and all(
+        isinstance(imp, BasicImplication) for imp in formula.implications
+    )

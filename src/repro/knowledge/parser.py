@@ -1,0 +1,96 @@
+"""Parse and format knowledge formulas from a compact text syntax.
+
+Grammar (whitespace-insensitive)::
+
+    conjunction := implication ( ';' implication )*
+    implication := atoms '->' atoms
+    atoms       := atom ( '&' atom )*        # '&' on the left = AND,
+                                             # '&' on the right = OR (paper:
+                                             # antecedents conjoin,
+                                             # consequents disjoin)
+    atom        := 't[' person ']' '=' value
+    negation    := '!' atom                  # sugar for the Section-2.2
+                                             # encoding; needs a witness value
+
+Examples::
+
+    t[Hannah] = Flu -> t[Charlie] = Flu
+    t[Ed] = Flu & t[Ed] = Mumps -> t[Bob] = Flu
+    t[A] = x -> t[B] = y ; t[B] = y -> t[C] = z
+
+This exists for the CLI and for writing tests/examples legibly; programmatic
+users should build :class:`~repro.knowledge.formulas.BasicImplication`
+directly.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.knowledge.atoms import Atom
+from repro.knowledge.formulas import BasicImplication, Conjunction
+
+__all__ = ["parse_atom", "parse_implication", "parse_conjunction", "ParseError"]
+
+
+class ParseError(ValueError):
+    """The formula text does not match the grammar."""
+
+
+_ATOM_RE = re.compile(r"^\s*t\[\s*(?P<person>[^\]]+?)\s*\]\s*=\s*(?P<value>.+?)\s*$")
+
+
+def parse_atom(text: str) -> Atom:
+    """Parse ``t[person] = value``. Person and value are free-form strings
+    (trimmed); values that look like integers stay strings — the caller
+    controls typing.
+
+    >>> parse_atom("t[Ed] = Flu")
+    Atom(person='Ed', value='Flu')
+    """
+    match = _ATOM_RE.match(text)
+    if match is None:
+        raise ParseError(f"not an atom: {text!r} (expected 't[person] = value')")
+    return Atom(match.group("person"), match.group("value"))
+
+
+def _parse_atom_list(text: str, side: str) -> tuple[Atom, ...]:
+    parts = [p for p in text.split("&")]
+    if any(not p.strip() for p in parts):
+        raise ParseError(f"empty atom in {side} of {text!r}")
+    return tuple(parse_atom(p) for p in parts)
+
+
+def parse_implication(text: str) -> BasicImplication:
+    """Parse one basic implication ``atoms -> atoms``.
+
+    >>> imp = parse_implication("t[H] = flu & t[X] = flu -> t[C] = flu")
+    >>> len(imp.antecedents), len(imp.consequents)
+    (2, 1)
+    """
+    if "->" not in text:
+        raise ParseError(f"missing '->' in implication: {text!r}")
+    left, _, right = text.partition("->")
+    if "->" in right:
+        raise ParseError(f"more than one '->' in implication: {text!r}")
+    return BasicImplication(
+        antecedents=_parse_atom_list(left, "antecedent"),
+        consequents=_parse_atom_list(right, "consequent"),
+    )
+
+
+def parse_conjunction(text: str) -> Conjunction:
+    """Parse a ``';'``-separated conjunction of basic implications — one
+    formula of ``L^k_basic`` with ``k`` = number of conjuncts. Empty input
+    parses to the vacuous knowledge ``TRUE``.
+
+    >>> phi = parse_conjunction("t[A] = x -> t[B] = y ; t[B] = y -> t[C] = z")
+    >>> phi.k
+    2
+    """
+    stripped = text.strip()
+    if not stripped:
+        return Conjunction(())
+    return Conjunction(
+        tuple(parse_implication(part) for part in stripped.split(";"))
+    )

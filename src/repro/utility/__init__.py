@@ -1,0 +1,27 @@
+"""Utility measurement: how much analytical value a sanitization preserves.
+
+The paper's notion of a "minimally sanitized" bucketization exists precisely
+to preserve utility (Section 3.4); these metrics order candidate
+generalizations so :func:`repro.generalization.search.find_best_safe_node`
+can pick among the minimal safe ones.
+"""
+
+from repro.utility.entropy import (
+    bucket_entropies,
+    min_bucket_entropy,
+)
+from repro.utility.metrics import (
+    average_bucket_size,
+    discernibility,
+    generalization_height,
+    precision,
+)
+
+__all__ = [
+    "discernibility",
+    "average_bucket_size",
+    "generalization_height",
+    "precision",
+    "bucket_entropies",
+    "min_bucket_entropy",
+]

@@ -1,0 +1,61 @@
+"""Standard utility metrics for anonymized data.
+
+Lower is better for :func:`discernibility`, :func:`average_bucket_size` and
+:func:`generalization_height`; higher is better for :func:`precision`. All
+are standard in the k-anonymity literature (Bayardo & Agrawal; LeFevre et
+al.; Samarati) and serve as the utility functions of Section 3.4.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.bucketization.bucketization import Bucketization
+from repro.generalization.lattice import GeneralizationLattice
+
+__all__ = [
+    "discernibility",
+    "average_bucket_size",
+    "generalization_height",
+    "precision",
+]
+
+
+def discernibility(bucketization: Bucketization) -> int:
+    """Discernibility metric: ``sum_b n_b^2``.
+
+    Charges every tuple the size of its bucket — the number of tuples it is
+    indistinguishable from. Minimal (= total size) for singleton buckets,
+    maximal (= n^2) for one big bucket.
+    """
+    return sum(bucket.size**2 for bucket in bucketization.buckets)
+
+
+def average_bucket_size(bucketization: Bucketization) -> float:
+    """Mean bucket size ``n / |B|`` (the C_avg normalization without the
+    target-k denominator)."""
+    return bucketization.total_size / len(bucketization)
+
+
+def generalization_height(node: Sequence[int]) -> int:
+    """Height of a lattice node: total levels of generalization applied
+    (Samarati's minimal-generalization objective)."""
+    return sum(node)
+
+
+def precision(lattice: GeneralizationLattice, node: Sequence[int]) -> float:
+    """Samarati/Sweeney *Prec*: ``1 - mean_i(level_i / max_level_i)``.
+
+    1 for the bottom node (raw data), 0 for full suppression of every
+    attribute. Attributes whose hierarchy has a single level (nothing to
+    generalize) are skipped.
+    """
+    node = lattice.validate(node)
+    fractions = []
+    for attribute, level in zip(lattice.attributes, node):
+        maximum = lattice.hierarchies[attribute].max_level
+        if maximum > 0:
+            fractions.append(level / maximum)
+    if not fractions:
+        return 1.0
+    return 1.0 - sum(fractions) / len(fractions)

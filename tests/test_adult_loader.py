@@ -1,0 +1,136 @@
+"""The synthetic Adult generator and the CSV loaders."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.data.adult import (
+    ADULT_SCHEMA,
+    MARITAL_STATUSES,
+    OCCUPATIONS,
+    RACES,
+    SEXES,
+    generate_adult,
+)
+from repro.data.loader import load_adult_file, load_csv, save_csv
+from repro.errors import SchemaError
+
+
+class TestGenerator:
+    def test_deterministic(self):
+        a = generate_adult(500, seed=3)
+        b = generate_adult(500, seed=3)
+        assert a == b
+
+    def test_seed_changes_data(self):
+        a = generate_adult(500, seed=3)
+        b = generate_adult(500, seed=4)
+        assert a != b
+
+    def test_schema_and_domains(self, small_adult):
+        assert small_adult.schema == ADULT_SCHEMA
+        for record in small_adult:
+            assert 17 <= record["age"] <= 90
+            assert record["marital_status"] in MARITAL_STATUSES
+            assert record["race"] in RACES
+            assert record["sex"] in SEXES
+            assert record["occupation"] in OCCUPATIONS
+
+    def test_marginals_roughly_match_adult(self):
+        table = generate_adult(20000, seed=1)
+        n = len(table)
+        sexes = Counter(r["sex"] for r in table)
+        assert sexes["Male"] / n == pytest.approx(0.675, abs=0.02)
+        races = Counter(r["race"] for r in table)
+        assert races["White"] / n == pytest.approx(0.86, abs=0.02)
+        marital = Counter(r["marital_status"] for r in table)
+        assert marital["Married-civ-spouse"] / n == pytest.approx(0.45, abs=0.05)
+        assert marital["Never-married"] / n == pytest.approx(0.33, abs=0.05)
+
+    def test_age_occupation_correlation(self):
+        # Young workers skew to service occupations (drives Figure 5's shape).
+        table = generate_adult(20000, seed=1)
+        young = [r for r in table if r["age"] < 25]
+        prime = [r for r in table if 35 <= r["age"] < 50]
+        young_service = sum(
+            1 for r in young if r["occupation"] == "Other-service"
+        ) / len(young)
+        prime_service = sum(
+            1 for r in prime if r["occupation"] == "Other-service"
+        ) / len(prime)
+        assert young_service > 2 * prime_service
+
+    def test_age_marital_correlation(self):
+        table = generate_adult(20000, seed=1)
+        young = [r for r in table if r["age"] < 25]
+        never = sum(
+            1 for r in young if r["marital_status"] == "Never-married"
+        ) / len(young)
+        assert never > 0.8
+
+    def test_all_fourteen_occupations_present_at_scale(self):
+        table = generate_adult(45222)
+        assert set(r["occupation"] for r in table) == set(OCCUPATIONS)
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ValueError):
+            generate_adult(0)
+
+
+class TestCsvRoundTrip:
+    def test_save_load(self, small_adult, tmp_path):
+        path = tmp_path / "adult.csv"
+        save_csv(small_adult, path)
+        loaded = load_csv(path, ADULT_SCHEMA)
+        assert loaded == small_adult
+
+    def test_missing_column_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("age,sex\n30,Male\n")
+        with pytest.raises(SchemaError):
+            load_csv(path, ADULT_SCHEMA)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(SchemaError):
+            load_csv(path, ADULT_SCHEMA)
+
+
+class TestRawAdultFormat:
+    RAW_ROW = (
+        "39, State-gov, 77516, Bachelors, 13, Never-married, Adm-clerical,"
+        " Not-in-family, White, Male, 2174, 0, 40, United-States, <=50K"
+    )
+    MISSING_ROW = (
+        "52, Self-emp, 209642, HS-grad, 9, Married-civ-spouse, ?,"
+        " Husband, White, Male, 0, 0, 45, United-States, >50K"
+    )
+
+    def test_parses_and_projects(self, tmp_path):
+        path = tmp_path / "adult.data"
+        path.write_text(self.RAW_ROW + "\n\n")
+        table = load_adult_file(path)
+        assert len(table) == 1
+        record = table[0]
+        assert record == {
+            "age": 39,
+            "marital_status": "Never-married",
+            "race": "White",
+            "sex": "Male",
+            "occupation": "Adm-clerical",
+        }
+
+    def test_drops_rows_with_missing_values(self, tmp_path):
+        path = tmp_path / "adult.data"
+        path.write_text(self.RAW_ROW + "\n" + self.MISSING_ROW + "\n")
+        table = load_adult_file(path)
+        assert len(table) == 1
+
+    def test_malformed_row_rejected(self, tmp_path):
+        path = tmp_path / "adult.data"
+        path.write_text("1, 2, 3\n")
+        with pytest.raises(SchemaError):
+            load_adult_file(path)

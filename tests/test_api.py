@@ -1,0 +1,72 @@
+"""The public API surface: everything advertised resolves and works."""
+
+from __future__ import annotations
+
+import importlib
+
+import pytest
+
+import repro
+
+
+class TestPublicSurface:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    @pytest.mark.parametrize(
+        "module",
+        [
+            "repro.data",
+            "repro.bucketization",
+            "repro.knowledge",
+            "repro.core",
+            "repro.generalization",
+            "repro.anonymity",
+            "repro.utility",
+            "repro.experiments",
+            "repro.cli",
+        ],
+    )
+    def test_subpackage_all_resolves(self, module):
+        mod = importlib.import_module(module)
+        for name in getattr(mod, "__all__", []):
+            assert hasattr(mod, name), f"{module}.{name}"
+
+    def test_lazy_generalization_attributes(self):
+        import repro.generalization as g
+
+        assert callable(g.bucketize_at)
+        assert callable(g.incognito_minimal_safe_nodes)
+        with pytest.raises(AttributeError):
+            g.not_a_real_name  # noqa: B018
+
+    def test_every_public_callable_has_a_docstring(self):
+        undocumented = [
+            name
+            for name in repro.__all__
+            if callable(getattr(repro, name))
+            and not (getattr(repro, name).__doc__ or "").strip()
+        ]
+        assert undocumented == []
+
+    def test_errors_hierarchy(self):
+        from repro import errors
+
+        for name in errors.__all__:
+            exc = getattr(errors, name)
+            assert issubclass(exc, Exception)
+            if name != "ReproError":
+                assert issubclass(exc, errors.ReproError)
+
+    def test_quickstart_snippet_from_readme(self):
+        from repro import Bucketization, is_ck_safe, max_disclosure
+
+        b = Bucketization.from_value_lists(
+            [["Flu", "Flu", "Lung Cancer", "Lung Cancer", "Mumps"]]
+        )
+        assert round(max_disclosure(b, 1), 4) == 0.6667
+        assert is_ck_safe(b, c=0.7, k=1)

@@ -1,0 +1,131 @@
+"""Buckets, bucketizations, and the Section-3.4 partial order."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.bucketization import Bucket, Bucketization
+from repro.data.schema import Schema
+from repro.data.table import Table
+from repro.errors import EmptyTableError
+
+
+class TestBucket:
+    def test_paper_notation(self):
+        b = Bucket.from_values(["Flu", "Flu", "Lung", "Lung", "Mumps"])
+        assert b.size == 5
+        assert b.frequency("Flu") == 2
+        assert b.frequency("absent") == 0
+        assert b.signature == (2, 2, 1)
+        assert b.top_frequency == 2
+        assert b.distinct_count == 3
+
+    def test_values_by_frequency_deterministic_ties(self):
+        b = Bucket.from_values(["b", "a", "a", "b"])
+        # Equal counts break ties by repr: 'a' before 'b'.
+        assert b.values_by_frequency == ("a", "b")
+
+    def test_entropy(self):
+        uniform = Bucket.from_values(["a", "b", "c", "d"])
+        assert uniform.entropy() == pytest.approx(math.log(4))
+        assert uniform.entropy(base=2) == pytest.approx(2.0)
+        constant = Bucket.from_values(["a", "a"])
+        assert constant.entropy() == 0.0
+
+    def test_top_fraction(self):
+        assert Bucket.from_values(["a", "a", "b"]).top_fraction() == pytest.approx(
+            2 / 3
+        )
+
+    def test_merge(self):
+        a = Bucket([0, 1], ["x", "y"])
+        b = Bucket([2], ["x"])
+        merged = a.merge(b)
+        assert merged.size == 3 and merged.frequency("x") == 2
+
+    def test_merge_rejects_shared_person(self):
+        a = Bucket([0, 1], ["x", "y"])
+        b = Bucket([1], ["x"])
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_validation(self):
+        with pytest.raises(EmptyTableError):
+            Bucket([], [])
+        with pytest.raises(ValueError):
+            Bucket([0, 1], ["x"])
+        with pytest.raises(ValueError):
+            Bucket([0, 0], ["x", "y"])
+
+    def test_equality_uses_people_and_histogram(self):
+        assert Bucket([0, 1], ["x", "y"]) == Bucket([0, 1], ["y", "x"])
+        assert Bucket([0, 1], ["x", "y"]) != Bucket([0, 2], ["x", "y"])
+
+
+class TestBucketization:
+    def test_bucket_of(self, figure3):
+        assert figure3.bucket_of("Ed").frequency("Mumps") == 1
+        assert figure3.bucket_index_of("Karen") == 1
+
+    def test_total_size_and_person_ids(self, figure3):
+        assert figure3.total_size == 10
+        assert len(figure3.person_ids) == 10
+
+    def test_duplicate_person_rejected(self):
+        with pytest.raises(ValueError):
+            Bucketization([Bucket([0], ["x"]), Bucket([0], ["y"])])
+
+    def test_empty_rejected(self):
+        with pytest.raises(EmptyTableError):
+            Bucketization([])
+
+    def test_from_table_groups_by_qi(self):
+        schema = Schema(("zip",), "d")
+        table = Table(
+            [
+                {"zip": "1", "d": "x"},
+                {"zip": "2", "d": "y"},
+                {"zip": "1", "d": "z"},
+            ],
+            schema,
+        )
+        b = Bucketization.from_table(table)
+        assert len(b) == 2
+        assert b.bucket_of(0) is b.bucket_of(2)
+
+    def test_from_value_lists_assigns_global_ids(self):
+        b = Bucketization.from_value_lists([["x", "y"], ["z"]])
+        assert b.buckets[0].person_ids == (0, 1)
+        assert b.buckets[1].person_ids == (2,)
+
+    def test_signature_multiset(self):
+        b = Bucketization.from_value_lists([["x", "y"], ["a", "b"], ["c", "c"]])
+        assert b.signature_multiset() == {(1, 1): 2, (2,): 1}
+
+    def test_merge_buckets(self, figure3):
+        merged = figure3.merge_buckets([0, 1])
+        assert len(merged) == 1
+        assert merged.total_size == 10
+        assert figure3.refines(merged)
+        assert not merged.refines(figure3)
+
+    def test_merge_validation(self, figure3):
+        with pytest.raises(ValueError):
+            figure3.merge_buckets([0])
+        with pytest.raises(IndexError):
+            figure3.merge_buckets([0, 5])
+
+    def test_refines_requires_same_people(self, figure3):
+        other = Bucketization.from_value_lists([["x"]])
+        with pytest.raises(ValueError):
+            figure3.refines(other)
+
+    def test_refines_reflexive(self, figure3):
+        assert figure3.refines(figure3)
+
+    def test_equality_ignores_bucket_order(self):
+        a = Bucketization([Bucket([0], ["x"]), Bucket([1], ["y"])])
+        b = Bucketization([Bucket([1], ["y"]), Bucket([0], ["x"])])
+        assert a == b

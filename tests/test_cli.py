@@ -1,0 +1,138 @@
+"""The repro-wcbk command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.data.adult import ADULT_SCHEMA
+from repro.data.loader import load_csv
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_node_parsing(self):
+        args = build_parser().parse_args(["fig5", "--node", "1,2,0,1"])
+        assert args.node == (1, 2, 0, 1)
+
+    def test_bad_node_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig5", "--node", "a,b"])
+
+
+class TestCommands:
+    def test_generate_writes_csv(self, tmp_path, capsys):
+        out = tmp_path / "synthetic.csv"
+        code = main(["generate", "--out", str(out), "--rows", "200"])
+        assert code == 0
+        table = load_csv(out, ADULT_SCHEMA)
+        assert len(table) == 200
+        assert "wrote 200 rows" in capsys.readouterr().out
+
+    def test_fig5_prints_13_rows(self, capsys):
+        code = main(["fig5", "--rows", "800"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Figure 5" in out
+        assert " 12  " in out
+
+    def test_fig6_runs(self, capsys):
+        code = main(["fig6", "--rows", "400"])
+        assert code == 0
+        assert "Figure 6" in capsys.readouterr().out
+
+    def test_fig5_csv_export(self, tmp_path, capsys):
+        out = tmp_path / "fig5.csv"
+        code = main(["fig5", "--rows", "400", "--out", str(out)])
+        assert code == 0
+        lines = out.read_text().strip().splitlines()
+        assert lines[0] == "k,implication,negation"
+        assert len(lines) == 1 + 13
+
+    def test_fig6_csv_export(self, tmp_path, capsys):
+        out = tmp_path / "fig6.csv"
+        code = main(["fig6", "--rows", "400", "--out", str(out)])
+        assert code == 0
+        lines = out.read_text().strip().splitlines()
+        assert lines[0] == "k,min_entropy,least_max_disclosure"
+        assert len(lines) > 6  # at least one envelope point per k
+
+    def test_disclosure_command(self, capsys):
+        code = main(
+            ["disclosure", "--rows", "500", "--node", "3,2,1,1", "--k", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "implications" in out and "negations" in out
+
+    def test_search_command(self, capsys):
+        code = main(["search", "--rows", "500", "--c", "0.9", "--k", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "minimal safe" in out
+        assert "best by precision" in out
+
+    def test_search_with_impossible_threshold(self, capsys):
+        # c close to 0 is unsatisfiable: even full suppression disclosures
+        # more than a sliver.
+        code = main(["search", "--rows", "300", "--c", "0.01", "--k", "1"])
+        assert code == 1
+
+    def test_witness_command(self, capsys):
+        code = main(["witness", "--rows", "400", "--k", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "->" in out and "disclosure" in out
+
+    def test_csv_input_flows_through(self, tmp_path, capsys):
+        out = tmp_path / "data.csv"
+        assert main(["generate", "--out", str(out), "--rows", "300"]) == 0
+        code = main(["disclosure", "--csv", str(out), "--k", "1"])
+        assert code == 0
+
+    def test_search_incognito_matches_sweep(self, capsys):
+        assert main(["search", "--rows", "500", "--c", "0.8", "--k", "1"]) == 0
+        sweep_out = capsys.readouterr().out
+        assert (
+            main(
+                ["search", "--rows", "500", "--c", "0.8", "--k", "1",
+                 "--incognito"]
+            )
+            == 0
+        )
+        incognito_out = capsys.readouterr().out
+        sweep_nodes = {l for l in sweep_out.splitlines() if "node (" in l}
+        incognito_nodes = {
+            l for l in incognito_out.splitlines() if "node (" in l
+        }
+        assert sweep_nodes == incognito_nodes
+
+    def test_breach_command(self, capsys):
+        code = main(["breach", "--rows", "500", "--level", "0.9"])
+        assert code == 0
+        assert "suffice to reach" in capsys.readouterr().out
+
+    def test_estimate_command_unconditional(self, capsys):
+        code = main(
+            ["estimate", "--rows", "300", "--atom", "t[5] = Sales",
+             "--samples", "500"]
+        )
+        assert code == 0
+        assert "95% CI" in capsys.readouterr().out
+
+    def test_estimate_command_with_formula(self, capsys):
+        code = main(
+            [
+                "estimate",
+                "--rows", "300",
+                "--atom", "t[5] = Sales",
+                "--formula", "t[2] = Sales -> t[5] = Sales",
+                "--samples", "500",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "worlds accepted" in out

@@ -1,0 +1,91 @@
+"""Theorem 3: any predicate is a conjunction of basic implications."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.bucketization import Bucketization
+from repro.core.exact import enumerate_worlds, probability
+from repro.knowledge.atoms import Atom
+from repro.knowledge.completeness import (
+    encode_predicate,
+    implication_excluding_world,
+)
+
+
+@pytest.fixture
+def two_buckets():
+    return Bucketization.from_value_lists([["flu", "flu", "cold"], ["flu", "cancer"]])
+
+
+class TestWorldExclusion:
+    def test_false_exactly_at_the_world(self, two_buckets):
+        worlds = list(enumerate_worlds(two_buckets))
+        target = worlds[0]
+        imp = implication_excluding_world(target, ["flu", "cold", "cancer"])
+        assert not imp.holds_in(target)
+        for world in worlds[1:]:
+            if world != target:
+                assert imp.holds_in(world)
+
+    def test_needs_two_domain_values(self):
+        with pytest.raises(ValueError):
+            implication_excluding_world({"p": "flu"}, ["flu"])
+
+    def test_empty_world_rejected(self):
+        with pytest.raises(ValueError):
+            implication_excluding_world({}, ["a", "b"])
+
+
+class TestEncodePredicate:
+    def predicates(self):
+        return [
+            ("person 0 has flu", lambda w: w[0] == "flu"),
+            ("0 and 3 share a value", lambda w: w[0] == w[3]),
+            ("at most one flu among 0,3", lambda w: [w[0], w[3]].count("flu") <= 1),
+            ("tautology", lambda w: True),
+        ]
+
+    def test_encoding_holds_exactly_on_satisfying_worlds(self, two_buckets):
+        worlds = list(enumerate_worlds(two_buckets))
+        domain = ["flu", "cold", "cancer"]
+        for name, predicate in self.predicates():
+            phi = encode_predicate(worlds, predicate, domain)
+            for world in worlds:
+                assert phi.holds_in(world) == predicate(world), name
+
+    def test_conditioning_matches_raw_predicate(self, two_buckets):
+        worlds = list(enumerate_worlds(two_buckets))
+        domain = ["flu", "cold", "cancer"]
+        event = Atom(0, "flu")
+        for name, predicate in self.predicates():
+            phi = encode_predicate(worlds, predicate, domain)
+            assert probability(two_buckets, event, phi) == probability(
+                two_buckets, event, predicate
+            ), name
+
+    def test_tautology_encodes_as_empty_conjunction(self, two_buckets):
+        worlds = list(enumerate_worlds(two_buckets))
+        phi = encode_predicate(worlds, lambda w: True, ["flu", "cold", "cancer"])
+        assert phi.k == 0
+
+    def test_conjunct_count_equals_violations(self, two_buckets):
+        worlds = list(enumerate_worlds(two_buckets))
+        predicate = lambda w: w[0] == "flu"
+        phi = encode_predicate(worlds, predicate, ["flu", "cold", "cancer"])
+        assert phi.k == sum(1 for w in worlds if not predicate(w))
+
+    def test_random_predicates_round_trip(self, two_buckets):
+        worlds = list(enumerate_worlds(two_buckets))
+        domain = ["flu", "cold", "cancer"]
+        rng = random.Random(11)
+        for _ in range(10):
+            chosen = frozenset(
+                i for i in range(len(worlds)) if rng.random() < 0.5
+            )
+            predicate = lambda w, _c=chosen: worlds.index(w) in _c
+            phi = encode_predicate(worlds, predicate, domain)
+            for index, world in enumerate(worlds):
+                assert phi.holds_in(world) == (index in chosen)

@@ -1,0 +1,142 @@
+"""Maximum disclosure (Definition 6): the DP against the exact oracle."""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.bucketization import Bucketization
+from repro.core.disclosure import (
+    max_disclosure,
+    max_disclosure_series,
+    min_formula1_ratio,
+)
+from repro.core.exact import exact_max_disclosure_simple
+from repro.core.minimize1 import Minimize1Solver
+from repro.core.negation import max_disclosure_negations
+
+
+def random_bucketization(rng, max_buckets=2, max_size=3, values="abc"):
+    lists = []
+    for _ in range(rng.randint(1, max_buckets)):
+        size = rng.randint(1, max_size)
+        lists.append([rng.choice(values) for _ in range(size)])
+    return Bucketization.from_value_lists(lists)
+
+
+class TestAgainstExactOracle:
+    """The central correctness property: DP == brute force (Definition 6
+    restricted to simple implications, which Theorem 9 proves sufficient)."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_instances(self, seed):
+        rng = random.Random(seed)
+        bucketization = random_bucketization(rng)
+        for k in range(3):
+            dp = max_disclosure(bucketization, k, exact=True)
+            brute = exact_max_disclosure_simple(bucketization, k)
+            assert dp == brute, (bucketization, k)
+
+    def test_same_consequent_restriction_suffices(self):
+        # Theorem 9: restricting brute force to same-consequent families
+        # does not lower the maximum.
+        bucketization = Bucketization.from_value_lists([["a", "a", "b"], ["b", "c"]])
+        for k in (1, 2):
+            free = exact_max_disclosure_simple(bucketization, k)
+            restricted = exact_max_disclosure_simple(
+                bucketization, k, same_consequent_only=True
+            )
+            assert free == restricted == max_disclosure(bucketization, k, exact=True)
+
+
+class TestKnownValues:
+    def test_figure3_values(self, figure3):
+        assert max_disclosure(figure3, 0, exact=True) == Fraction(2, 5)
+        assert max_disclosure(figure3, 1, exact=True) == Fraction(2, 3)
+        assert max_disclosure(figure3, 2, exact=True) == 1
+
+    def test_uniform_bucket(self):
+        b = Bucketization.from_value_lists([["a", "b", "c", "d"]])
+        assert max_disclosure(b, 0, exact=True) == Fraction(1, 4)
+        assert max_disclosure(b, 1, exact=True) == Fraction(1, 3)
+        assert max_disclosure(b, 3, exact=True) == 1
+
+    def test_homogeneous_bucket_discloses_fully_at_k0(self):
+        b = Bucketization.from_value_lists([["a", "a", "a"]])
+        assert max_disclosure(b, 0, exact=True) == 1
+
+    def test_skewed_bucket_two_person_implication(self):
+        b = Bucketization.from_value_lists(
+            [list("abcdefghij"), ["x"] * 8 + ["y", "z"]]
+        )
+        # Best k=1 attack: (p1 = x) -> (p0 = x) inside the skewed bucket,
+        # a genuinely implication-only attack (no negation expresses it).
+        assert max_disclosure(b, 1, exact=True) == Fraction(36, 37)
+        from repro.core.negation import max_disclosure_negations
+
+        assert max_disclosure_negations(b, 1, exact=True) == Fraction(8, 9)
+
+
+class TestInvariants:
+    def test_monotone_in_k(self):
+        b = Bucketization.from_value_lists([["a", "a", "b", "c"], ["a", "b"]])
+        series = max_disclosure_series(b, range(6), exact=True)
+        values = [series[k] for k in range(6)]
+        assert all(x <= y for x, y in zip(values, values[1:]))
+
+    def test_bounded_by_one_and_reaches_one(self):
+        b = Bucketization.from_value_lists([["a", "b", "c"]])
+        series = max_disclosure_series(b, range(5), exact=True)
+        assert all(0 < v <= 1 for v in series.values())
+        assert series[2] == 1  # two negations pin the third value
+
+    def test_at_least_top_fraction(self):
+        b = Bucketization.from_value_lists([["a", "a", "a", "b", "c"]])
+        for k in range(4):
+            assert max_disclosure(b, k, exact=True) >= Fraction(3, 5)
+
+    def test_implications_dominate_negations(self):
+        rng = random.Random(42)
+        for _ in range(10):
+            b = random_bucketization(rng, max_buckets=3, max_size=5)
+            for k in range(4):
+                assert max_disclosure(b, k, exact=True) >= (
+                    max_disclosure_negations(b, k, exact=True)
+                )
+
+    def test_series_equals_pointwise(self):
+        b = Bucketization.from_value_lists([["a", "a", "b"], ["c", "d"]])
+        series = max_disclosure_series(b, [0, 2, 4], exact=True)
+        for k, value in series.items():
+            assert value == max_disclosure(b, k, exact=True)
+
+    def test_float_tracks_exact(self, figure3):
+        for k in range(4):
+            approx = max_disclosure(figure3, k)
+            exact = max_disclosure(figure3, k, exact=True)
+            assert approx == pytest.approx(float(exact), abs=1e-12)
+
+
+class TestPlumbing:
+    def test_min_ratio_relation(self, figure3):
+        for k in range(3):
+            ratio = min_formula1_ratio(figure3, k, exact=True)
+            assert max_disclosure(figure3, k, exact=True) == Fraction(1) / (
+                1 + ratio
+            )
+
+    def test_negative_k_rejected(self, figure3):
+        with pytest.raises(ValueError):
+            max_disclosure(figure3, -1)
+
+    def test_empty_ks_empty_series(self, figure3):
+        assert max_disclosure_series(figure3, []) == {}
+
+    def test_shared_solver_across_bucketizations(self, figure3):
+        solver = Minimize1Solver(exact=True)
+        first = max_disclosure(figure3, 2, solver=solver)
+        merged = figure3.merge_buckets([0, 1])
+        second = max_disclosure(merged, 2, solver=solver)
+        assert first >= second  # Theorem 14 while sharing the memo

@@ -1,0 +1,110 @@
+"""The exact random-worlds engine (the test oracle itself needs tests)."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.bucketization import Bucket, Bucketization
+from repro.core.exact import (
+    MAX_WORLDS,
+    bucket_assignments,
+    enumerate_worlds,
+    exact_disclosure_risk,
+    probability,
+    world_count,
+)
+from repro.errors import InconsistentWorldError
+from repro.knowledge.atoms import Atom
+from repro.knowledge.formulas import negation, simple_implication
+
+
+class TestWorldEnumeration:
+    def test_assignments_are_distinct_multiset_permutations(self):
+        bucket = Bucket.from_values(["a", "a", "b"])
+        assignments = bucket_assignments(bucket)
+        assert len(assignments) == 3  # 3!/2! distinct arrangements
+        assert all(sorted(a) == ["a", "a", "b"] for a in assignments)
+
+    def test_world_count_multinomial(self, figure3):
+        # Each Figure-3 bucket: 5!/(2!2!1!) = 30 and 5!/(2!1!1!1!) = 60.
+        assert world_count(figure3) == 30 * 60
+
+    def test_enumeration_matches_count(self):
+        b = Bucketization.from_value_lists([["a", "a", "b"], ["x", "y"]])
+        worlds = list(enumerate_worlds(b))
+        assert len(worlds) == world_count(b) == 3 * 2
+
+    def test_every_world_respects_bucket_multisets(self):
+        b = Bucketization.from_value_lists([["a", "a", "b"], ["x", "y"]])
+        for world in enumerate_worlds(b):
+            assert sorted(world[p] for p in (0, 1, 2)) == ["a", "a", "b"]
+            assert sorted(world[p] for p in (3, 4)) == ["x", "y"]
+
+    def test_guard_against_explosion(self):
+        big = Bucketization.from_value_lists([list(range(12))])
+        assert world_count(big) > MAX_WORLDS
+        with pytest.raises(InconsistentWorldError):
+            list(enumerate_worlds(big))
+
+
+class TestProbability:
+    def test_unconditional_atom(self, figure3):
+        assert probability(figure3, Atom("Ed", "Flu")) == Fraction(2, 5)
+        assert probability(figure3, Atom("Ed", "Mumps")) == Fraction(1, 5)
+
+    def test_value_not_in_bucket_has_zero_probability(self, figure3):
+        assert probability(figure3, Atom("Ed", "Breast Cancer")) == 0
+
+    def test_conditioning_on_negation(self, figure3):
+        phi = negation("Ed", "Mumps", witness_value="Flu")
+        assert probability(figure3, Atom("Ed", "Lung Cancer"), phi) == Fraction(
+            1, 2
+        )
+
+    def test_cross_bucket_implication(self, figure3):
+        phi = simple_implication("Hannah", "Flu", "Charlie", "Flu")
+        assert probability(figure3, Atom("Charlie", "Flu"), phi) == Fraction(
+            10, 19
+        )
+
+    def test_buckets_are_independent(self, figure3):
+        # Conditioning on a women's-bucket atom does not move a men's-bucket
+        # marginal (atoms, unlike implications, cannot couple buckets).
+        unconditional = probability(figure3, Atom("Ed", "Flu"))
+        conditioned = probability(
+            figure3, Atom("Ed", "Flu"), Atom("Hannah", "Flu")
+        )
+        assert unconditional == conditioned
+
+    def test_callable_events(self, figure3):
+        value = probability(
+            figure3,
+            lambda w: w["Ed"] == "Flu" or w["Ed"] == "Mumps",
+        )
+        assert value == Fraction(3, 5)
+
+    def test_inconsistent_condition_raises(self, figure3):
+        with pytest.raises(InconsistentWorldError):
+            probability(
+                figure3, Atom("Ed", "Flu"), Atom("Ed", "Breast Cancer")
+            )
+
+    def test_non_formula_rejected(self, figure3):
+        with pytest.raises(TypeError):
+            probability(figure3, 42)
+
+
+class TestDisclosureRisk:
+    def test_no_knowledge_risk_is_max_top_fraction(self, figure3):
+        assert exact_disclosure_risk(figure3) == Fraction(2, 5)
+
+    def test_risk_with_knowledge(self, figure3):
+        phi = negation("Ed", "Mumps", witness_value="Flu")
+        # Ruling out mumps makes flu/lung equally likely at 1/2 for Ed.
+        assert exact_disclosure_risk(figure3, phi) == Fraction(1, 2)
+
+    def test_risk_is_one_for_homogeneous_bucket(self):
+        b = Bucketization.from_value_lists([["s", "s"]])
+        assert exact_disclosure_risk(b) == 1

@@ -1,0 +1,121 @@
+"""The Figure 5 / Figure 6 harnesses: shapes the paper reports must hold."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.fig5 import FIG5_NODE, run_figure5
+from repro.experiments.fig6 import run_figure6
+from repro.experiments.runner import (
+    default_adult_table,
+    render_figure5,
+    render_figure6,
+)
+
+
+@pytest.fixture(scope="module")
+def table():
+    return default_adult_table(3000, seed=5)
+
+
+@pytest.fixture(scope="module")
+def fig5(table):
+    return run_figure5(table)
+
+
+@pytest.fixture(scope="module")
+def fig6(table):
+    return run_figure6(table, ks=(1, 3, 5))
+
+
+class TestFigure5:
+    def test_sweeps_k_0_to_12(self, fig5):
+        assert [row.k for row in fig5.rows] == list(range(13))
+
+    def test_uses_paper_node(self, fig5):
+        assert fig5.node == FIG5_NODE == (3, 2, 1, 1)
+
+    def test_monotone_in_k(self, fig5):
+        for series in ("implication", "negation"):
+            values = [v for _, v in fig5.series(series)]
+            assert all(x <= y + 1e-12 for x, y in zip(values, values[1:]))
+
+    def test_implication_dominates_negation(self, fig5):
+        # The paper: "the maximum disclosure for k negated atoms is always
+        # smaller than [or equal to] the maximum disclosure for k implications".
+        for row in fig5.rows:
+            assert row.implication >= row.negation - 1e-12
+
+    def test_reaches_certainty_by_k13_equivalent(self, fig5):
+        # 14 sensitive values: by k = 13 disclosure is certainly 1; the
+        # realized domain may saturate earlier but never exceeds 1.
+        assert fig5.rows[-1].implication <= 1.0
+        assert fig5.rows[-1].implication > 0.9
+
+    def test_series_accessor_validates(self, fig5):
+        with pytest.raises(ValueError):
+            fig5.series("nonsense")
+
+    def test_render_contains_all_rows(self, fig5):
+        text = render_figure5(fig5)
+        assert "Figure 5" in text
+        assert len(text.splitlines()) == 3 + 13
+
+
+class TestFigure6:
+    def test_sweeps_all_72_nodes(self, fig6):
+        assert len(fig6.nodes) == 72
+
+    def test_one_disclosure_per_k(self, fig6):
+        for record in fig6.nodes:
+            assert set(record.disclosure) == {1, 3, 5}
+
+    def test_envelope_sorted_by_entropy(self, fig6):
+        for k in fig6.ks:
+            envelope = fig6.envelope(k)
+            hs = [h for h, _ in envelope]
+            assert hs == sorted(hs)
+
+    def test_disclosure_grows_with_k_per_node(self, fig6):
+        for record in fig6.nodes:
+            assert (
+                record.disclosure[1]
+                <= record.disclosure[3] + 1e-12
+            )
+            assert (
+                record.disclosure[3]
+                <= record.disclosure[5] + 1e-12
+            )
+
+    def test_high_entropy_end_beats_low_entropy_end(self, fig6):
+        # The paper's qualitative claim: disclosure risk decreases as the
+        # minimum entropy increases. Compare envelope endpoints.
+        for k in fig6.ks:
+            envelope = [e for e in fig6.envelope(k) if e[0] > 0]
+            assert envelope[-1][1] <= envelope[0][1]
+
+    def test_entropy_floor_filters(self, table):
+        filtered = run_figure6(table, ks=(1,), min_entropy_floor=1.0)
+        assert all(record.min_entropy >= 1.0 for record in filtered.nodes)
+        assert len(filtered.nodes) < 72
+
+    def test_envelope_unknown_k_rejected(self, fig6):
+        with pytest.raises(ValueError):
+            fig6.envelope(2)
+
+    def test_requires_some_k(self, table):
+        with pytest.raises(ValueError):
+            run_figure6(table, ks=())
+
+    def test_render(self, fig6):
+        text = render_figure6(fig6, per_node=True)
+        assert "Figure 6" in text
+        assert "per-node sweep" in text
+
+
+class TestDefaultTable:
+    def test_cached(self):
+        assert default_adult_table(100, seed=1) is default_adult_table(100, seed=1)
+
+    def test_size(self):
+        assert len(default_adult_table(123, seed=2)) == 123

@@ -1,0 +1,144 @@
+"""Generalization hierarchies and the full-domain lattice."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.adult import ADULT_SCHEMA, MARITAL_STATUSES, RACES, SEXES
+from repro.data.hierarchies import adult_hierarchies
+from repro.errors import HierarchyError, LatticeError
+from repro.generalization.hierarchy import SUPPRESSED, Hierarchy
+from repro.generalization.lattice import GeneralizationLattice
+
+
+class TestHierarchy:
+    def test_interval_levels(self):
+        h = Hierarchy.from_intervals("age", [5, 10, 20, 40], origin=0)
+        assert h.num_levels == 6
+        assert h.generalize(27, 0) == 27
+        assert h.generalize(27, 1) == "[25-29]"
+        assert h.generalize(27, 2) == "[20-29]"
+        assert h.generalize(27, 3) == "[20-39]"
+        assert h.generalize(27, 4) == "[0-39]"
+        assert h.generalize(27, 5) == SUPPRESSED
+
+    def test_interval_widths_must_nest(self):
+        with pytest.raises(HierarchyError):
+            Hierarchy.from_intervals("x", [4, 6])  # 6 not a multiple of 4
+        with pytest.raises(HierarchyError):
+            Hierarchy.from_intervals("x", [10, 5])  # not non-decreasing
+        with pytest.raises(HierarchyError):
+            Hierarchy.from_intervals("x", [0])
+
+    def test_grouping(self):
+        h = Hierarchy.from_grouping(
+            "m", [{"a": "G1", "b": "G1", "c": "G2"}]
+        )
+        assert h.generalize("a", 1) == "G1"
+        assert h.generalize("c", 1) == "G2"
+        assert h.generalize("a", 2) == SUPPRESSED
+        with pytest.raises(HierarchyError):
+            h.generalize("unknown", 1)
+
+    def test_identity_or_suppress(self):
+        h = Hierarchy.identity_or_suppress("sex")
+        assert h.num_levels == 2
+        assert h.generalize("M", 0) == "M"
+        assert h.generalize("M", 1) == SUPPRESSED
+
+    def test_level_out_of_range(self):
+        h = Hierarchy.identity_or_suppress("sex")
+        with pytest.raises(HierarchyError):
+            h.generalize("M", 2)
+        with pytest.raises(HierarchyError):
+            h.generalize("M", -1)
+
+    def test_consistency_validation_passes_for_adult(self):
+        hierarchies = adult_hierarchies()
+        hierarchies["age"].validate_consistency(range(17, 91))
+        hierarchies["marital_status"].validate_consistency(MARITAL_STATUSES)
+        hierarchies["race"].validate_consistency(RACES)
+        hierarchies["sex"].validate_consistency(SEXES)
+
+    def test_consistency_validation_catches_bad_levels(self):
+        bad = Hierarchy(
+            "x",
+            [
+                lambda v: v,
+                lambda v: v % 2,  # merges 0,2 and 1,3
+                lambda v: v % 3,  # splits them differently: inconsistent
+            ],
+        )
+        with pytest.raises(HierarchyError):
+            bad.validate_consistency(range(4))
+
+    def test_needs_levels(self):
+        with pytest.raises(HierarchyError):
+            Hierarchy("x", [])
+
+
+class TestAdultLattice:
+    def test_paper_dimensions(self, adult_lattice):
+        assert adult_lattice.size == 72  # 6 x 3 x 2 x 2
+        assert adult_lattice.bottom == (0, 0, 0, 0)
+        assert adult_lattice.top == (5, 2, 1, 1)
+        assert adult_lattice.max_height == 9
+
+    def test_parents_children(self, adult_lattice):
+        assert set(adult_lattice.parents((0, 0, 0, 0))) == {
+            (1, 0, 0, 0),
+            (0, 1, 0, 0),
+            (0, 0, 1, 0),
+            (0, 0, 0, 1),
+        }
+        assert adult_lattice.children((0, 0, 0, 0)) == []
+        assert adult_lattice.parents((5, 2, 1, 1)) == []
+        assert len(adult_lattice.children((5, 2, 1, 1))) == 4
+
+    def test_order(self, adult_lattice):
+        assert adult_lattice.is_ancestor_or_equal((1, 0, 0, 0), (3, 2, 1, 1))
+        assert not adult_lattice.is_ancestor_or_equal((1, 2, 0, 0), (3, 0, 1, 1))
+
+    def test_nodes_by_height_partitions_all(self, adult_lattice):
+        seen = [node for level in adult_lattice.nodes_by_height() for node in level]
+        assert len(seen) == 72
+        assert len(set(seen)) == 72
+        heights = [sum(node) for node in seen]
+        assert heights == sorted(heights)
+
+    def test_minimal_elements(self, adult_lattice):
+        nodes = [(3, 2, 1, 1), (3, 1, 1, 1), (4, 0, 1, 1), (5, 2, 1, 1)]
+        assert set(adult_lattice.minimal_elements(nodes)) == {
+            (3, 1, 1, 1),
+            (4, 0, 1, 1),
+        }
+
+    def test_default_chain_is_maximal(self, adult_lattice):
+        chain = adult_lattice.default_chain()
+        assert chain[0] == adult_lattice.bottom
+        assert chain[-1] == adult_lattice.top
+        assert len(chain) == adult_lattice.max_height + 1
+        for lower, upper in zip(chain, chain[1:]):
+            assert sum(upper) == sum(lower) + 1
+            assert adult_lattice.is_ancestor_or_equal(lower, upper)
+
+    def test_validate(self, adult_lattice):
+        with pytest.raises(LatticeError):
+            adult_lattice.validate((0, 0, 0))
+        with pytest.raises(LatticeError):
+            adult_lattice.validate((6, 0, 0, 0))
+        with pytest.raises(LatticeError):
+            adult_lattice.validate((0, 0, 0, -1))
+
+    def test_generalize_value(self, adult_lattice):
+        assert adult_lattice.generalize_value("age", 27, (3, 0, 0, 0)) == "[20-39]"
+        assert (
+            adult_lattice.generalize_value("marital_status", "Divorced", (0, 1, 0, 0))
+            == "Was-married"
+        )
+
+    def test_missing_hierarchy_rejected(self):
+        with pytest.raises(LatticeError):
+            GeneralizationLattice({}, ("age",))
+        with pytest.raises(LatticeError):
+            GeneralizationLattice(adult_hierarchies(), ())

@@ -1,0 +1,107 @@
+"""Multi-phase Incognito vs. the single-phase sweep: same answers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.anonymity import is_k_anonymous
+from repro.core.safety import SafetyChecker
+from repro.generalization.apply import bucketize_at
+from repro.generalization.incognito import (
+    IncognitoStats,
+    incognito_minimal_safe_nodes,
+)
+from repro.generalization.search import find_minimal_safe_nodes
+
+
+@pytest.mark.parametrize("c, k", [(0.9, 1), (0.7, 2), (0.6, 3)])
+def test_matches_single_phase_sweep(small_adult, adult_lattice, c, k):
+    checker = SafetyChecker(c, k)
+    multi = incognito_minimal_safe_nodes(
+        small_adult, adult_lattice, checker.is_safe
+    )
+    single = find_minimal_safe_nodes(
+        adult_lattice,
+        lambda node: checker.is_safe(
+            bucketize_at(small_adult, adult_lattice, node)
+        ),
+    )
+    assert set(multi) == set(single)
+
+
+def test_works_for_k_anonymity_too(small_adult, adult_lattice):
+    # The phases only need merge-monotonicity, which k-anonymity has.
+    k = 25
+    multi = incognito_minimal_safe_nodes(
+        small_adult, adult_lattice, lambda b: is_k_anonymous(b, k)
+    )
+    single = find_minimal_safe_nodes(
+        adult_lattice,
+        lambda node: is_k_anonymous(
+            bucketize_at(small_adult, adult_lattice, node), k
+        ),
+    )
+    assert set(multi) == set(single)
+
+
+def test_subset_pruning_saves_final_phase_checks(small_adult, adult_lattice):
+    # With a strict threshold, many fine nodes are unsafe; their projections
+    # flag them before the final phase evaluates them.
+    checker = SafetyChecker(0.55, 3)
+    stats = IncognitoStats()
+    incognito_minimal_safe_nodes(
+        small_adult, adult_lattice, checker.is_safe, stats=stats
+    )
+    final = stats.phases[-1]
+    assert final.attributes == adult_lattice.attributes
+    assert final.nodes == 72
+    assert final.pruned_unsafe_projection > 0
+    assert final.evaluated < 72
+
+
+def test_phase_structure(small_adult, adult_lattice):
+    stats = IncognitoStats()
+    checker = SafetyChecker(0.8, 1)
+    incognito_minimal_safe_nodes(
+        small_adult, adult_lattice, checker.is_safe, stats=stats
+    )
+    # 4 singleton phases + 6 pairs + 4 triples + 1 full = 15 phases.
+    assert len(stats.phases) == 15
+    sizes = [len(phase.attributes) for phase in stats.phases]
+    assert sizes == sorted(sizes)
+    assert stats.evaluated >= stats.final_phase_evaluated
+
+
+def test_randomized_thresholds_always_match(adult_lattice):
+    # Sweep a grid of thresholds and attacker powers on a small table: the
+    # two searches must agree everywhere, including the no-safe-node and
+    # everything-safe extremes.
+    from repro.data.adult import generate_adult
+
+    table = generate_adult(400, seed=23)
+    for c in (0.2, 0.45, 0.6, 0.8, 0.95):
+        for k in (0, 1, 4):
+            checker = SafetyChecker(c, k)
+            multi = incognito_minimal_safe_nodes(
+                table, adult_lattice, checker.is_safe
+            )
+            single = find_minimal_safe_nodes(
+                adult_lattice,
+                lambda node: checker.is_safe(
+                    bucketize_at(table, adult_lattice, node)
+                ),
+            )
+            assert set(multi) == set(single), (c, k)
+
+
+def test_returned_nodes_are_safe_and_minimal(small_adult, adult_lattice):
+    checker = SafetyChecker(0.7, 2)
+    nodes = incognito_minimal_safe_nodes(
+        small_adult, adult_lattice, checker.is_safe
+    )
+    for node in nodes:
+        assert checker.is_safe(bucketize_at(small_adult, adult_lattice, node))
+        for child in adult_lattice.children(node):
+            assert not checker.is_safe(
+                bucketize_at(small_adult, adult_lattice, child)
+            )

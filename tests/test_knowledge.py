@@ -1,0 +1,160 @@
+"""Atoms, basic implications, conjunctions, and the language helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.knowledge.atoms import Atom
+from repro.knowledge.formulas import (
+    TRUE,
+    BasicImplication,
+    Conjunction,
+    negation,
+    simple_implication,
+)
+from repro.knowledge.language import (
+    count_basic_implications,
+    enumerate_atoms,
+    enumerate_same_consequent_conjunctions,
+    enumerate_simple_conjunctions,
+    enumerate_simple_implications,
+    is_in_lk_basic,
+)
+
+
+class TestAtom:
+    def test_holds_in(self):
+        atom = Atom("Ed", "Flu")
+        assert atom.holds_in({"Ed": "Flu", "Bob": "Mumps"})
+        assert not atom.holds_in({"Ed": "Mumps"})
+
+    def test_missing_person_raises(self):
+        with pytest.raises(KeyError):
+            Atom("Ed", "Flu").holds_in({"Bob": "Flu"})
+
+    def test_equality_and_hash(self):
+        assert Atom("p", "s") == Atom("p", "s")
+        assert len({Atom("p", "s"), Atom("p", "s"), Atom("p", "t")}) == 2
+
+    def test_str(self):
+        assert str(Atom("Ed", "Flu")) == "t[Ed] = Flu"
+
+
+class TestBasicImplication:
+    def test_truth_table(self):
+        imp = BasicImplication(
+            antecedents=(Atom("H", "flu"),), consequents=(Atom("C", "flu"),)
+        )
+        assert imp.holds_in({"H": "flu", "C": "flu"})
+        assert not imp.holds_in({"H": "flu", "C": "cold"})
+        assert imp.holds_in({"H": "cold", "C": "cold"})
+
+    def test_conjunction_antecedent_disjunction_consequent(self):
+        imp = BasicImplication(
+            antecedents=(Atom("a", 1), Atom("b", 1)),
+            consequents=(Atom("c", 1), Atom("c", 2)),
+        )
+        # Both antecedents true, second consequent true.
+        assert imp.holds_in({"a": 1, "b": 1, "c": 2})
+        # Both antecedents true, no consequent true.
+        assert not imp.holds_in({"a": 1, "b": 1, "c": 3})
+        # One antecedent false: vacuously true.
+        assert imp.holds_in({"a": 1, "b": 2, "c": 3})
+
+    def test_requires_nonempty_sides(self):
+        with pytest.raises(ValueError):
+            BasicImplication(antecedents=(), consequents=(Atom("a", 1),))
+        with pytest.raises(ValueError):
+            BasicImplication(antecedents=(Atom("a", 1),), consequents=())
+
+    def test_is_simple(self):
+        assert simple_implication("a", 1, "b", 2).is_simple
+        assert not BasicImplication(
+            antecedents=(Atom("a", 1), Atom("b", 1)),
+            consequents=(Atom("c", 1),),
+        ).is_simple
+
+    def test_persons_and_atoms(self):
+        imp = simple_implication("a", 1, "b", 2)
+        assert imp.persons() == frozenset({"a", "b"})
+        assert imp.atoms() == (Atom("a", 1), Atom("b", 2))
+
+
+class TestNegationEncoding:
+    def test_negation_is_equivalent_to_not_atom(self):
+        # Over worlds where each person has exactly one value, the
+        # implication encoding of NOT(t=s) matches the direct negation.
+        imp = negation("p", "flu", witness_value="cold")
+        for value in ("flu", "cold", "cancer"):
+            world = {"p": value}
+            assert imp.holds_in(world) == (value != "flu")
+
+    def test_witness_must_differ(self):
+        with pytest.raises(ValueError):
+            negation("p", "flu", witness_value="flu")
+
+
+class TestConjunction:
+    def test_true_constant(self):
+        assert TRUE.k == 0
+        assert TRUE.holds_in({"anyone": "anything"})
+
+    def test_conjunction_semantics(self):
+        phi = Conjunction(
+            (
+                simple_implication("a", 1, "b", 1),
+                simple_implication("b", 1, "c", 1),
+            )
+        )
+        assert phi.holds_in({"a": 1, "b": 1, "c": 1})
+        assert not phi.holds_in({"a": 1, "b": 1, "c": 2})
+        assert phi.holds_in({"a": 2, "b": 2, "c": 2})
+
+    def test_and_also(self):
+        phi = TRUE.and_also(simple_implication("a", 1, "b", 1))
+        assert phi.k == 1
+        assert is_in_lk_basic(phi, 1)
+        assert not is_in_lk_basic(phi, 2)
+
+    def test_str_renders(self):
+        phi = TRUE.and_also(simple_implication("a", 1, "b", 1))
+        assert "->" in str(phi)
+        assert str(TRUE) == "TRUE"
+
+
+class TestEnumeration:
+    def test_atom_count(self):
+        atoms = enumerate_atoms(["p", "q"], ["s", "t", "u"])
+        assert len(atoms) == 6
+
+    def test_simple_implication_count_excludes_tautologies(self):
+        implications = enumerate_simple_implications(["p"], ["s", "t"])
+        # 2 atoms -> 4 ordered pairs - 2 tautologies = 2.
+        assert len(implications) == 2
+        with_trivial = enumerate_simple_implications(
+            ["p"], ["s", "t"], allow_trivial=True
+        )
+        assert len(with_trivial) == 4
+
+    def test_conjunction_enumeration_is_multisets(self):
+        pool = enumerate_simple_implications(["p"], ["s", "t"])
+        conjunctions = list(enumerate_simple_conjunctions(["p"], ["s", "t"], 2))
+        # multisets of size 2 from a pool of 2: C(3,2) = 3.
+        assert len(pool) == 2 and len(conjunctions) == 3
+
+    def test_same_consequent_enumeration(self):
+        pairs = list(
+            enumerate_same_consequent_conjunctions(["p", "q"], ["s", "t"], 1)
+        )
+        for consequent, formula in pairs:
+            assert all(
+                imp.consequents == (consequent,)
+                for imp in formula.implications
+            )
+
+    def test_count_basic_implications(self):
+        # 1 person, 2 values -> 2 atoms; antecedent/consequent sets of size
+        # <= 1: 2 * 2 = 4.
+        assert count_basic_implications(1, 2, 1, 1) == 4
+        # size <= 2: (2 + 1) * (2 + 1) = 9.
+        assert count_basic_implications(1, 2, 2, 2) == 9

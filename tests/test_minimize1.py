@@ -1,0 +1,205 @@
+"""MINIMIZE1: Lemma 12's closed form and Algorithm 1's dynamic program."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from itertools import permutations
+
+import pytest
+
+from repro.core.minimize1 import (
+    Minimize1Solver,
+    best_partition,
+    iter_partitions,
+    lemma12_probability,
+    minimize1_reference,
+)
+
+
+def brute_force_negation_probability(signature, parts):
+    """Pr(each person i avoids the top k_i values) by world enumeration.
+
+    Independent check of Lemma 12's closed form: build a bucket with the
+    given histogram, enumerate all distinct assignments, and count.
+    """
+    values = []
+    for index, count in enumerate(signature):
+        values.extend([index] * count)  # value j has frequency signature[j]
+    worlds = set(permutations(values))
+    good = 0
+    for world in worlds:
+        if all(world[i] >= parts[i] for i in range(len(parts))):
+            # person i avoiding the top k_i values means their value index
+            # is at least k_i (values are labeled by frequency rank)
+            good += 1
+    return Fraction(good, len(worlds))
+
+
+class TestLemma12ClosedForm:
+    @pytest.mark.parametrize(
+        "signature, parts",
+        [
+            ((2, 2, 1), (1,)),
+            ((2, 2, 1), (2,)),
+            ((2, 2, 1), (1, 1)),
+            ((2, 2, 1), (2, 1)),
+            ((3, 2), (1, 1)),
+            ((2, 1), (1, 1)),
+            ((2, 2), (1, 1)),
+            ((1, 1, 1, 1), (2, 1)),
+            ((4, 1), (1, 1, 1)),
+        ],
+    )
+    def test_matches_enumeration(self, signature, parts):
+        closed = lemma12_probability(signature, parts, exact=True)
+        brute = brute_force_negation_probability(signature, parts)
+        assert closed == brute
+
+    def test_single_atom_single_person(self):
+        # Pr(person avoids the top value) = 1 - top/n
+        assert lemma12_probability((2, 2, 1), (1,), exact=True) == Fraction(3, 5)
+
+    def test_two_atoms_one_person(self):
+        # Avoid both flu and lung cancer in {2,2,1}: only mumps remains.
+        assert lemma12_probability((2, 2, 1), (2,), exact=True) == Fraction(1, 5)
+
+    def test_clamps_to_zero(self):
+        # Second person must avoid all values present: impossible.
+        assert lemma12_probability((3, 2), (2, 2), exact=True) == 0
+
+    def test_parts_beyond_distinct_values_saturate(self):
+        # Requesting more values than exist adds zero-frequency atoms.
+        a = lemma12_probability((2, 1), (2,), exact=True)
+        b = lemma12_probability((2, 1), (5,), exact=True)
+        assert a == b == 0  # avoiding every present value is impossible
+
+    def test_empty_partition_is_one(self):
+        assert lemma12_probability((3, 1), (), exact=True) == 1
+
+    def test_float_mode_close_to_exact(self):
+        exact = lemma12_probability((3, 2, 2, 1), (2, 1), exact=True)
+        approx = lemma12_probability((3, 2, 2, 1), (2, 1))
+        assert approx == pytest.approx(float(exact))
+
+    def test_rejects_increasing_parts(self):
+        with pytest.raises(ValueError):
+            lemma12_probability((2, 2, 1), (1, 2))
+
+    def test_rejects_nonpositive_parts(self):
+        with pytest.raises(ValueError):
+            lemma12_probability((2, 2, 1), (1, 0))
+
+    def test_rejects_too_many_people(self):
+        with pytest.raises(ValueError):
+            lemma12_probability((1, 1), (1, 1, 1))
+
+    def test_rejects_bad_signature(self):
+        with pytest.raises(ValueError):
+            lemma12_probability((1, 2), (1,))
+        with pytest.raises(ValueError):
+            lemma12_probability((), (1,))
+        with pytest.raises(ValueError):
+            lemma12_probability((2, 0), (1,))
+
+
+class TestPartitions:
+    def test_partitions_of_four(self):
+        parts = sorted(iter_partitions(4, 4))
+        assert parts == [(1, 1, 1, 1), (2, 1, 1), (2, 2), (3, 1), (4,)]
+
+    def test_max_parts_restricts(self):
+        assert sorted(iter_partitions(4, 2)) == [(2, 2), (3, 1), (4,)]
+
+    def test_zero_gives_empty_partition(self):
+        assert list(iter_partitions(0, 3)) == [()]
+
+    def test_counts_match_partition_function(self):
+        # p(10) = 42
+        assert sum(1 for _ in iter_partitions(10, 10)) == 42
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            list(iter_partitions(-1, 2))
+
+
+class TestMinimize1Solver:
+    @pytest.mark.parametrize("signature", [(2, 2, 1), (3, 1), (1, 1, 1), (5,), (4, 3, 2, 1)])
+    @pytest.mark.parametrize("m", [0, 1, 2, 3, 4, 5])
+    def test_dp_matches_partition_enumeration(self, signature, m):
+        solver = Minimize1Solver(exact=True)
+        assert solver.minimum(signature, m) == minimize1_reference(
+            signature, m, exact=True
+        )
+
+    def test_m_zero_is_one(self):
+        assert Minimize1Solver(exact=True).minimum((3, 2), 0) == 1
+
+    def test_monotone_nonincreasing_in_m(self):
+        solver = Minimize1Solver(exact=True)
+        table = solver.table((4, 3, 2, 1, 1), 8)
+        assert all(a >= b for a, b in zip(table, table[1:]))
+
+    def test_paper_bucket_values(self):
+        # Figure 3 men's bucket {Flu:2, Lung:2, Mumps:1}.
+        solver = Minimize1Solver(exact=True)
+        assert solver.minimum((2, 2, 1), 1) == Fraction(3, 5)
+        # Two atoms: min(1/5 single person, 3/10 two people) = 1/5.
+        assert solver.minimum((2, 2, 1), 2) == Fraction(1, 5)
+        # Three atoms cover every value for one person: probability 0.
+        assert solver.minimum((2, 2, 1), 3) == 0
+
+    def test_two_person_split_beats_one_person_sometimes(self):
+        # Uniform bucket of distinct values: one person cannot absorb more
+        # atoms than values, but splitting is strictly worse earlier too --
+        # verify the DP tracks the reference on a case with a real tie-break.
+        solver = Minimize1Solver(exact=True)
+        sig = (1, 1, 1, 1, 1)
+        for m in range(1, 6):
+            assert solver.minimum(sig, m) == minimize1_reference(
+                sig, m, exact=True
+            )
+
+    def test_memo_prevents_recomputation(self):
+        solver = Minimize1Solver()
+        solver.table((3, 2, 1), 6)
+        states = solver.memo_size()
+        # Identical queries add no states; the memo is the whole computation.
+        solver.table((3, 2, 1), 6)
+        assert solver.memo_size() == states
+        # The state count is cubically bounded: (i, cap, rem) all <= m.
+        assert states <= 7**3
+
+    def test_known_signatures_counts_distinct(self):
+        solver = Minimize1Solver()
+        solver.minimum((2, 1), 1)
+        solver.minimum((2, 1), 2)
+        solver.minimum((3, 3), 1)
+        assert solver.known_signatures() == 2
+
+    def test_float_and_exact_agree(self):
+        float_solver = Minimize1Solver()
+        exact_solver = Minimize1Solver(exact=True)
+        for m in range(6):
+            approx = float_solver.minimum((4, 2, 2, 1), m)
+            exact = exact_solver.minimum((4, 2, 2, 1), m)
+            assert approx == pytest.approx(float(exact), abs=1e-12)
+
+    def test_negative_m_rejected(self):
+        with pytest.raises(ValueError):
+            Minimize1Solver().minimum((2, 1), -1)
+
+    def test_singleton_bucket(self):
+        solver = Minimize1Solver(exact=True)
+        assert solver.minimum((1,), 1) == 0  # negate the only value: impossible
+        assert solver.minimum((1,), 3) == 0
+
+
+class TestBestPartition:
+    def test_returns_achieving_partition(self):
+        value, parts = best_partition((2, 2, 1), 2, exact=True)
+        assert value == lemma12_probability((2, 2, 1), parts, exact=True)
+        assert sum(parts) == 2
+
+    def test_zero_atoms(self):
+        value, parts = best_partition((2, 2, 1), 0, exact=True)
+        assert value == 1 and parts == ()

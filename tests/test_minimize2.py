@@ -1,0 +1,154 @@
+"""MINIMIZE2: the cross-bucket DP over Formula (1)."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from itertools import product
+
+import pytest
+
+from repro.core.minimize1 import Minimize1Solver
+from repro.core.minimize2 import (
+    MinRatioComputation,
+    effective_signatures,
+    min_ratio_table,
+)
+
+
+def brute_force_min_ratio(signatures, k):
+    """Minimum of Formula (1) by enumerating every distribution of k
+    antecedent atoms over buckets and every host bucket for A."""
+    solver = Minimize1Solver(exact=True)
+    buckets = list(signatures)
+    best = None
+    for counts in product(range(k + 1), repeat=len(buckets)):
+        if sum(counts) != k:
+            continue
+        for host in range(len(buckets)):
+            value = Fraction(1)
+            for index, (signature, m) in enumerate(zip(buckets, counts)):
+                if index == host:
+                    n = sum(signature)
+                    value *= solver.minimum(signature, m + 1) * Fraction(
+                        n, signature[0]
+                    )
+                else:
+                    value *= solver.minimum(signature, m)
+            if best is None or value < best:
+                best = value
+    return best
+
+
+class TestMinRatioTable:
+    @pytest.mark.parametrize(
+        "signatures",
+        [
+            [(2, 2, 1)],
+            [(2, 2, 1), (2, 1, 1, 1)],
+            [(3, 1), (1, 1), (2, 2)],
+            [(1,), (1,)],
+            [(5, 3, 2), (4, 4), (1, 1, 1, 1)],
+        ],
+    )
+    @pytest.mark.parametrize("k", [0, 1, 2, 3])
+    def test_matches_brute_force_distribution(self, signatures, k):
+        table = min_ratio_table(signatures, k, exact=True)
+        assert table[k] == brute_force_min_ratio(signatures, k)
+
+    def test_k0_single_bucket(self):
+        # ratio = (n - top)/top; disclosure = top/n.
+        table = min_ratio_table([(2, 2, 1)], 0, exact=True)
+        assert table[0] == Fraction(3, 2)
+
+    def test_k0_picks_most_skewed_bucket(self):
+        table = min_ratio_table([(2, 2, 1), (4, 1)], 0, exact=True)
+        assert table[0] == Fraction(1, 4)  # (5-4)/4 from the skewed bucket
+
+    def test_all_k_at_once_consistent_with_individual(self):
+        signatures = [(3, 2, 1), (2, 2), (4,)]
+        table = min_ratio_table(signatures, 4, exact=True)
+        for k in range(5):
+            single = min_ratio_table(signatures, k, exact=True)
+            assert single[k] == table[k]
+
+    def test_ratio_monotone_nonincreasing_in_k(self):
+        table = min_ratio_table([(3, 2, 2, 1), (2, 2, 1)], 6, exact=True)
+        assert all(a >= b for a, b in zip(table, table[1:]))
+
+    def test_dedupe_changes_nothing(self):
+        signatures = [(2, 1)] * 7 + [(3, 3)] * 5
+        with_dedupe = min_ratio_table(signatures, 3, exact=True, dedupe=True)
+        without = min_ratio_table(signatures, 3, exact=True, dedupe=False)
+        assert with_dedupe == without
+
+    def test_skewed_bucket_two_person_attack(self):
+        # {x:8, y:1, z:1} next to a uniform bucket: the k=1 optimum is the
+        # two-person implication (p1 = x) -> (p0 = x) inside the skewed
+        # bucket: Pr(p0 != x and p1 != x) = (2/10)(1/9) = 1/45, boosted by
+        # n/top = 10/8, giving ratio 1/36 (disclosure 36/37). Neither a
+        # negation (same-person) nor a cross-bucket attack comes close.
+        table = min_ratio_table([(1,) * 10, (8, 1, 1)], 1, exact=True)
+        assert table[1] == Fraction(1, 36)
+
+    def test_two_distinct_values_collapse_at_k1(self):
+        # Any bucket with two distinct values is fully disclosed by a single
+        # implication (the negation of the rarer value).
+        table = min_ratio_table([(1,) * 10, (9, 1)], 1, exact=True)
+        assert table[1] == 0
+
+    def test_zero_ratio_when_certain(self):
+        # Bucket {a:1, b:1}: one implication (negation) pins the value.
+        table = min_ratio_table([(1, 1)], 1, exact=True)
+        assert table[1] == 0
+
+    def test_shared_solver_reused(self):
+        solver = Minimize1Solver()
+        min_ratio_table([(3, 2, 1)], 3, solver=solver)
+        signatures_known = solver.known_signatures()
+        min_ratio_table([(3, 2, 1)], 3, solver=solver)  # same shapes
+        assert solver.known_signatures() == signatures_known
+
+    def test_empty_bucketization_rejected(self):
+        with pytest.raises(ValueError):
+            min_ratio_table([], 1)
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(ValueError):
+            min_ratio_table([(2, 1)], -1)
+
+
+class TestEffectiveSignatures:
+    def test_caps_multiplicity(self):
+        sigs = [(1, 1)] * 10 + [(2,)] * 2
+        effective = effective_signatures(sigs, 3)
+        assert effective.count((1, 1)) == 3
+        assert effective.count((2,)) == 2
+
+    def test_deterministic_order(self):
+        a = effective_signatures([(2,), (1, 1), (2,)], 5)
+        b = effective_signatures([(1, 1), (2,), (2,)], 5)
+        assert a == b
+
+    def test_positive_cap_required(self):
+        with pytest.raises(ValueError):
+            effective_signatures([(1,)], 0)
+
+
+class TestMinRatioComputation:
+    def test_tables_at_boundaries(self):
+        solver = Minimize1Solver(exact=True)
+        comp = MinRatioComputation([(2, 1), (3, 3)], 2, solver)
+        fa_end, ff_end = comp.tables_at(2)
+        assert fa_end[0] == 1
+        assert ff_end[0] == float("inf")
+
+    def test_ratio_bounds_checked(self):
+        solver = Minimize1Solver(exact=True)
+        comp = MinRatioComputation([(2, 1)], 2, solver)
+        with pytest.raises(ValueError):
+            comp.ratio(3)
+
+    def test_ratios_list_matches_ratio(self):
+        solver = Minimize1Solver(exact=True)
+        comp = MinRatioComputation([(2, 1), (2, 2)], 3, solver)
+        assert comp.ratios() == [comp.ratio(k) for k in range(4)]

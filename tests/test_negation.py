@@ -1,0 +1,120 @@
+"""Worst case for k negated atoms (the ℓ-diversity adversary)."""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.bucketization import Bucket, Bucketization
+from repro.core.exact import exact_max_disclosure_negations
+from repro.core.negation import (
+    NegationWitness,
+    bucket_negation_disclosure,
+    max_disclosure_negations,
+    max_disclosure_negations_series,
+    negation_witness,
+)
+
+
+class TestClosedFormAgainstBruteForce:
+    """The closed form concentrates all negations on one person; the brute
+    force ranges over every set of k atoms anywhere (other people, other
+    buckets). They must agree — this is the same-person-optimality claim."""
+
+    @pytest.mark.parametrize("seed", range(10))
+    @pytest.mark.parametrize("k", [0, 1, 2, 3])
+    def test_random_instances(self, seed, k):
+        rng = random.Random(seed)
+        lists = []
+        for _ in range(rng.randint(1, 2)):
+            size = rng.randint(1, 3)
+            lists.append([rng.choice("abc") for _ in range(size)])
+        bucketization = Bucketization.from_value_lists(lists)
+        closed = max_disclosure_negations(bucketization, k, exact=True)
+        brute = exact_max_disclosure_negations(bucketization, k)
+        assert closed == brute, (lists, k)
+
+
+class TestKnownValues:
+    def test_figure3_negations(self, figure3):
+        # k=0: 2/5. k=1: rule out lung cancer -> 2/3. k=2: certainty.
+        assert max_disclosure_negations(figure3, 0, exact=True) == Fraction(2, 5)
+        assert max_disclosure_negations(figure3, 1, exact=True) == Fraction(2, 3)
+        assert max_disclosure_negations(figure3, 2, exact=True) == 1
+
+    def test_certainty_at_distinct_minus_one(self):
+        b = Bucketization.from_value_lists([["a", "b", "c", "d"]])
+        assert max_disclosure_negations(b, 3, exact=True) == 1
+        assert max_disclosure_negations(b, 2, exact=True) < 1
+
+    def test_target_not_always_top_value(self):
+        # {a:3, b:3, c:1}: with k=1 the best attack negates one of the top
+        # values and targets the other: 3/(7-3) = 3/4.
+        b = Bucketization.from_value_lists([["a"] * 3 + ["b"] * 3 + ["c"]])
+        assert max_disclosure_negations(b, 1, exact=True) == Fraction(3, 4)
+
+    def test_per_bucket_form(self):
+        assert bucket_negation_disclosure((2, 2, 1), 1, exact=True) == Fraction(
+            2, 3
+        )
+        assert bucket_negation_disclosure(
+            Bucket.from_values(["x", "x", "y"]), 1, exact=True
+        ) == 1
+
+
+class TestInvariants:
+    def test_monotone_in_k(self):
+        b = Bucketization.from_value_lists([["a", "a", "b", "c", "d"]])
+        series = max_disclosure_negations_series(b, range(6), exact=True)
+        values = [series[k] for k in sorted(series)]
+        assert all(x <= y for x, y in zip(values, values[1:]))
+
+    def test_k0_equals_top_fraction(self):
+        b = Bucketization.from_value_lists([["a", "a", "b"], ["c", "d", "d", "d"]])
+        assert max_disclosure_negations(b, 0, exact=True) == Fraction(3, 4)
+
+    def test_never_exceeds_one(self):
+        rng = random.Random(3)
+        for _ in range(20):
+            values = [rng.choice("abcd") for _ in range(rng.randint(1, 6))]
+            b = Bucketization.from_value_lists([values])
+            for k in range(5):
+                assert max_disclosure_negations(b, k, exact=True) <= 1
+
+    def test_negative_k_rejected(self, figure3):
+        with pytest.raises(ValueError):
+            max_disclosure_negations(figure3, -1)
+
+
+class TestWitness:
+    def test_witness_achieves_reported_disclosure(self, figure3):
+        from repro.core.exact import probability
+        from repro.knowledge.atoms import Atom
+
+        witness = negation_witness(figure3, 1, exact=True)
+        assert isinstance(witness, NegationWitness)
+
+        def phi(world):
+            return all(
+                world[witness.person] != value
+                for value in witness.negated_values
+            )
+
+        achieved = probability(
+            figure3, Atom(witness.person, witness.target_value), phi
+        )
+        assert achieved == witness.disclosure
+
+    def test_witness_values_are_distinct_and_exclude_target(self, figure3):
+        witness = negation_witness(figure3, 2, exact=True)
+        assert witness.target_value not in witness.negated_values
+        assert len(set(witness.negated_values)) == len(witness.negated_values)
+
+    def test_witness_matches_max(self, figure3):
+        for k in range(4):
+            witness = negation_witness(figure3, k, exact=True)
+            assert witness.disclosure == max_disclosure_negations(
+                figure3, k, exact=True
+            )

@@ -1,0 +1,85 @@
+"""The formula text parser."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.knowledge.atoms import Atom
+from repro.knowledge.parser import (
+    ParseError,
+    parse_atom,
+    parse_conjunction,
+    parse_implication,
+)
+
+
+class TestParseAtom:
+    def test_basic(self):
+        assert parse_atom("t[Ed] = Flu") == Atom("Ed", "Flu")
+
+    def test_whitespace_insensitive(self):
+        assert parse_atom("  t[ Ed ]=Flu  ") == Atom("Ed", "Flu")
+
+    def test_values_keep_internal_spaces(self):
+        assert parse_atom("t[Ed] = Lung Cancer") == Atom("Ed", "Lung Cancer")
+
+    def test_rejects_non_atoms(self):
+        for bad in ("Ed = Flu", "t[Ed]", "t[] = Flu", ""):
+            with pytest.raises(ParseError):
+                parse_atom(bad)
+
+
+class TestParseImplication:
+    def test_simple(self):
+        imp = parse_implication("t[H] = flu -> t[C] = flu")
+        assert imp.is_simple
+        assert imp.antecedents == (Atom("H", "flu"),)
+        assert imp.consequents == (Atom("C", "flu"),)
+
+    def test_conjunctive_antecedent_disjunctive_consequent(self):
+        imp = parse_implication(
+            "t[A] = x & t[B] = y -> t[C] = z & t[C] = w"
+        )
+        assert len(imp.antecedents) == 2
+        assert len(imp.consequents) == 2
+
+    def test_missing_arrow(self):
+        with pytest.raises(ParseError):
+            parse_implication("t[A] = x")
+
+    def test_double_arrow(self):
+        with pytest.raises(ParseError):
+            parse_implication("t[A] = x -> t[B] = y -> t[C] = z")
+
+    def test_empty_side(self):
+        with pytest.raises(ParseError):
+            parse_implication("t[A] = x & -> t[B] = y")
+
+
+class TestParseConjunction:
+    def test_two_conjuncts(self):
+        phi = parse_conjunction(
+            "t[A] = x -> t[B] = y ; t[B] = y -> t[C] = z"
+        )
+        assert phi.k == 2
+
+    def test_empty_is_true(self):
+        phi = parse_conjunction("   ")
+        assert phi.k == 0
+        assert phi.holds_in({"anything": "at all"})
+
+    def test_round_trip_semantics(self):
+        # A parsed formula behaves like the hand-built one on worlds.
+        phi = parse_conjunction("t[H] = flu -> t[C] = flu")
+        assert phi.holds_in({"H": "flu", "C": "flu"})
+        assert not phi.holds_in({"H": "flu", "C": "cold"})
+
+    def test_parsed_formula_conditions_exact_engine(self, figure3):
+        from fractions import Fraction
+
+        from repro.core.exact import probability
+
+        phi = parse_conjunction("t[Hannah] = Flu -> t[Charlie] = Flu")
+        assert probability(figure3, Atom("Charlie", "Flu"), phi) == Fraction(
+            10, 19
+        )

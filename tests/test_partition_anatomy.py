@@ -1,0 +1,108 @@
+"""Partitioning strategies and the Anatomy-style bucketizer."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.anonymity import distinct_diversity
+from repro.bucketization import (
+    Bucketization,
+    anatomize,
+    partition_by_attribute,
+    partition_by_qi,
+    partition_into_chunks,
+)
+from repro.bucketization.anatomy import anatomy_eligible
+from repro.data.schema import Schema
+from repro.data.table import Table
+
+
+@pytest.fixture
+def table():
+    schema = Schema(("zip", "age"), "disease")
+    rows = []
+    diseases = ["flu", "cold", "cancer", "mumps"]
+    for i in range(12):
+        rows.append(
+            {
+                "zip": f"z{i % 2}",
+                "age": 20 + i % 3,
+                "disease": diseases[i % 4],
+            }
+        )
+    return Table(rows, schema)
+
+
+class TestPartitioners:
+    def test_by_qi(self, table):
+        b = partition_by_qi(table)
+        assert b.total_size == 12
+        # 2 zips x 3 ages = 6 QI classes.
+        assert len(b) == 6
+
+    def test_by_attribute(self, table):
+        b = partition_by_attribute(table, "zip")
+        assert len(b) == 2
+        with pytest.raises(ValueError):
+            partition_by_attribute(table, "no_such")
+
+    def test_chunks(self, table):
+        b = partition_into_chunks(table, 5)
+        assert [bucket.size for bucket in b] == [5, 5, 2]
+        with pytest.raises(ValueError):
+            partition_into_chunks(table, 0)
+
+    def test_chunks_preserve_multiset(self, table):
+        b = partition_into_chunks(table, 4)
+        combined = Counter()
+        for bucket in b:
+            combined.update(bucket.sensitive_values)
+        assert combined == table.sensitive_histogram()
+
+
+class TestAnatomy:
+    def test_eligibility(self, table):
+        assert anatomy_eligible(table, 4)  # each disease has 3 = 12/4 tuples
+        assert not anatomy_eligible(table, 5)
+        with pytest.raises(ValueError):
+            anatomy_eligible(table, 0)
+
+    def test_buckets_have_distinct_values(self, table):
+        b = anatomize(table, 3)
+        for bucket in b.buckets:
+            assert bucket.distinct_count == bucket.size
+
+    def test_every_tuple_placed_once(self, table):
+        b = anatomize(table, 4)
+        assert sorted(b.person_ids) == list(range(12))
+        combined = Counter()
+        for bucket in b.buckets:
+            combined.update(bucket.sensitive_values)
+        assert combined == table.sensitive_histogram()
+
+    def test_achieves_distinct_ell_diversity(self, table):
+        for ell in (2, 3, 4):
+            b = anatomize(table, ell)
+            assert distinct_diversity(b) >= ell
+
+    def test_ineligible_rejected(self, table):
+        with pytest.raises(ValueError):
+            anatomize(table, 5)
+
+    def test_too_few_values_rejected(self):
+        schema = Schema(("zip",), "disease")
+        t = Table(
+            [{"zip": "1", "disease": "flu"}, {"zip": "2", "disease": "flu"}],
+            schema,
+        )
+        with pytest.raises(ValueError):
+            anatomize(t, 2)
+
+    def test_lowers_zero_knowledge_disclosure(self, table):
+        from repro.core.disclosure import max_disclosure
+
+        chunked = partition_into_chunks(table, 4)
+        anatomized = anatomize(table, 4)
+        assert max_disclosure(anatomized, 0) <= max_disclosure(chunked, 0)

@@ -1,0 +1,128 @@
+"""Jeffrey conditionalization: probabilistic background knowledge."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.bucketization import Bucketization
+from repro.core.disclosure import max_disclosure
+from repro.core.exact import exact_disclosure_risk, probability
+from repro.core.probabilistic import (
+    jeffrey_disclosure_risk,
+    jeffrey_probability,
+    max_jeffrey_disclosure_single,
+)
+from repro.errors import InconsistentWorldError
+from repro.knowledge.atoms import Atom
+from repro.knowledge.formulas import simple_implication
+
+
+@pytest.fixture
+def small():
+    return Bucketization.from_value_lists([["flu", "flu", "mumps"], ["flu", "cold"]])
+
+
+class TestJeffreyProbability:
+    def test_full_confidence_is_ordinary_conditioning(self, figure3):
+        phi = simple_implication("Hannah", "Flu", "Charlie", "Flu")
+        assert jeffrey_probability(
+            figure3, Atom("Charlie", "Flu"), phi, 1
+        ) == probability(figure3, Atom("Charlie", "Flu"), phi)
+
+    def test_zero_confidence_conditions_on_negation(self, figure3):
+        phi = simple_implication("Hannah", "Flu", "Charlie", "Flu")
+        expected = probability(
+            figure3, Atom("Charlie", "Flu"), lambda w: not phi.holds_in(w)
+        )
+        assert jeffrey_probability(
+            figure3, Atom("Charlie", "Flu"), phi, 0
+        ) == expected
+
+    def test_mixes_linearly(self, figure3):
+        phi = simple_implication("Hannah", "Flu", "Charlie", "Flu")
+        event = Atom("Charlie", "Flu")
+        at_1 = jeffrey_probability(figure3, event, phi, 1)
+        at_0 = jeffrey_probability(figure3, event, phi, 0)
+        at_half = jeffrey_probability(figure3, event, phi, Fraction(1, 2))
+        assert at_half == (at_1 + at_0) / 2
+
+    def test_confidence_validated(self, small):
+        phi = simple_implication(0, "flu", 3, "flu")
+        with pytest.raises(ValueError):
+            jeffrey_probability(small, Atom(0, "flu"), phi, 1.5)
+
+    def test_confident_in_impossible_raises(self, small):
+        with pytest.raises(InconsistentWorldError):
+            jeffrey_probability(
+                small, Atom(0, "flu"), Atom(0, "not-a-value"), Fraction(1, 2)
+            )
+
+    def test_doubt_about_tautology_raises(self, small):
+        with pytest.raises(InconsistentWorldError):
+            jeffrey_probability(
+                small, Atom(0, "flu"), lambda w: True, Fraction(1, 2)
+            )
+
+
+class TestJeffreyDisclosureRisk:
+    def test_certainty_matches_exact_risk(self, small):
+        phi = simple_implication(0, "mumps", 0, "flu")  # NOT(p0 = mumps)
+        assert jeffrey_disclosure_risk(small, phi, 1) == exact_disclosure_risk(
+            small, phi
+        )
+
+    def test_monotone_in_confidence(self, small):
+        phi = simple_implication(0, "mumps", 0, "flu")
+        risks = [
+            jeffrey_disclosure_risk(small, phi, Fraction(q, 4))
+            for q in range(5)
+        ]
+        # The worst-case posterior moves toward the conditioned risk; with
+        # this phi the risk at q=1 is the highest.
+        assert risks[-1] == max(risks)
+
+    def test_convex_upper_bound_by_branch_extremes(self, small):
+        # Each atom's Jeffrey posterior is linear in q, so the worst-case
+        # risk (a max of linear functions) is convex in q: it never exceeds
+        # the larger branch risk. It MAY dip below both endpoints at interior
+        # q (different atoms win in the two branches), so no lower bound by
+        # the branch minimum is asserted.
+        phi = simple_implication(0, "mumps", 0, "flu")
+        risk_phi = jeffrey_disclosure_risk(small, phi, 1)
+        risk_not = jeffrey_disclosure_risk(small, phi, 0)
+        hi = max(risk_phi, risk_not)
+        for q in (Fraction(1, 3), Fraction(2, 3)):
+            risk = jeffrey_disclosure_risk(small, phi, q)
+            assert risk <= hi
+            assert risk > 0
+
+
+class TestWorstCaseSingle:
+    def test_certainty_recovers_k1_max(self, small):
+        assert max_jeffrey_disclosure_single(small, 1) == max_disclosure(
+            small, 1, exact=True
+        )
+
+    def test_convex_in_confidence(self, small):
+        # Each formula's posterior is linear in q, so the pool maximum is
+        # convex: every interior confidence is bounded by the endpoints.
+        endpoints = max(
+            max_jeffrey_disclosure_single(small, 0),
+            max_jeffrey_disclosure_single(small, 1),
+        )
+        for q in (Fraction(1, 4), Fraction(1, 2), Fraction(3, 4)):
+            assert max_jeffrey_disclosure_single(small, q) <= endpoints
+
+    def test_doubt_can_beat_weak_belief(self, small):
+        # q = 0 means certainty in NOT(A -> B) = A AND NOT B — two atoms of
+        # hard knowledge, which here disclose at least as much as any single
+        # implication held with mild confidence.
+        at_zero = max_jeffrey_disclosure_single(small, 0)
+        at_quarter = max_jeffrey_disclosure_single(small, Fraction(1, 4))
+        assert at_zero >= at_quarter
+
+    def test_never_below_no_knowledge(self, small):
+        baseline = exact_disclosure_risk(small, None)
+        assert max_jeffrey_disclosure_single(small, Fraction(1, 10)) >= baseline

@@ -1,0 +1,78 @@
+"""(c,k)-safety and the caching SafetyChecker."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bucketization import Bucketization
+from repro.core.disclosure import max_disclosure
+from repro.core.safety import SafetyChecker, is_ck_safe
+
+
+@pytest.fixture
+def mixed():
+    return Bucketization.from_value_lists(
+        [["a", "b", "c", "d", "e", "f"], ["a", "a", "b", "c"]]
+    )
+
+
+class TestIsCkSafe:
+    def test_strict_threshold(self, mixed):
+        disclosure = max_disclosure(mixed, 1)
+        assert not is_ck_safe(mixed, disclosure, 1)  # strictly-less-than
+        assert is_ck_safe(mixed, disclosure + 1e-9, 1)
+
+    def test_k0_safety_is_top_fraction(self, mixed):
+        assert is_ck_safe(mixed, 0.51, 0)
+        assert not is_ck_safe(mixed, 0.5, 0)
+
+    def test_more_power_needs_weaker_thresholds(self, mixed):
+        # Safety for a given c can only be lost, never gained, as k grows.
+        for c in (0.3, 0.6, 0.9):
+            safeness = [is_ck_safe(mixed, c, k) for k in range(5)]
+            assert all(x or not y for x, y in zip(safeness, safeness[1:])), (
+                c,
+                safeness,
+            )
+
+    def test_threshold_validation(self, mixed):
+        with pytest.raises(ValueError):
+            is_ck_safe(mixed, 0.0, 1)
+        with pytest.raises(ValueError):
+            is_ck_safe(mixed, 1.5, 1)
+        with pytest.raises(ValueError):
+            is_ck_safe(mixed, 0.5, -1)
+
+
+class TestSafetyChecker:
+    def test_matches_direct_computation(self, mixed):
+        checker = SafetyChecker(0.7, 2)
+        assert checker.disclosure(mixed) == max_disclosure(mixed, 2)
+        assert checker.is_safe(mixed) == is_ck_safe(mixed, 0.7, 2)
+
+    def test_cache_hits_on_equal_signature_multisets(self, mixed):
+        checker = SafetyChecker(0.7, 2)
+        checker.disclosure(mixed)
+        # The same value lists with different person ids: identical shape.
+        clone = Bucketization.from_value_lists(
+            [["a", "a", "b", "c"], ["a", "b", "c", "d", "e", "f"]]
+        )
+        checker.disclosure(clone)
+        assert checker.cache_hits == 1
+        assert checker.checks == 2
+
+    def test_callable_protocol(self, mixed):
+        checker = SafetyChecker(0.99, 0)
+        assert checker(mixed) is True
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SafetyChecker(0, 1)
+        with pytest.raises(ValueError):
+            SafetyChecker(0.5, -1)
+
+    def test_exact_mode(self, mixed):
+        from fractions import Fraction
+
+        checker = SafetyChecker(0.7, 1, exact=True)
+        assert isinstance(checker.disclosure(mixed), Fraction)

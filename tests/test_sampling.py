@@ -1,0 +1,101 @@
+"""Monte Carlo estimation against the exact oracle."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bucketization import Bucketization
+from repro.core.exact import exact_disclosure_risk, probability
+from repro.core.sampling import (
+    SampledProbability,
+    sample_disclosure_risk,
+    sample_probability,
+)
+from repro.errors import InconsistentWorldError
+from repro.knowledge.atoms import Atom
+from repro.knowledge.formulas import simple_implication
+
+
+@pytest.fixture
+def figure3_like():
+    return Bucketization.from_value_lists(
+        [
+            ["Flu", "Flu", "Lung", "Lung", "Mumps"],
+            ["Flu", "Flu", "Breast", "Ovarian", "Heart"],
+        ]
+    )
+
+
+class TestSampleProbability:
+    def test_unconditional_converges(self, figure3_like):
+        result = sample_probability(
+            figure3_like, Atom(3, "Flu"), samples=30_000, seed=1
+        )
+        exact = float(probability(figure3_like, Atom(3, "Flu")))
+        assert result.estimate == pytest.approx(exact, abs=0.01)
+        assert result.low <= exact <= result.high
+
+    def test_conditional_converges(self, figure3_like):
+        phi = simple_implication(6, "Flu", 0, "Flu")
+        result = sample_probability(
+            figure3_like, Atom(0, "Flu"), phi, samples=30_000, seed=2
+        )
+        exact = float(probability(figure3_like, Atom(0, "Flu"), phi))
+        assert result.estimate == pytest.approx(exact, abs=0.015)
+        assert result.low <= exact <= result.high
+
+    def test_deterministic_per_seed(self, figure3_like):
+        a = sample_probability(figure3_like, Atom(0, "Flu"), samples=500, seed=9)
+        b = sample_probability(figure3_like, Atom(0, "Flu"), samples=500, seed=9)
+        assert a == b
+
+    def test_acceptance_rate_reported(self, figure3_like):
+        phi = simple_implication(0, "Mumps", 1, "Flu")
+        result = sample_probability(
+            figure3_like, Atom(0, "Flu"), phi, samples=5_000, seed=3
+        )
+        assert 0 < result.acceptance_rate <= 1
+
+    def test_impossible_condition_raises(self, figure3_like):
+        with pytest.raises(InconsistentWorldError):
+            sample_probability(
+                figure3_like,
+                Atom(0, "Flu"),
+                Atom(0, "NotADisease"),
+                samples=200,
+                seed=0,
+            )
+
+    def test_sample_count_validated(self, figure3_like):
+        with pytest.raises(ValueError):
+            sample_probability(figure3_like, Atom(0, "Flu"), samples=0)
+
+    def test_interval_is_wilson(self):
+        # Degenerate certainty: interval stays inside [0, 1].
+        b = Bucketization.from_value_lists([["x", "x"]])
+        result = sample_probability(b, Atom(0, "x"), samples=100, seed=0)
+        assert result.estimate == 1.0
+        assert 0.9 < result.low <= 1.0 == result.high
+
+
+class TestSampleDisclosureRisk:
+    def test_matches_exact_risk(self, figure3_like):
+        result = sample_disclosure_risk(figure3_like, samples=30_000, seed=4)
+        exact = float(exact_disclosure_risk(figure3_like))
+        assert result.estimate == pytest.approx(exact, abs=0.01)
+
+    def test_with_knowledge(self, figure3_like):
+        phi = simple_implication(0, "Lung", 0, "Flu")  # = NOT(p0=Lung)
+        result = sample_disclosure_risk(
+            figure3_like, phi, samples=30_000, seed=5
+        )
+        exact = float(exact_disclosure_risk(figure3_like, phi))
+        assert result.estimate == pytest.approx(exact, abs=0.015)
+
+    def test_scales_to_large_instances(self):
+        # 40 buckets x 25 tuples: ~1e28 worlds — far beyond the oracle.
+        lists = [[f"v{(i + j) % 9}" for j in range(25)] for i in range(40)]
+        big = Bucketization.from_value_lists(lists)
+        result = sample_disclosure_risk(big, samples=2_000, seed=6)
+        assert isinstance(result, SampledProbability)
+        assert 0 < result.estimate <= 1

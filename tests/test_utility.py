@@ -1,0 +1,78 @@
+"""Utility metrics and entropy statistics."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.bucketization import Bucketization
+from repro.utility.entropy import bucket_entropies, min_bucket_entropy
+from repro.utility.metrics import (
+    average_bucket_size,
+    discernibility,
+    generalization_height,
+    precision,
+)
+
+
+@pytest.fixture
+def buckets():
+    return Bucketization.from_value_lists([["a", "b"], ["a", "b", "c", "c"]])
+
+
+class TestMetrics:
+    def test_discernibility(self, buckets):
+        assert discernibility(buckets) == 4 + 16
+
+    def test_discernibility_extremes(self):
+        singletons = Bucketization.from_value_lists([["a"], ["b"], ["c"]])
+        assert discernibility(singletons) == 3
+        merged = Bucketization.from_value_lists([["a", "b", "c"]])
+        assert discernibility(merged) == 9
+
+    def test_average_bucket_size(self, buckets):
+        assert average_bucket_size(buckets) == 3.0
+
+    def test_generalization_height(self):
+        assert generalization_height((3, 2, 1, 1)) == 7
+        assert generalization_height((0, 0, 0, 0)) == 0
+
+    def test_precision_adult(self, adult_lattice):
+        assert precision(adult_lattice, (0, 0, 0, 0)) == 1.0
+        assert precision(adult_lattice, (5, 2, 1, 1)) == 0.0
+        # Half-generalized age only: 1 - (3/5)/4 = 0.85.
+        assert precision(adult_lattice, (3, 0, 0, 0)) == pytest.approx(0.85)
+
+    def test_precision_monotone_along_chain(self, adult_lattice):
+        chain = adult_lattice.default_chain()
+        values = [precision(adult_lattice, node) for node in chain]
+        assert all(x >= y for x, y in zip(values, values[1:]))
+
+
+class TestEntropy:
+    def test_bucket_entropies(self, buckets):
+        values = bucket_entropies(buckets)
+        assert values[0] == pytest.approx(math.log(2))
+        assert values[1] == pytest.approx(
+            -(0.25 * math.log(0.25) * 2 + 0.5 * math.log(0.5))
+        )
+
+    def test_min_bucket_entropy(self, buckets):
+        assert min_bucket_entropy(buckets) == pytest.approx(
+            min(bucket_entropies(buckets))
+        )
+
+    def test_base_conversion(self, buckets):
+        natural = min_bucket_entropy(buckets)
+        bits = min_bucket_entropy(buckets, base=2)
+        assert bits == pytest.approx(natural / math.log(2))
+
+    def test_constant_bucket_zero_entropy(self):
+        b = Bucketization.from_value_lists([["x", "x", "x"]])
+        assert min_bucket_entropy(b) == 0.0
+
+    def test_uniform_maximizes_entropy(self):
+        uniform = Bucketization.from_value_lists([["a", "b", "c", "d"]])
+        skewed = Bucketization.from_value_lists([["a", "a", "a", "b"]])
+        assert min_bucket_entropy(uniform) > min_bucket_entropy(skewed)

@@ -1,0 +1,131 @@
+"""Cost-based (weighted) disclosure: closed forms, bounds, and the oracle."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.bucketization import Bucketization
+from repro.core.disclosure import max_disclosure
+from repro.core.negation import max_disclosure_negations
+from repro.core.weighted import (
+    exact_weighted_disclosure,
+    weighted_baseline_disclosure,
+    weighted_implication_bounds,
+    weighted_negation_disclosure,
+)
+
+
+@pytest.fixture
+def clinic():
+    # "hiv" is rare but catastrophic to disclose; "flu" is common and benign.
+    return Bucketization.from_value_lists(
+        [["flu", "flu", "flu", "hiv"], ["flu", "cold", "hiv"]]
+    )
+
+
+WEIGHTS = {"flu": 0.1, "cold": 0.2, "hiv": 1.0}
+
+
+class TestBaseline:
+    def test_weighted_k0(self, clinic):
+        # Unweighted would pick flu at 3/4; weights make hiv (1.0 * 1/4) win
+        # over flu (0.1 * 3/4).
+        assert weighted_baseline_disclosure(clinic, WEIGHTS) == pytest.approx(
+            1.0 * 1 / 3
+        )
+
+    def test_uniform_weights_recover_standard(self, clinic):
+        uniform = {v: 1.0 for v in ("flu", "cold", "hiv")}
+        assert weighted_baseline_disclosure(clinic, uniform) == pytest.approx(
+            max_disclosure(clinic, 0)
+        )
+
+    def test_missing_values_default_to_one(self, clinic):
+        # flu is down-weighted to 0.5 (3/4 -> 0.375); cold and hiv keep the
+        # implicit weight 1, so flu's weighted 0.375 still wins over 1/3.
+        assert weighted_baseline_disclosure(clinic, {"flu": 0.5}) == (
+            pytest.approx(0.375)
+        )
+
+    def test_validation(self, clinic):
+        with pytest.raises(ValueError):
+            weighted_baseline_disclosure(clinic, {})
+        with pytest.raises(ValueError):
+            weighted_baseline_disclosure(clinic, {"flu": -1})
+
+
+class TestNegations:
+    def test_weighted_negation_closed_form(self, clinic):
+        # Bucket {flu:3, hiv:1}, target hiv, eliminate flu: 1/(4-3) = 1.
+        assert weighted_negation_disclosure(clinic, 1, WEIGHTS) == pytest.approx(
+            1.0
+        )
+
+    def test_uniform_recovers_standard(self, clinic):
+        uniform = {v: 1.0 for v in ("flu", "cold", "hiv")}
+        for k in range(3):
+            assert weighted_negation_disclosure(
+                clinic, k, uniform
+            ) == pytest.approx(float(max_disclosure_negations(clinic, k)))
+
+    def test_monotone_in_k(self, clinic):
+        values = [
+            weighted_negation_disclosure(clinic, k, WEIGHTS) for k in range(4)
+        ]
+        assert all(a <= b + 1e-12 for a, b in zip(values, values[1:]))
+
+    def test_negative_k_rejected(self, clinic):
+        with pytest.raises(ValueError):
+            weighted_negation_disclosure(clinic, -1, WEIGHTS)
+
+
+class TestBounds:
+    def test_bounds_bracket_oracle(self):
+        rng = random.Random(5)
+        for _ in range(6):
+            lists = [
+                [rng.choice("abc") for _ in range(rng.randint(1, 3))]
+                for _ in range(rng.randint(1, 2))
+            ]
+            b = Bucketization.from_value_lists(lists)
+            weights = {"a": 0.3, "b": 0.7, "c": 1.0}
+            for k in (0, 1, 2):
+                lower, upper = weighted_implication_bounds(b, k, weights)
+                exact = exact_weighted_disclosure(b, k, weights)
+                assert lower - 1e-9 <= exact <= upper + 1e-9, (lists, k)
+
+    def test_bounds_collapse_for_uniform_weights(self, clinic):
+        uniform = {v: 2.0 for v in ("flu", "cold", "hiv")}
+        for k in (0, 1, 2):
+            lower, upper = weighted_implication_bounds(clinic, k, uniform)
+            expected = 2.0 * max_disclosure(clinic, k)
+            # Lower uses negations only, so it may sit below; upper is exact.
+            assert upper == pytest.approx(expected)
+            assert lower <= upper + 1e-12
+
+    def test_ordering(self, clinic):
+        lower, upper = weighted_implication_bounds(clinic, 2, WEIGHTS)
+        assert lower <= upper
+
+
+class TestExactOracle:
+    def test_weights_change_the_argmax(self):
+        b = Bucketization.from_value_lists([["flu", "flu", "hiv"]])
+        # Unweighted k=0 risk targets flu (2/3); hiv weight flips it.
+        assert exact_weighted_disclosure(b, 0, {"flu": 1, "hiv": 1}) == (
+            pytest.approx(2 / 3)
+        )
+        assert exact_weighted_disclosure(b, 0, {"flu": 0.1, "hiv": 1}) == (
+            pytest.approx(1 / 3)
+        )
+
+    def test_k1_can_exceed_weighted_k0(self):
+        b = Bucketization.from_value_lists([["flu", "flu", "hiv"]])
+        w = {"flu": 0.1, "hiv": 1.0}
+        k0 = exact_weighted_disclosure(b, 0, w)
+        k1 = exact_weighted_disclosure(b, 1, w)
+        assert k1 >= k0
+        # Ruling out flu for a person makes hiv certain: weighted 1.0.
+        assert k1 == pytest.approx(1.0)

@@ -1,0 +1,83 @@
+"""Witness reconstruction: the worst-case formula, verified by the oracle."""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.bucketization import Bucketization
+from repro.core.disclosure import max_disclosure
+from repro.core.exact import probability
+from repro.core.witness import WorstCaseWitness, worst_case_witness
+
+
+def random_bucketization(rng):
+    lists = []
+    for _ in range(rng.randint(1, 3)):
+        size = rng.randint(1, 4)
+        lists.append([rng.choice("abcd") for _ in range(size)])
+    return Bucketization.from_value_lists(lists)
+
+
+class TestWitnessAchievesDisclosure:
+    """The reconstructed formula, fed to the exact engine, must realize
+    exactly the disclosure the DP reports."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    @pytest.mark.parametrize("k", [0, 1, 2, 3])
+    def test_random_instances(self, seed, k):
+        rng = random.Random(seed)
+        bucketization = random_bucketization(rng)
+        witness = worst_case_witness(bucketization, k, exact=True)
+        achieved = probability(
+            bucketization, witness.consequent, witness.formula
+        )
+        assert achieved == witness.disclosure
+        assert witness.disclosure == max_disclosure(bucketization, k, exact=True)
+
+    def test_figure3(self, figure3):
+        witness = worst_case_witness(figure3, 1, exact=True)
+        assert witness.disclosure == Fraction(2, 3)
+        achieved = probability(figure3, witness.consequent, witness.formula)
+        assert achieved == Fraction(2, 3)
+
+
+class TestWitnessShape:
+    def test_theorem9_form(self, figure3):
+        # Exactly k simple implications, all sharing the consequent atom.
+        for k in (1, 2, 3):
+            witness = worst_case_witness(figure3, k, exact=True)
+            assert isinstance(witness, WorstCaseWitness)
+            assert witness.k == k
+            for implication in witness.implications:
+                assert implication.is_simple
+                assert implication.consequents == (witness.consequent,)
+
+    def test_k0_witness_is_top_atom(self, figure3):
+        witness = worst_case_witness(figure3, 0, exact=True)
+        assert witness.implications == ()
+        assert witness.disclosure == Fraction(2, 5)
+        # The consequent is the most frequent value of some bucket.
+        bucket = figure3.bucket_of(witness.consequent.person)
+        assert witness.consequent.value == bucket.top_value
+
+    def test_formula_property(self, figure3):
+        witness = worst_case_witness(figure3, 2, exact=True)
+        assert witness.formula.k == 2
+
+    def test_antecedents_involve_real_people(self, figure3):
+        witness = worst_case_witness(figure3, 2, exact=True)
+        people = set(figure3.person_ids)
+        for implication in witness.implications:
+            assert implication.antecedents[0].person in people
+
+    def test_negative_k_rejected(self, figure3):
+        with pytest.raises(ValueError):
+            worst_case_witness(figure3, -1)
+
+    def test_float_mode_close(self, figure3):
+        exact = worst_case_witness(figure3, 2, exact=True)
+        approx = worst_case_witness(figure3, 2)
+        assert approx.disclosure == pytest.approx(float(exact.disclosure))
