@@ -15,8 +15,6 @@ the counterexample's numbers.
 
 from __future__ import annotations
 
-from fractions import Fraction
-
 import pytest
 
 from repro.core.minimize1 import Minimize1Solver

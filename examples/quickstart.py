@@ -58,7 +58,7 @@ for k in range(4):
 
 # A concrete worst-case attack, reconstructed:
 witness = worst_case_witness(by_zip, 2)
-print(f"\none worst-case attack for k=2 "
+print("\none worst-case attack for k=2 "
       f"(discloses {witness.disclosure:.4f}):")
 for implication in witness.implications:
     print(f"  knows: {implication}")

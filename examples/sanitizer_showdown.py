@@ -40,7 +40,7 @@ table = generate_adult(args.rows)
 checker = SafetyChecker(args.c, args.k)
 print(
     f"target: ({args.c}, {args.k})-safety on {len(table)} rows "
-    f"(lower discernibility = better utility)\n"
+    "(lower discernibility = better utility)\n"
 )
 results = []
 

@@ -13,7 +13,7 @@ import argparse
 import time
 from pathlib import Path
 
-from repro.core.disclosure import max_disclosure_series, min_k_to_breach
+from repro.core.disclosure import min_k_to_breach
 from repro.core.minimize1 import Minimize1Solver
 from repro.core.minimize2 import min_ratio_table
 from repro.data.adult import ADULT_SCHEMA, ADULT_SIZE

@@ -18,6 +18,35 @@ Quickstart
 >>> is_ck_safe(b, c=0.7, k=1)
 True
 
+Engine architecture
+-------------------
+The framework is parametric in the background-knowledge language, and so is
+this package: every disclosure computation flows through
+:mod:`repro.engine`, a pluggable adversary-model layer.
+
+- :class:`AdversaryModel` is the protocol one background-knowledge language
+  implements (worst-case ``disclosure``, batched ``series``, optional
+  ``witness`` and ``worst_bucket``); a string-keyed registry
+  (:func:`register_adversary` / :func:`get_adversary` /
+  :func:`available_adversaries`) holds the built-ins — ``implication``
+  (``L^k_basic``), ``negation`` (ℓ-diversity), ``weighted`` (cost-based),
+  ``probabilistic`` (Jeffrey conditionalization) and ``sampling``
+  (Monte Carlo).
+- :class:`DisclosureEngine` evaluates any registered model with one shared
+  cache keyed by ``(model, params, k, signature multiset)`` and one shared
+  MINIMIZE1 solver, and offers batch APIs (``series``, ``evaluate_many``,
+  ``compare``) plus uniform exact/float handling, safety checks, and
+  adversary-parametric lattice search.
+- Every consumer — :class:`SafetyChecker` / :func:`is_ck_safe`, greedy
+  :func:`suppress_to_safety`, the lattice searches, the Figure 5/6
+  experiments, and the CLI ``--adversary`` flag — is a thin wrapper over the
+  engine, so registering a new model makes it available everywhere at once.
+
+>>> from repro import DisclosureEngine
+>>> engine = DisclosureEngine()
+>>> round(engine.evaluate(b, 1, model="negation"), 4)
+0.6667
+
 See ``README.md`` for the architecture and ``DESIGN.md`` for the paper
 mapping.
 """
@@ -55,7 +84,15 @@ from repro.data import (
     adult_hierarchies,
     generate_adult,
 )
-from repro.errors import ReproError
+from repro.engine import (
+    AdversaryModel,
+    DisclosureEngine,
+    EngineStats,
+    available_adversaries,
+    get_adversary,
+    register_adversary,
+)
+from repro.errors import ReproError, UnknownAdversaryError
 from repro.generalization import (
     GeneralizationLattice,
     Hierarchy,
@@ -64,6 +101,7 @@ from repro.generalization import (
     find_best_safe_node,
     find_minimal_safe_nodes,
     generalize_table,
+    node_safety_predicate,
 )
 from repro.knowledge import (
     Atom,
@@ -115,6 +153,13 @@ __all__ = [
     "weighted_implication_bounds",
     "worst_case_witness",
     "WorstCaseWitness",
+    # engine
+    "AdversaryModel",
+    "DisclosureEngine",
+    "EngineStats",
+    "register_adversary",
+    "get_adversary",
+    "available_adversaries",
     # generalization
     "Hierarchy",
     "GeneralizationLattice",
@@ -123,6 +168,8 @@ __all__ = [
     "find_minimal_safe_nodes",
     "find_best_safe_node",
     "binary_search_chain",
+    "node_safety_predicate",
     # errors
     "ReproError",
+    "UnknownAdversaryError",
 ]

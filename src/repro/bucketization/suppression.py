@@ -3,10 +3,16 @@
 Suppression (Samarati & Sweeney; Cox 1980) removes tuples entirely instead
 of coarsening them. Within this paper's framework, removing a tuple changes
 its bucket's histogram; the greedy sanitizer here repeatedly suppresses one
-tuple from the currently worst bucket — the tuple carrying that bucket's
-*most frequent* sensitive value, since worst-case disclosure within a bucket
-is driven by its top frequency — until (c,k)-safety holds or the bucket is
-exhausted.
+tuple from the currently worst bucket — the tuple carrying the value the
+adversary model says drives that bucket's worst case (the most frequent
+value for probability-scaled models, the cost-optimal target for weighted
+ones) — until (c,k)-safety holds or the bucket is exhausted.
+
+The sanitizer is adversary-parametric: disclosure goes through a
+:class:`~repro.engine.engine.DisclosureEngine` and the "worst bucket" choice
+is delegated to the adversary model (each model knows which bucket attains
+its worst case), so the same greedy loop sanitizes against implications,
+negations, or weighted attackers.
 
 Greedy suppression is not guaranteed minimal (minimal suppression is
 NP-hard already for k-anonymity); the tests check soundness (the result is
@@ -17,11 +23,14 @@ dropped entirely only when no sub-multiset of them can be made safe.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.bucketization.bucket import Bucket
 from repro.bucketization.bucketization import Bucketization
-from repro.core.minimize1 import Minimize1Solver
-from repro.core.disclosure import max_disclosure
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle: engine builds on core
+    from repro.engine.base import AdversaryModel
+    from repro.engine.engine import DisclosureEngine
 
 __all__ = ["SuppressionResult", "suppress_to_safety"]
 
@@ -37,7 +46,7 @@ class SuppressionResult:
     suppressed:
         Person ids removed, in suppression order.
     disclosure:
-        Maximum disclosure of the result (0.0 when nothing remains).
+        Worst-case disclosure of the result (0.0 when nothing remains).
     """
 
     bucketization: Bucketization | None
@@ -45,28 +54,41 @@ class SuppressionResult:
     disclosure: float
 
 
-def _without_one_top_value(bucket: Bucket) -> Bucket | None:
-    """Remove one tuple holding the bucket's most frequent value; ``None``
-    when the bucket would become empty."""
+def _without_one_value(bucket: Bucket, value) -> Bucket | None:
+    """Remove one tuple holding ``value`` (the model's worst-case driver);
+    ``None`` when the bucket would become empty."""
     if bucket.size == 1:
         return None
-    top = bucket.top_value
     pids = list(bucket.person_ids)
     values = list(bucket.sensitive_values)
-    index = values.index(top)
+    index = values.index(value)
     del pids[index], values[index]
     return Bucket(pids, values)
 
 
 def suppress_to_safety(
-    bucketization: Bucketization, c: float, k: int
+    bucketization: Bucketization,
+    c: float,
+    k: int,
+    *,
+    model: str | AdversaryModel = "implication",
+    engine: DisclosureEngine | None = None,
 ) -> SuppressionResult:
     """Greedily suppress tuples until the bucketization is (c,k)-safe.
 
-    Each round recomputes the maximum disclosure, finds a bucket whose local
-    worst case attains it, and suppresses one of that bucket's top-value
+    Each round recomputes the worst-case disclosure, asks the adversary model
+    for a bucket attaining it, and suppresses one of that bucket's top-value
     tuples (or the whole bucket once it is a singleton). Terminates because
     every round removes at least one tuple.
+
+    Parameters
+    ----------
+    model:
+        Adversary model name or instance to sanitize against (default: the
+        paper's ``L^k_basic`` implications).
+    engine:
+        Optional shared :class:`~repro.engine.engine.DisclosureEngine`; pass
+        one across calls to reuse per-signature DP work.
 
     Returns
     -------
@@ -74,33 +96,32 @@ def suppress_to_safety(
         ``bucketization=None`` if safety is unachievable even by suppressing
         everything (c so strict that any single bucket violates it).
     """
-    if not 0 < c <= 1:
-        raise ValueError(f"threshold c must be in (0, 1], got {c}")
+    from repro.engine.engine import DisclosureEngine
+
     if k < 0:
         raise ValueError(f"k must be non-negative, got {k}")
 
-    solver = Minimize1Solver()
+    if engine is None:
+        engine = DisclosureEngine()
+    adversary = engine.model(model)
+    threshold = engine.threshold(c, model=adversary)
     suppressed: list = []
     buckets = list(bucketization.buckets)
 
-    def bucket_ratio(bucket: Bucket) -> float:
-        n = bucket.size
-        return solver.minimum(bucket.signature, k + 1) * n / bucket.top_frequency
-
     while buckets:
         current = Bucketization(buckets)
-        disclosure = max_disclosure(current, k, solver=solver)
-        if disclosure < c:
+        disclosure = engine.evaluate(current, k, model=adversary)
+        if disclosure < threshold:
             return SuppressionResult(
                 bucketization=current,
                 suppressed=tuple(suppressed),
                 disclosure=disclosure,
             )
-        # The observed single-bucket concentration means some bucket's local
-        # ratio attains the global minimum; shrink the worst one.
-        worst_index = min(range(len(buckets)), key=lambda i: bucket_ratio(buckets[i]))
+        worst_index = adversary.worst_bucket(current, k, context=engine.context)
         worst = buckets[worst_index]
-        shrunk = _without_one_top_value(worst)
+        shrunk = _without_one_value(
+            worst, adversary.worst_value(worst, k, context=engine.context)
+        )
         if shrunk is None:
             suppressed.extend(worst.person_ids)
             del buckets[worst_index]

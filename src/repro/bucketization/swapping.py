@@ -24,7 +24,7 @@ the tests check:
 from __future__ import annotations
 
 import random
-from collections.abc import Callable, Sequence
+from collections.abc import Callable
 from typing import Any
 
 from repro.bucketization.bucket import Bucket

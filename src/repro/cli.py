@@ -7,7 +7,8 @@ Subcommands
 ``fig5`` / ``fig6``
     Reproduce the paper's evaluation figures and print their data series.
 ``disclosure``
-    Maximum disclosure (implications and negations) of one anonymization.
+    Maximum disclosure of one anonymization (by default both the implication
+    and negation adversaries; ``--adversary`` selects any registered model).
 ``search``
     Find all minimal (c,k)-safe lattice nodes and the best one by precision.
 ``witness``
@@ -21,7 +22,10 @@ Subcommands
 
 Every command accepts ``--rows``/``--seed`` to control the synthetic dataset
 or ``--csv`` to use a file produced by ``generate`` (or the real Adult data
-converted with :func:`repro.data.loader.load_adult_file`).
+converted with :func:`repro.data.loader.load_adult_file`). The disclosure
+analysis commands (``disclosure``, ``search``, ``breach``, ``witness``)
+accept ``--adversary`` with any model name from the engine registry
+(:func:`repro.engine.base.available_adversaries`).
 """
 
 from __future__ import annotations
@@ -30,17 +34,17 @@ import argparse
 import sys
 from collections.abc import Sequence
 
-from repro.core.disclosure import max_disclosure, min_k_to_breach
-from repro.core.negation import max_disclosure_negations
+from repro.core.negation import NegationWitness
 from repro.core.safety import SafetyChecker
 from repro.core.sampling import sample_probability
-from repro.core.witness import worst_case_witness
+from repro.core.witness import WorstCaseWitness
+from repro.engine import DisclosureEngine, available_adversaries
 from repro.knowledge.parser import parse_atom, parse_conjunction
 from repro.data.adult import ADULT_SCHEMA, ADULT_SIZE
 from repro.data.hierarchies import adult_hierarchies
 from repro.data.loader import load_csv, save_csv
 from repro.data.table import Table
-from repro.errors import SearchError
+from repro.errors import ReproError
 from repro.experiments.fig5 import FIG5_NODE, run_figure5
 from repro.experiments.fig6 import run_figure6
 from repro.experiments.runner import (
@@ -52,7 +56,11 @@ from repro.experiments.runner import (
 )
 from repro.generalization.apply import bucketize_at
 from repro.generalization.lattice import GeneralizationLattice
-from repro.generalization.search import SearchStats, find_minimal_safe_nodes
+from repro.generalization.search import (
+    SearchStats,
+    find_minimal_safe_nodes,
+    node_safety_predicate,
+)
 from repro.utility.metrics import precision
 
 __all__ = ["main", "build_parser"]
@@ -70,6 +78,17 @@ def _add_dataset_options(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--csv", type=str, default=None, help="load this CSV instead of generating"
+    )
+
+
+def _add_adversary_option(
+    parser: argparse.ArgumentParser, *, default: str = "implication"
+) -> None:
+    parser.add_argument(
+        "--adversary",
+        choices=available_adversaries(),
+        default=default,
+        help=f"background-knowledge model (default {default})",
     )
 
 
@@ -125,6 +144,12 @@ def build_parser() -> argparse.ArgumentParser:
     _add_dataset_options(p_disc)
     p_disc.add_argument("--node", type=_parse_node, default=FIG5_NODE)
     p_disc.add_argument("--k", type=int, default=3, help="attacker power")
+    p_disc.add_argument(
+        "--adversary",
+        choices=available_adversaries(),
+        default=None,
+        help="report a single model (default: both implication and negation)",
+    )
 
     p_search = sub.add_parser(
         "search", help="find minimal (c,k)-safe lattice nodes"
@@ -137,6 +162,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="use the multi-phase Incognito search (subset pruning)",
     )
+    _add_adversary_option(p_search)
 
     p_wit = sub.add_parser(
         "witness", help="print a worst-case formula for an anonymization"
@@ -144,6 +170,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_dataset_options(p_wit)
     p_wit.add_argument("--node", type=_parse_node, default=FIG5_NODE)
     p_wit.add_argument("--k", type=int, default=2, help="attacker power")
+    _add_adversary_option(p_wit)
 
     p_breach = sub.add_parser(
         "breach", help="min attacker power reaching a disclosure level"
@@ -153,6 +180,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_breach.add_argument(
         "--level", type=float, default=1.0, help="disclosure level to reach"
     )
+    _add_adversary_option(p_breach)
 
     p_est = sub.add_parser(
         "estimate",
@@ -216,18 +244,35 @@ def _cmd_fig6(args: argparse.Namespace) -> int:
 def _cmd_disclosure(args: argparse.Namespace) -> int:
     table = _load_table(args)
     bucketization = bucketize_at(table, _adult_lattice(), args.node)
-    implication = max_disclosure(bucketization, args.k)
-    negation = max_disclosure_negations(bucketization, args.k)
+    engine = DisclosureEngine()
     print(f"node {tuple(args.node)}: {len(bucketization)} buckets")
-    print(f"max disclosure, {args.k} implications : {implication:.6f}")
-    print(f"max disclosure, {args.k} negations    : {negation:.6f}")
+    if args.adversary is None:
+        comparison = engine.compare(
+            bucketization, [args.k], models=("implication", "negation")
+        )
+        implication = comparison["implication"][args.k]
+        negation = comparison["negation"][args.k]
+        print(f"max disclosure, {args.k} implications : {implication:.6f}")
+        print(f"max disclosure, {args.k} negations    : {negation:.6f}")
+    else:
+        value = engine.evaluate(bucketization, args.k, model=args.adversary)
+        print(
+            f"max disclosure, {args.adversary} adversary, k={args.k} : "
+            f"{float(value):.6f}"
+        )
     return 0
 
 
 def _cmd_search(args: argparse.Namespace) -> int:
     table = _load_table(args)
     lattice = _adult_lattice()
-    checker = SafetyChecker(args.c, args.k)
+    checker = SafetyChecker(args.c, args.k, model=args.adversary)
+    if not checker.model.monotone:
+        print(
+            f"warning: the {checker.model.name!r} adversary is not monotone "
+            f"under generalization; pruning may misreport minimal nodes",
+            file=sys.stderr,
+        )
     if args.incognito:
         from repro.generalization.incognito import (
             IncognitoStats,
@@ -241,8 +286,8 @@ def _cmd_search(args: argparse.Namespace) -> int:
             )
         )
         print(
-            f"(c={args.c}, k={args.k})-safety via multi-phase Incognito: "
-            f"{len(minimal)} minimal safe node(s); "
+            f"(c={args.c}, k={args.k})-safety [{args.adversary}] via "
+            f"multi-phase Incognito: {len(minimal)} minimal safe node(s); "
             f"{incognito_stats.final_phase_evaluated} full-lattice checks "
             f"({incognito_stats.evaluated} incl. subset phases)"
         )
@@ -250,11 +295,12 @@ def _cmd_search(args: argparse.Namespace) -> int:
         stats = SearchStats()
         minimal = find_minimal_safe_nodes(
             lattice,
-            lambda node: checker.is_safe(bucketize_at(table, lattice, node)),
+            node_safety_predicate(table, lattice, checker),
             stats=stats,
         )
         print(
-            f"(c={args.c}, k={args.k})-safety: {len(minimal)} minimal safe "
+            f"(c={args.c}, k={args.k})-safety [{args.adversary}]: "
+            f"{len(minimal)} minimal safe "
             f"node(s); {stats.predicate_checks} checks, {stats.pruned} pruned "
             f"of {stats.nodes_total} nodes"
         )
@@ -275,19 +321,44 @@ def _cmd_search(args: argparse.Namespace) -> int:
 def _cmd_witness(args: argparse.Namespace) -> int:
     table = _load_table(args)
     bucketization = bucketize_at(table, _adult_lattice(), args.node)
-    witness = worst_case_witness(bucketization, args.k)
-    print(f"disclosure {witness.disclosure:.6f} via consequent {witness.consequent}")
-    for implication in witness.implications:
-        print(f"  {implication}")
+    engine = DisclosureEngine()
+    try:
+        witness = engine.witness(bucketization, args.k, model=args.adversary)
+    except NotImplementedError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if isinstance(witness, WorstCaseWitness):
+        print(
+            f"disclosure {witness.disclosure:.6f} via consequent "
+            f"{witness.consequent}"
+        )
+        for implication in witness.implications:
+            print(f"  {implication}")
+    elif isinstance(witness, NegationWitness):
+        print(
+            f"disclosure {witness.disclosure:.6f} via target "
+            f"t[{witness.person}] = {witness.target_value} "
+            f"(bucket {witness.bucket_index})"
+        )
+        for value in witness.negated_values:
+            print(f"  NOT t[{witness.person}] = {value}")
+    else:  # future plugins: rely on the uniform `disclosure` attribute
+        print(f"disclosure {float(witness.disclosure):.6f}")
+        print(f"  {witness}")
     return 0
 
 
 def _cmd_breach(args: argparse.Namespace) -> int:
     table = _load_table(args)
     bucketization = bucketize_at(table, _adult_lattice(), args.node)
-    k = min_k_to_breach(bucketization, args.level)
+    engine = DisclosureEngine()
+    k = engine.min_k_to_breach(bucketization, args.level, model=args.adversary)
+    pieces = {
+        "implication": "basic implication(s)",
+        "negation": "negated atom(s)",
+    }.get(args.adversary, f"piece(s) of {args.adversary} knowledge")
     print(
-        f"node {tuple(args.node)}: {k} basic implication(s) suffice to reach "
+        f"node {tuple(args.node)}: {k} {pieces} suffice to reach "
         f"disclosure >= {args.level}"
     )
     return 0
@@ -353,7 +424,10 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     try:
         return _COMMANDS[args.command](args)
-    except SearchError as exc:
+    except (ReproError, ValueError) as exc:
+        # Library errors (no safe node, oracle guard tripped by an
+        # oracle-only adversary, inconsistent knowledge) and argument
+        # validation both surface as one clean diagnostic.
         print(f"error: {exc}", file=sys.stderr)
         return 1
 

@@ -17,7 +17,7 @@ from collections.abc import Iterable
 from fractions import Fraction
 
 from repro.bucketization.bucketization import Bucketization
-from repro.core.minimize1 import INFEASIBLE, Minimize1Solver
+from repro.core.minimize1 import INFEASIBLE, Minimize1Solver, resolve_solver
 from repro.core.minimize2 import min_ratio_table
 
 __all__ = [
@@ -41,15 +41,16 @@ def min_formula1_ratio(
     bucketization: Bucketization,
     k: int,
     *,
-    exact: bool = False,
+    exact: bool | None = None,
     solver: Minimize1Solver | None = None,
 ):
     """Minimum of Formula (1) over placements of ``k`` antecedent atoms and
     the consequent atom (Section 3.3.3)."""
     if k < 0:
         raise ValueError(f"k must be non-negative, got {k}")
+    solver = resolve_solver(exact, solver)
     signatures = [bucket.signature for bucket in bucketization.buckets]
-    table = min_ratio_table(signatures, k, solver=solver, exact=exact)
+    table = min_ratio_table(signatures, k, solver=solver)
     return table[k]
 
 
@@ -57,7 +58,7 @@ def max_disclosure(
     bucketization: Bucketization,
     k: int,
     *,
-    exact: bool = False,
+    exact: bool | None = None,
     solver: Minimize1Solver | None = None,
 ):
     """Maximum disclosure of ``bucketization`` w.r.t. ``L^k_basic``.
@@ -69,7 +70,9 @@ def max_disclosure(
     k:
         Bound on the attacker's power: number of basic implications known.
     exact:
-        Return an exact :class:`~fractions.Fraction` (float otherwise).
+        Return an exact :class:`~fractions.Fraction` (float otherwise). The
+        default ``None`` inherits the solver's mode; an explicit value that
+        contradicts a provided solver raises :class:`ValueError`.
     solver:
         Optional shared :class:`~repro.core.minimize1.Minimize1Solver`; pass
         one instance across many bucketizations to reuse per-signature work.
@@ -93,8 +96,7 @@ def max_disclosure(
     >>> max_disclosure(figure3, 1, exact=True)
     Fraction(2, 3)
     """
-    if solver is None:
-        solver = Minimize1Solver(exact=exact)
+    solver = resolve_solver(exact, solver)
     ratio = min_formula1_ratio(bucketization, k, solver=solver)
     return _to_disclosure(ratio, exact=solver.exact)
 
@@ -103,22 +105,23 @@ def max_disclosure_series(
     bucketization: Bucketization,
     ks: Iterable[int],
     *,
-    exact: bool = False,
+    exact: bool | None = None,
     solver: Minimize1Solver | None = None,
 ) -> dict[int, object]:
     """Maximum disclosure for several ``k`` values at the cost of one.
 
     A single MINIMIZE2 pass computes every ``k <= max(ks)`` (the DP tables
     are shared), so sweeping ``k`` — as both Figures 5 and 6 do — costs the
-    same as the largest single query.
+    same as the largest single query. ``exact``/``solver`` resolve exactly as
+    in :func:`max_disclosure` (the solver's mode wins; explicit conflicts
+    raise).
     """
     ks = sorted(set(ks))
     if not ks:
         return {}
     if ks[0] < 0:
         raise ValueError(f"k must be non-negative, got {ks[0]}")
-    if solver is None:
-        solver = Minimize1Solver(exact=exact)
+    solver = resolve_solver(exact, solver)
     signatures = [bucket.signature for bucket in bucketization.buckets]
     table = min_ratio_table(signatures, ks[-1], solver=solver)
     return {

@@ -17,9 +17,10 @@ oracle.
 
 from __future__ import annotations
 
-from collections.abc import Callable, Iterator, Mapping, Sequence
+from collections import Counter
+from collections.abc import Callable, Iterator, Mapping
 from fractions import Fraction
-from functools import reduce
+from functools import lru_cache, reduce
 from itertools import permutations, product
 from math import factorial
 from typing import Any
@@ -60,6 +61,24 @@ def _as_event(formula: Any) -> Event:
     raise TypeError(f"not a formula or predicate: {formula!r}")
 
 
+#: Only memoize assignment lists for buckets this small: 6! = 720 orderings
+#: per entry keeps the whole 256-entry cache in the low megabytes, where a
+#: larger cutoff (8! = 40,320 per entry) could still pin ~1 GB for the
+#: process lifetime.
+_ASSIGNMENT_CACHE_MAX_TUPLES = 6
+
+
+@lru_cache(maxsize=256)
+def _multiset_assignments(values: tuple) -> tuple[tuple, ...]:
+    """Distinct orderings of a small value multiset, memoized.
+
+    Keyed by the multiset in canonical (repr-sorted) order: buckets sharing a
+    value multiset — rampant in oracle sweeps over many bucketizations —
+    enumerate their ``n!`` permutations once.
+    """
+    return tuple(sorted(set(permutations(values)), key=repr))
+
+
 def bucket_assignments(bucket: Bucket) -> list[tuple]:
     """All distinct assignments of the bucket's multiset to its people.
 
@@ -68,7 +87,11 @@ def bucket_assignments(bucket: Bucket) -> list[tuple]:
     distinct assignment corresponds to the same number of orderings
     (``prod_s n_b(s)!``), distinct assignments are equally likely.
     """
-    return sorted(set(permutations(bucket.sensitive_values)), key=repr)
+    values = bucket.sensitive_values
+    if len(values) > _ASSIGNMENT_CACHE_MAX_TUPLES:
+        return sorted(set(permutations(values)), key=repr)
+    key = tuple(sorted(values, key=repr))
+    return list(_multiset_assignments(key))
 
 
 def world_count(bucketization: Bucketization) -> int:
@@ -98,7 +121,7 @@ def enumerate_worlds(
     if total > MAX_WORLDS:
         raise InconsistentWorldError(
             f"{total} worlds exceed the enumeration guard ({MAX_WORLDS}); "
-            f"use the polynomial algorithms for instances this large"
+            "use the polynomial algorithms for instances this large"
         )
     per_bucket = [bucket_assignments(b) for b in bucketization.buckets]
     pid_lists = [b.person_ids for b in bucketization.buckets]
@@ -154,14 +177,12 @@ def exact_disclosure_risk(
     """
     given_fn = _as_event(phi) if phi is not None else None
     conditioning = 0
-    counts: dict[tuple[Any, Any], int] = {}
+    counts: Counter[tuple[Any, Any]] = Counter()
     for world in enumerate_worlds(bucketization):
         if given_fn is not None and not given_fn(world):
             continue
         conditioning += 1
-        for person, value in world.items():
-            key = (person, value)
-            counts[key] = counts.get(key, 0) + 1
+        counts.update(world.items())
     if conditioning == 0:
         raise InconsistentWorldError(
             "phi is inconsistent with the bucketization"
@@ -173,15 +194,13 @@ def exact_disclosure_risk(
 def _risk_over_worlds(worlds: list[dict], event: Event | None) -> Fraction | None:
     """Definition 5 over a pre-materialized world list; ``None`` when no
     world satisfies ``event``."""
-    counts: dict[tuple[Any, Any], int] = {}
+    counts: Counter[tuple[Any, Any]] = Counter()
     conditioning = 0
     for world in worlds:
         if event is not None and not event(world):
             continue
         conditioning += 1
-        for person, value in world.items():
-            key = (person, value)
-            counts[key] = counts.get(key, 0) + 1
+        counts.update(world.items())
     if conditioning == 0:
         return None
     return Fraction(max(counts.values()), conditioning)

@@ -37,6 +37,7 @@ __all__ = [
     "minimize1_reference",
     "best_partition",
     "Minimize1Solver",
+    "resolve_solver",
 ]
 
 #: Marker for infeasible placements (more people needed than the bucket has).
@@ -239,3 +240,25 @@ class Minimize1Solver:
     def known_signatures(self) -> int:
         """Number of distinct bucket signatures solved so far."""
         return len(self._memo)
+
+
+def resolve_solver(
+    exact: bool | None, solver: Minimize1Solver | None
+) -> Minimize1Solver:
+    """One rule for the ``exact``/``solver`` keyword pair, shared by every
+    disclosure entry point.
+
+    ``exact=None`` (the default) inherits the solver's mode, or float when no
+    solver is passed. Passing both ``exact`` and a solver whose mode differs
+    is an error: the solver's memoized tables are in one arithmetic, and
+    silently answering in the other hides a float/Fraction mixup at the
+    call site.
+    """
+    if solver is None:
+        return Minimize1Solver(exact=bool(exact))
+    if exact is not None and bool(exact) != solver.exact:
+        raise ValueError(
+            f"exact={exact} conflicts with the provided solver's "
+            f"exact={solver.exact}; pass a matching solver or drop `exact`"
+        )
+    return solver

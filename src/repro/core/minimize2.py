@@ -36,7 +36,7 @@ from collections import Counter
 from collections.abc import Sequence
 from fractions import Fraction
 
-from repro.core.minimize1 import INFEASIBLE, Minimize1Solver
+from repro.core.minimize1 import INFEASIBLE, Minimize1Solver, resolve_solver
 
 __all__ = ["min_ratio_table", "effective_signatures", "MinRatioComputation"]
 
@@ -146,7 +146,7 @@ def min_ratio_table(
     max_k: int,
     *,
     solver: Minimize1Solver | None = None,
-    exact: bool = False,
+    exact: bool | None = None,
     dedupe: bool = True,
 ) -> list:
     """Minimum of Formula (1) for every ``k in 0..max_k`` over a bucketization
@@ -160,13 +160,14 @@ def min_ratio_table(
     solver:
         Reuse a solver to share MINIMIZE1 memoization across calls (the
         incremental-cost remark of Section 3.3.3); a fresh one is created
-        otherwise with the requested ``exact`` mode.
+        otherwise with the requested ``exact`` mode. ``exact``/``solver``
+        resolve via :func:`repro.core.minimize1.resolve_solver` (the solver's
+        mode wins; explicit conflicts raise).
     dedupe:
         Collapse equal signatures (always safe; disable only to measure the
         undeduplicated algorithm).
     """
-    if solver is None:
-        solver = Minimize1Solver(exact=exact)
+    solver = resolve_solver(exact, solver)
     sigs = list(signatures)
     if dedupe:
         sigs = effective_signatures(sigs, max_k + 1)

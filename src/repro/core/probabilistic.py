@@ -20,6 +20,7 @@ certainty. Exact and small-instance only, like everything oracle-based.
 
 from __future__ import annotations
 
+from collections import Counter
 from fractions import Fraction
 from typing import Any
 
@@ -104,8 +105,8 @@ def jeffrey_disclosure_risk(
     phi_fn = _as_event(phi)
 
     with_phi = without_phi = 0
-    counts_phi: dict[tuple, int] = {}
-    counts_not: dict[tuple, int] = {}
+    counts_phi: Counter[tuple] = Counter()
+    counts_not: Counter[tuple] = Counter()
     for world in enumerate_worlds(bucketization):
         if phi_fn(world):
             with_phi += 1
@@ -113,9 +114,7 @@ def jeffrey_disclosure_risk(
         else:
             without_phi += 1
             target = counts_not
-        for person, value in world.items():
-            key = (person, value)
-            target[key] = target.get(key, 0) + 1
+        target.update(world.items())
 
     if q > 0 and with_phi == 0:
         raise InconsistentWorldError("confidence in an impossible formula")

@@ -6,35 +6,57 @@ monotone along the paper's partial order (coarser is never less safe), which
 is what lets Incognito-style search and binary search find minimal safe
 bucketizations.
 
-:class:`SafetyChecker` memoizes on the multiset of bucket signatures: two
-bucketizations that partition people differently but induce the same
-signature multiset have identical maximum disclosure, and during a lattice
-sweep that happens constantly.
+Both entry points are thin wrappers over the
+:class:`~repro.engine.engine.DisclosureEngine`, so safety is defined for
+*any* registered adversary model, not just implications: pass
+``model="negation"`` (or a parameterized :class:`~repro.engine.base.AdversaryModel`
+instance) to check safety against the ℓ-diversity attacker instead. The
+signature-multiset memoization that used to live privately in
+:class:`SafetyChecker` is now the engine's shared cache — a checker driving a
+lattice sweep re-solves only genuinely new bucket shapes, and several
+checkers can share one engine (and hence one cache) across thresholds.
 """
 
 from __future__ import annotations
 
-from fractions import Fraction
+from typing import TYPE_CHECKING
 
 from repro.bucketization.bucketization import Bucketization
-from repro.core.disclosure import max_disclosure
-from repro.core.minimize1 import Minimize1Solver
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle: engine builds on core
+    from repro.engine.base import AdversaryModel
+    from repro.engine.engine import DisclosureEngine
 
 __all__ = ["is_ck_safe", "SafetyChecker"]
 
 
+def _validate_k(k: int) -> None:
+    if k < 0:
+        raise ValueError(f"k must be non-negative, got {k}")
+
+
 def is_ck_safe(
-    bucketization: Bucketization, c: float, k: int, *, exact: bool = False
+    bucketization: Bucketization,
+    c: float,
+    k: int,
+    *,
+    exact: bool = False,
+    model: str | AdversaryModel = "implication",
 ) -> bool:
-    """True iff the maximum disclosure w.r.t. ``L^k_basic`` is below ``c``.
+    """True iff the worst-case disclosure against ``model`` is below ``c``.
 
     Parameters
     ----------
     c:
-        Disclosure threshold in (0, 1]; ``c = 1`` tolerates everything short
-        of certainty, smaller ``c`` is stricter.
+        Disclosure threshold in (0, 1] — or any positive value for models
+        whose disclosure is not a probability (``unbounded_scale``, e.g. the
+        cost-weighted adversary); ``c = 1`` tolerates everything short of
+        certainty, smaller ``c`` is stricter.
     k:
-        Attacker power: number of basic implications.
+        Attacker power: number of pieces of background knowledge.
+    model:
+        Adversary model name (default: the paper's ``L^k_basic``
+        implications) or a model instance.
 
     Examples
     --------
@@ -44,66 +66,75 @@ def is_ck_safe(
     True
     >>> is_ck_safe(b, 0.5, 1)
     False
+    >>> is_ck_safe(b, 0.75, 1, model="negation")
+    True
     """
-    if not 0 < c <= 1:
-        raise ValueError(f"threshold c must be in (0, 1], got {c}")
-    if k < 0:
-        raise ValueError(f"k must be non-negative, got {k}")
-    return max_disclosure(bucketization, k, exact=exact) < c
+    from repro.engine.engine import DisclosureEngine
+
+    _validate_k(k)
+    return DisclosureEngine(exact=exact).is_safe(bucketization, c, k, model=model)
 
 
 class SafetyChecker:
     """Reusable (c,k)-safety checker with cross-bucketization caching.
 
-    One instance shares a single :class:`~repro.core.minimize1.Minimize1Solver`
-    (per-signature DP memo) and caches whole-bucketization disclosures keyed
-    by the signature multiset, so sweeping a generalization lattice re-solves
-    only genuinely new bucket shapes — the paper's incremental-cost remark
-    (end of Section 3.3.3) realized.
+    One instance rides a :class:`~repro.engine.engine.DisclosureEngine`
+    (shared MINIMIZE1 solver plus the signature-multiset cache), so sweeping
+    a generalization lattice re-solves only genuinely new bucket shapes —
+    the paper's incremental-cost remark (end of Section 3.3.3) realized, for
+    every adversary model.
 
     Parameters
     ----------
     c, k:
         The safety threshold and attacker power (fixed per checker).
     exact:
-        Use exact fractions throughout.
+        Use exact fractions throughout (ignored when ``engine`` is given —
+        the engine's mode wins).
+    model:
+        Adversary model name or instance (default ``"implication"``).
+    engine:
+        Optional shared engine; pass one instance across several checkers
+        (different ``c``/``k``/``model``) to pool their caches.
     """
 
-    def __init__(self, c: float, k: int, *, exact: bool = False) -> None:
-        if not 0 < c <= 1:
-            raise ValueError(f"threshold c must be in (0, 1], got {c}")
-        if k < 0:
-            raise ValueError(f"k must be non-negative, got {k}")
+    def __init__(
+        self,
+        c: float,
+        k: int,
+        *,
+        exact: bool = False,
+        model: str | AdversaryModel = "implication",
+        engine: DisclosureEngine | None = None,
+    ) -> None:
+        from repro.engine.engine import DisclosureEngine
+
+        _validate_k(k)
         self.c = c
         self.k = k
-        self.solver = Minimize1Solver(exact=exact)
-        self._cache: dict[frozenset, object] = {}
+        self.engine = engine if engine is not None else DisclosureEngine(exact=exact)
+        self.model = self.engine.model(model)
+        # Validates c against the model's scale; fixed for the checker's life.
+        self._threshold = self.engine.threshold(c, model=self.model)
         self.checks = 0
         self.cache_hits = 0
 
-    def _key(self, bucketization: Bucketization) -> frozenset:
-        return frozenset(bucketization.signature_multiset().items())
+    @property
+    def solver(self):
+        """The engine's shared MINIMIZE1 solver (kept for API compatibility)."""
+        return self.engine.context.solver
 
     def disclosure(self, bucketization: Bucketization):
-        """Maximum disclosure w.r.t. ``L^k_basic`` (cached)."""
+        """Worst-case disclosure against the checker's model (cached)."""
         self.checks += 1
-        key = self._key(bucketization)
-        cached = self._cache.get(key)
-        if cached is not None:
-            self.cache_hits += 1
-            return cached
-        value = max_disclosure(bucketization, self.k, solver=self.solver)
-        self._cache[key] = value
+        hits_before = self.engine.stats.cache_hits
+        value = self.engine.evaluate(bucketization, self.k, model=self.model)
+        self.cache_hits += self.engine.stats.cache_hits - hits_before
         return value
 
     def is_safe(self, bucketization: Bucketization) -> bool:
         """(c,k)-safety of ``bucketization`` (Definition 13)."""
-        threshold = (
-            Fraction(self.c).limit_denominator()
-            if self.solver.exact
-            else self.c
-        )
-        return self.disclosure(bucketization) < threshold
+        return self.disclosure(bucketization) < self._threshold
 
     def __call__(self, bucketization: Bucketization) -> bool:
         return self.is_safe(bucketization)

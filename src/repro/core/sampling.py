@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import math
 import random
+from collections import Counter
 from collections.abc import Callable, Mapping
 from dataclasses import dataclass
 from typing import Any
@@ -131,7 +132,7 @@ def sample_probability(
     if accepted == 0:
         raise InconsistentWorldError(
             f"no world among {samples} samples satisfied the conditioning "
-            f"formula; it is inconsistent or too rare for rejection sampling"
+            "formula; it is inconsistent or too rare for rejection sampling"
         )
     low, high = _wilson(hits, accepted)
     return SampledProbability(
@@ -160,15 +161,13 @@ def sample_disclosure_risk(
         given_fn = phi.holds_in if hasattr(phi, "holds_in") else phi
     rng = random.Random(seed)
     accepted = 0
-    counts: dict[tuple[Any, Any], int] = {}
+    counts: Counter[tuple[Any, Any]] = Counter()
     for _ in range(samples):
         world = _draw_world(bucketization, rng)
         if given_fn is not None and not given_fn(world):
             continue
         accepted += 1
-        for person, value in world.items():
-            key = (person, value)
-            counts[key] = counts.get(key, 0) + 1
+        counts.update(world.items())
     if accepted == 0:
         raise InconsistentWorldError(
             f"no world among {samples} samples satisfied phi"

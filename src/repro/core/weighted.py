@@ -30,18 +30,18 @@ Three attackers are supported, in decreasing exactness:
 
 from __future__ import annotations
 
-from collections.abc import Iterator, Mapping
-from fractions import Fraction
+from collections import Counter
+from collections.abc import Mapping
 from typing import Any
 
 from repro.bucketization.bucketization import Bucketization
 from repro.core.disclosure import max_disclosure
-from repro.core.exact import _risk_over_worlds  # shared counting core
 from repro.core.exact import enumerate_worlds
 from repro.knowledge.language import enumerate_simple_conjunctions
 
 __all__ = [
     "weighted_baseline_disclosure",
+    "weighted_negation_candidates",
     "weighted_negation_disclosure",
     "weighted_implication_bounds",
     "exact_weighted_disclosure",
@@ -75,33 +75,42 @@ def weighted_baseline_disclosure(
     return best
 
 
+def weighted_negation_candidates(bucket, k: int, weights: Mapping[Any, float]):
+    """Yield ``(weighted disclosure, target value)`` for every target in one
+    bucket, each with its optimal ``k`` eliminations.
+
+    For a target value ``s``, the optimal ``k`` negations eliminate the most
+    frequent values other than ``s`` (eliminating mass from the denominator
+    never hurts and weights do not interact with the choice once the target
+    is fixed). This is the single source of the closed form — the
+    bucketization-level worst case and the greedy sanitizer's removal choice
+    both consume it.
+    """
+    counts = bucket.signature
+    order = bucket.values_by_frequency
+    n = bucket.size
+    for t, value in enumerate(order):
+        if t <= k:
+            eliminated = [j for j in range(min(k + 1, len(counts))) if j != t]
+        else:
+            eliminated = list(range(min(k, len(counts))))
+        removed = sum(counts[j] for j in eliminated)
+        yield _weight(weights, value) * counts[t] / (n - removed), value
+
+
 def weighted_negation_disclosure(
     bucketization: Bucketization, k: int, weights: Mapping[Any, float]
 ) -> float:
-    """Exact weighted worst case against ``k`` negated atoms.
-
-    For each bucket and each target value ``s``, the optimal ``k`` negations
-    eliminate the most frequent values other than ``s`` (eliminating mass
-    from the denominator never hurts and weights do not interact with the
-    choice once the target is fixed).
-    """
+    """Exact weighted worst case against ``k`` negated atoms (the maximum of
+    :func:`weighted_negation_candidates` over all buckets and targets)."""
     _validate_weights(weights)
     if k < 0:
         raise ValueError(f"k must be non-negative, got {k}")
-    best = 0.0
-    for bucket in bucketization.buckets:
-        counts = bucket.signature
-        order = bucket.values_by_frequency
-        n = bucket.size
-        for t, value in enumerate(order):
-            if t <= k:
-                eliminated = [j for j in range(min(k + 1, len(counts))) if j != t]
-            else:
-                eliminated = list(range(min(k, len(counts))))
-            removed = sum(counts[j] for j in eliminated)
-            candidate = _weight(weights, value) * counts[t] / (n - removed)
-            best = max(best, candidate)
-    return best
+    return max(
+        candidate
+        for bucket in bucketization.buckets
+        for candidate, _ in weighted_negation_candidates(bucket, k, weights)
+    )
 
 
 def weighted_implication_bounds(
@@ -133,15 +142,13 @@ def weighted_implication_bounds(
 def _weighted_risk(
     worlds: list[dict], weights: Mapping[Any, float], event
 ) -> float | None:
-    counts: dict[tuple[Any, Any], int] = {}
+    counts: Counter[tuple[Any, Any]] = Counter()
     accepted = 0
     for world in worlds:
         if event is not None and not event(world):
             continue
         accepted += 1
-        for person, value in world.items():
-            key = (person, value)
-            counts[key] = counts.get(key, 0) + 1
+        counts.update(world.items())
     if accepted == 0:
         return None
     return max(

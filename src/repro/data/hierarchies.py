@@ -9,7 +9,7 @@ full-domain generalization lattice has 6 x 3 x 2 x 2 = 72 nodes.
 
 from __future__ import annotations
 
-from repro.data.adult import ADULT_SCHEMA, MARITAL_STATUSES
+from repro.data.adult import MARITAL_STATUSES
 from repro.generalization.hierarchy import Hierarchy
 
 __all__ = ["adult_hierarchies", "MARITAL_GROUPING"]
@@ -38,6 +38,7 @@ def adult_hierarchies() -> dict[str, Hierarchy]:
 
     Examples
     --------
+    >>> from repro.data.adult import ADULT_SCHEMA
     >>> hs = adult_hierarchies()
     >>> [hs[a].num_levels for a in ADULT_SCHEMA.quasi_identifiers]
     [6, 3, 2, 2]

@@ -1,0 +1,52 @@
+"""Unified adversary-model engine: one pluggable disclosure layer.
+
+The framework of the paper is parametric in the background-knowledge
+language; this subsystem makes that parameter a first-class runtime object.
+
+- :mod:`repro.engine.base` — the :class:`AdversaryModel` protocol, the
+  string-keyed registry, and the :class:`EngineContext` shared state.
+- :mod:`repro.engine.models` — the five built-in models (``implication``,
+  ``negation``, ``weighted``, ``probabilistic``, ``sampling``), each a thin
+  wrapper over the corresponding :mod:`repro.core` algorithm.
+- :mod:`repro.engine.engine` — the :class:`DisclosureEngine`: shared
+  signature-multiset memoization across *all* models, batch evaluation over
+  many ``k`` / bucketizations / models, uniform exact-float handling and
+  witness reconstruction, plus adversary-parametric lattice search.
+
+Every consumer in this package — :class:`~repro.core.safety.SafetyChecker`,
+greedy suppression, Incognito/lattice search, the Figure 5/6 experiments and
+the CLI ``--adversary`` flag — goes through this layer, so a new adversary is
+a one-file plugin: subclass :class:`AdversaryModel`, decorate with
+:func:`register_adversary`, and it is available everywhere by name.
+"""
+
+from repro.engine.base import (
+    AdversaryModel,
+    EngineContext,
+    available_adversaries,
+    get_adversary,
+    register_adversary,
+)
+from repro.engine.engine import DisclosureEngine, EngineStats
+from repro.engine.models import (
+    ImplicationAdversary,
+    NegationAdversary,
+    ProbabilisticAdversary,
+    SamplingAdversary,
+    WeightedAdversary,
+)
+
+__all__ = [
+    "AdversaryModel",
+    "EngineContext",
+    "DisclosureEngine",
+    "EngineStats",
+    "register_adversary",
+    "get_adversary",
+    "available_adversaries",
+    "ImplicationAdversary",
+    "NegationAdversary",
+    "WeightedAdversary",
+    "ProbabilisticAdversary",
+    "SamplingAdversary",
+]

@@ -1,0 +1,244 @@
+"""The adversary-model protocol and its string-keyed registry.
+
+The paper's framework is *parametric* in the background-knowledge language:
+Definition 6 fixes a family of formulas and asks for the worst case over it,
+and Section 6 explicitly invites other families (negated atoms, cost-weighted
+atoms, probabilistic knowledge). In this package each family used to be a
+disconnected function cluster; this module gives them one shape:
+
+- :class:`AdversaryModel` — the protocol every background-knowledge language
+  implements: a worst-case ``disclosure`` for attacker power ``k``, an
+  optional batched ``series`` over many ``k``, an optional ``witness``
+  reconstruction, and the bits the engine needs for memoization
+  (:meth:`AdversaryModel.cache_key`, :meth:`AdversaryModel.params_key`).
+- :class:`EngineContext` — the shared evaluation state a
+  :class:`~repro.engine.engine.DisclosureEngine` threads through every model
+  call: the exact/float mode and one :class:`~repro.core.minimize1.Minimize1Solver`
+  whose per-signature DP memo is reused across models, bucketizations, and
+  calls (the Section 3.3.3 incremental-cost remark, generalized).
+- ``register_adversary`` / ``get_adversary`` / ``available_adversaries`` —
+  the registry that makes a new adversary a one-file plugin: subclass,
+  decorate, and every consumer (sanitizers, lattice search, experiments,
+  CLI ``--adversary``) can use it by name.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections.abc import Hashable, Iterable
+from typing import Any, ClassVar
+
+from repro.bucketization.bucketization import Bucketization
+from repro.core.minimize1 import Minimize1Solver
+from repro.errors import UnknownAdversaryError
+
+__all__ = [
+    "EngineContext",
+    "AdversaryModel",
+    "register_adversary",
+    "get_adversary",
+    "available_adversaries",
+]
+
+
+class EngineContext:
+    """Shared evaluation state handed to every model call by the engine.
+
+    Attributes
+    ----------
+    exact:
+        The engine's arithmetic mode. Models that support it return
+        :class:`~fractions.Fraction` when True; models that are inherently
+        floating-point (``supports_exact = False``) return floats either way.
+    solver:
+        One shared :class:`~repro.core.minimize1.Minimize1Solver`. Its memo is
+        keyed by bucket signature, so per-bucket DP work done for one model or
+        one bucketization is reused by every later call on the same context.
+    scratch:
+        A free-form dict for model-private cross-call state (keyed by model
+        name by convention); lets plugins memoize beyond what the engine's
+        whole-bucketization cache covers.
+    """
+
+    __slots__ = ("exact", "solver", "scratch")
+
+    def __init__(self, *, exact: bool = False) -> None:
+        self.exact = exact
+        self.solver = Minimize1Solver(exact=exact)
+        self.scratch: dict[Any, Any] = {}
+
+
+class AdversaryModel(abc.ABC):
+    """One background-knowledge language, evaluated in the worst case.
+
+    Subclasses wrap an algorithm computing Definition 6 (or its analogue) for
+    their language and declare:
+
+    ``name``
+        The registry key (``"implication"``, ``"negation"``, ...).
+    ``supports_exact``
+        Whether the model honours ``context.exact`` with Fraction arithmetic.
+    ``supports_witness``
+        Whether :meth:`witness` reconstructs a concrete worst-case formula.
+    ``unbounded_scale``
+        True when :meth:`disclosure` is not a probability (e.g. cost-weighted
+        models, whose scale is ``max weight``): safety thresholds are then
+        validated as positive only, not clamped to (0, 1].
+    ``monotone``
+        Whether the worst case is (believed) monotone non-increasing under
+        bucket merging — what Theorem 14 proves for implications and the
+        lattice searches' pruning relies on. Estimators whose answers are
+        noisy near a threshold (``sampling``) declare False so consumers can
+        warn before pruning on them.
+    """
+
+    name: ClassVar[str]
+    supports_exact: ClassVar[bool] = True
+    supports_witness: ClassVar[bool] = False
+    unbounded_scale: ClassVar[bool] = False
+    monotone: ClassVar[bool] = True
+
+    # ------------------------------------------------------------------
+    # Required: the worst case itself
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def disclosure(
+        self, bucketization: Bucketization, k: int, *, context: EngineContext
+    ):
+        """Worst-case disclosure of ``bucketization`` against this adversary
+        with power ``k`` (the model-specific analogue of Definition 6)."""
+
+    # ------------------------------------------------------------------
+    # Optional: batching, witnesses, sanitizer support
+    # ------------------------------------------------------------------
+    def series(
+        self,
+        bucketization: Bucketization,
+        ks: Iterable[int],
+        *,
+        context: EngineContext,
+    ) -> dict[int, object]:
+        """Worst case for several ``k`` at once.
+
+        The default evaluates each ``k`` independently; models whose
+        computation shares work across ``k`` (the implication DP computes
+        every ``k' <= max k`` in one pass) override this.
+        """
+        return {
+            k: self.disclosure(bucketization, k, context=context)
+            for k in sorted(set(ks))
+        }
+
+    def witness(
+        self, bucketization: Bucketization, k: int, *, context: EngineContext
+    ):
+        """A concrete worst-case formula object achieving :meth:`disclosure`.
+
+        Every witness object exposes at least a ``disclosure`` attribute; the
+        rest is model-specific (implications, negated atoms, ...). Models
+        with ``supports_witness = False`` raise :class:`NotImplementedError`.
+        """
+        raise NotImplementedError(
+            f"the {self.name!r} adversary model does not reconstruct witnesses"
+        )
+
+    def worst_bucket(
+        self, bucketization: Bucketization, k: int, *, context: EngineContext
+    ) -> int:
+        """Index of a bucket whose local worst case attains the global one.
+
+        Sanitizers (greedy suppression) use this to decide where to remove
+        tuples. The default evaluates each bucket as a singleton
+        bucketization and returns the first argmax — correct for any model
+        whose worst case decomposes as a max over buckets.
+        """
+        best_index = 0
+        best = None
+        for index, bucket in enumerate(bucketization.buckets):
+            value = self.disclosure(Bucketization([bucket]), k, context=context)
+            if best is None or value > best:
+                best, best_index = value, index
+        return best_index
+
+    def worst_value(self, bucket, k: int, *, context: EngineContext):
+        """The sensitive value driving ``bucket``'s worst case — what a
+        greedy suppression sanitizer should remove a tuple of.
+
+        For probability-scaled models the most frequent value drives the
+        worst case (Lemma 12 places the consequent there), which is the
+        default; cost-weighted models override this with the cost-optimal
+        target.
+        """
+        return bucket.top_value
+
+    # ------------------------------------------------------------------
+    # Memoization hooks
+    # ------------------------------------------------------------------
+    def params_key(self) -> tuple:
+        """Hashable identity of the model's parameters (weights, confidence,
+        sample sizes, ...) — part of the engine's cache key so differently
+        parameterized instances never share entries."""
+        return ()
+
+    def cache_key(self, bucketization: Bucketization) -> Hashable:
+        """What the model's answer depends on, as a hashable key.
+
+        The default is the signature *multiset*: every closed-form and DP
+        model in this package sees a bucketization only through its bucket
+        histograms, so bucketizations that partition people differently but
+        induce the same histogram shapes share one cache entry. Models that
+        are sensitive to more (e.g. Monte Carlo draws depend on value order)
+        override this with a finer key.
+        """
+        return frozenset(bucketization.signature_multiset().items())
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+_REGISTRY: dict[str, type[AdversaryModel]] = {}
+
+
+def register_adversary(cls: type[AdversaryModel]) -> type[AdversaryModel]:
+    """Class decorator: add an :class:`AdversaryModel` subclass under its
+    ``name``. Re-registering a different class under a taken name is an
+    error; re-registering the same class (module reloads) is a no-op."""
+    name = getattr(cls, "name", None)
+    if not isinstance(name, str) or not name:
+        raise ValueError(f"{cls.__qualname__} must define a non-empty `name`")
+    existing = _REGISTRY.get(name)
+    if existing is not None and existing is not cls:
+        raise ValueError(
+            f"adversary model name {name!r} already registered "
+            f"by {existing.__qualname__}"
+        )
+    _REGISTRY[name] = cls
+    return cls
+
+
+def get_adversary(model: str | AdversaryModel, **params: Any) -> AdversaryModel:
+    """Resolve a model name (or pass through an instance) to an
+    :class:`AdversaryModel`, forwarding ``params`` to the constructor.
+
+    Raises
+    ------
+    UnknownAdversaryError
+        If the name is not registered.
+    """
+    if isinstance(model, AdversaryModel):
+        if params:
+            raise ValueError("params are only valid with a model *name*")
+        return model
+    try:
+        cls = _REGISTRY[model]
+    except KeyError:
+        raise UnknownAdversaryError(
+            f"unknown adversary model {model!r}; "
+            f"registered models: {', '.join(sorted(_REGISTRY))}"
+        ) from None
+    return cls(**params)
+
+
+def available_adversaries() -> tuple[str, ...]:
+    """Registered model names, sorted (the CLI's ``--adversary`` choices)."""
+    return tuple(sorted(_REGISTRY))

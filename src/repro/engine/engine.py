@@ -1,0 +1,409 @@
+"""The :class:`DisclosureEngine`: one disclosure layer for every consumer.
+
+The engine owns three things no single legacy function had:
+
+1. **A shared cache.** The signature-multiset memoization that used to be
+   private to :class:`~repro.core.safety.SafetyChecker` is generalized here
+   to *every* registered adversary model: one dict, keyed by
+   ``(model name, model params, k, model cache key)``, serves all models, all
+   bucketizations and all attacker powers evaluated on the engine. A lattice
+   sweep, a Figure-5 reproduction and a safety check share the same entries.
+2. **Batch APIs.** :meth:`DisclosureEngine.series` evaluates many ``k`` at the
+   cost the model can manage (the implication DP computes them all in one
+   pass); :meth:`DisclosureEngine.evaluate_many` runs a series over many
+   bucketizations; :meth:`DisclosureEngine.compare` runs many *models* over
+   one bucketization — Figure 5's solid-vs-dotted lines in one call.
+3. **Uniform mode and witness handling.** The engine fixes exact/float
+   arithmetic once at construction; every model call receives the shared
+   :class:`~repro.engine.base.EngineContext` (mode + MINIMIZE1 solver), and
+   :meth:`DisclosureEngine.witness` reconstructs worst-case formulas for any
+   model that supports them.
+
+High-level consumers — (c,k)-safety, greedy suppression, the lattice
+searches, the experiments, the CLI — are thin wrappers over this class, so an
+adversary registered with :func:`~repro.engine.base.register_adversary` is
+immediately usable everywhere.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Sequence
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Any
+
+from repro.bucketization.bucketization import Bucketization
+from repro.engine.base import AdversaryModel, EngineContext, get_adversary
+from repro.errors import SearchError
+
+__all__ = ["EngineStats", "DisclosureEngine"]
+
+
+def _threshold(c: float, *, exact: bool, bounded: bool = True):
+    """Validate a disclosure threshold and put it in the engine's arithmetic.
+
+    ``bounded`` reflects the adversary model's scale: probability-valued
+    models cap thresholds at 1; unbounded (cost-weighted) models only require
+    positivity.
+    """
+    if c <= 0 or (bounded and c > 1):
+        bound = "(0, 1]" if bounded else "(0, inf)"
+        raise ValueError(f"threshold c must be in {bound}, got {c}")
+    return Fraction(c).limit_denominator() if exact else c
+
+
+@dataclass
+class EngineStats:
+    """Counters for the engine's shared memoization.
+
+    Attributes
+    ----------
+    evaluations:
+        Number of ``(bucketization, k, model)`` lookups requested.
+    cache_hits:
+        How many of those were answered from the shared cache.
+    """
+
+    evaluations: int = 0
+    cache_hits: int = 0
+
+    @property
+    def misses(self) -> int:
+        return self.evaluations - self.cache_hits
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 when none yet)."""
+        return self.cache_hits / self.evaluations if self.evaluations else 0.0
+
+
+class DisclosureEngine:
+    """Evaluate any registered adversary model with one shared cache.
+
+    Parameters
+    ----------
+    exact:
+        Use exact :class:`~fractions.Fraction` arithmetic for every model
+        that supports it (inherently floating-point models — ``weighted``,
+        ``sampling`` — return floats regardless; see each model's
+        ``supports_exact``).
+
+    Examples
+    --------
+    >>> from repro.bucketization import Bucketization
+    >>> engine = DisclosureEngine()
+    >>> b = Bucketization.from_value_lists([["flu", "flu", "cold", "mumps"]])
+    >>> round(engine.evaluate(b, 1), 4)                  # implications
+    0.75
+    >>> round(engine.evaluate(b, 1, model="negation"), 4)
+    0.6667
+    >>> engine.stats.evaluations
+    2
+    """
+
+    def __init__(self, *, exact: bool = False) -> None:
+        self.exact = exact
+        self.context = EngineContext(exact=exact)
+        self.stats = EngineStats()
+        self._cache: dict[tuple, Any] = {}
+        self._instances: dict[str, AdversaryModel] = {}
+
+    # ------------------------------------------------------------------
+    # Model resolution and cache plumbing
+    # ------------------------------------------------------------------
+    def model(self, model: str | AdversaryModel) -> AdversaryModel:
+        """Resolve a name or instance to a model, reusing one instance per
+        name so default-parameter models share cache identity."""
+        if isinstance(model, AdversaryModel):
+            return model
+        instance = self._instances.get(model)
+        if instance is None:
+            instance = get_adversary(model)
+            self._instances[model] = instance
+        return instance
+
+    def cache_size(self) -> int:
+        """Number of memoized ``(model, params, k, bucketization)`` entries."""
+        return len(self._cache)
+
+    def threshold(self, c: float, *, model: str | AdversaryModel | None = None):
+        """Validate a disclosure threshold and convert it to this engine's
+        arithmetic — the one rule every safety comparison shares.
+
+        With a ``model``, the upper bound follows the model's scale:
+        probability-valued models cap ``c`` at 1, ``unbounded_scale`` models
+        (cost-weighted) accept any positive threshold.
+        """
+        bounded = True
+        if model is not None:
+            bounded = not self.model(model).unbounded_scale
+        return _threshold(c, exact=self.exact, bounded=bounded)
+
+    def _key(self, m: AdversaryModel, bucketization: Bucketization, k: int):
+        return (m.name, m.params_key(), k, m.cache_key(bucketization))
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def evaluate(
+        self,
+        bucketization: Bucketization,
+        k: int,
+        *,
+        model: str | AdversaryModel = "implication",
+    ):
+        """Worst-case disclosure of ``bucketization`` against ``model`` with
+        attacker power ``k`` (cached)."""
+        if k < 0:
+            raise ValueError(f"k must be non-negative, got {k}")
+        m = self.model(model)
+        key = self._key(m, bucketization, k)
+        self.stats.evaluations += 1
+        if key in self._cache:
+            self.stats.cache_hits += 1
+            return self._cache[key]
+        value = m.disclosure(bucketization, k, context=self.context)
+        self._cache[key] = value
+        return value
+
+    def series(
+        self,
+        bucketization: Bucketization,
+        ks: Iterable[int],
+        *,
+        model: str | AdversaryModel = "implication",
+    ) -> dict[int, object]:
+        """Worst case for several ``k`` values, batched.
+
+        Already-cached ``k`` are answered from the cache; the rest go to the
+        model's own batch path in one call (for ``implication`` a single
+        MINIMIZE2 pass covers every ``k``, as ``max_disclosure_series``
+        always did), and the results are cached individually so later single
+        evaluations hit.
+        """
+        m = self.model(model)
+        ks = sorted(set(ks))
+        if ks and ks[0] < 0:
+            raise ValueError(f"k must be non-negative, got {ks[0]}")
+        result: dict[int, object] = {}
+        missing: list[int] = []
+        base_key = (m.name, m.params_key(), m.cache_key(bucketization))
+        for k in ks:
+            key = (base_key[0], base_key[1], k, base_key[2])
+            self.stats.evaluations += 1
+            if key in self._cache:
+                self.stats.cache_hits += 1
+                result[k] = self._cache[key]
+            else:
+                missing.append(k)
+        if missing:
+            computed = m.series(bucketization, missing, context=self.context)
+            for k in missing:
+                value = computed[k]
+                self._cache[(base_key[0], base_key[1], k, base_key[2])] = value
+                result[k] = value
+        return result
+
+    def evaluate_many(
+        self,
+        bucketizations: Iterable[Bucketization],
+        ks: Iterable[int],
+        *,
+        model: str | AdversaryModel = "implication",
+    ) -> list[dict[int, object]]:
+        """One series per bucketization, in input order, all sharing this
+        engine's cache and solver — the batched form a lattice sweep or an
+        incremental republication wants."""
+        ks = list(ks)
+        return [
+            self.series(bucketization, ks, model=model)
+            for bucketization in bucketizations
+        ]
+
+    def compare(
+        self,
+        bucketization: Bucketization,
+        ks: Iterable[int],
+        *,
+        models: Sequence[str | AdversaryModel] = ("implication", "negation"),
+    ) -> dict[str, dict[int, object]]:
+        """Cross-model comparison: ``{model name: {k: disclosure}}``.
+
+        This is Figure 5 (solid implication line vs. dotted negation line) as
+        one batched call; add any registered model name to extend the plot.
+        Several differently-parameterized instances of one model get
+        disambiguated keys (``weighted``, ``weighted#2``, ...) so no series
+        is silently dropped.
+        """
+        result: dict[str, dict[int, object]] = {}
+        for spec in models:
+            m = self.model(spec)
+            key, n = m.name, 1
+            while key in result:
+                n += 1
+                key = f"{m.name}#{n}"
+            result[key] = self.series(bucketization, ks, model=m)
+        return result
+
+    # ------------------------------------------------------------------
+    # Derived queries
+    # ------------------------------------------------------------------
+    def witness(
+        self,
+        bucketization: Bucketization,
+        k: int,
+        *,
+        model: str | AdversaryModel = "implication",
+    ):
+        """A concrete worst-case formula for ``model`` (not cached — witness
+        objects reference real people, not just histogram shapes).
+
+        Raises
+        ------
+        NotImplementedError
+            If the model does not support witness reconstruction.
+        """
+        if k < 0:
+            raise ValueError(f"k must be non-negative, got {k}")
+        m = self.model(model)
+        return m.witness(bucketization, k, context=self.context)
+
+    def is_safe(
+        self,
+        bucketization: Bucketization,
+        c: float,
+        k: int,
+        *,
+        model: str | AdversaryModel = "implication",
+    ) -> bool:
+        """(c,k)-safety (Definition 13) generalized to any adversary model:
+        worst-case disclosure strictly below ``c``."""
+        m = self.model(model)
+        threshold = self.threshold(c, model=m)
+        return self.evaluate(bucketization, k, model=m) < threshold
+
+    def min_k_to_breach(
+        self,
+        bucketization: Bucketization,
+        c: float,
+        *,
+        model: str | AdversaryModel = "implication",
+    ) -> int:
+        """Least attacker power whose worst case reaches ``c``.
+
+        The search is bounded by ``max_b (d_b - 1)`` (enough negations to
+        force certainty), which is guaranteed to suffice for the implication
+        and negation adversaries.
+
+        Raises
+        ------
+        SearchError
+            If the model never reaches ``c`` within the bound (possible for
+            models whose power does not grow with ``k``).
+        """
+        m = self.model(model)
+        threshold = self.threshold(c, model=m)
+        bound = max(b.distinct_count for b in bucketization.buckets) - 1
+        series = self.series(bucketization, range(bound + 1), model=m)
+        for k in range(bound + 1):
+            if series[k] >= threshold:
+                return k
+        raise SearchError(
+            f"the {m.name!r} adversary never reaches disclosure {c} "
+            f"within k <= {bound}"
+        )
+
+    def worst_bucket(
+        self,
+        bucketization: Bucketization,
+        k: int,
+        *,
+        model: str | AdversaryModel = "implication",
+    ) -> int:
+        """Index of a bucket attaining the model's worst case (what a greedy
+        sanitizer should shrink next)."""
+        if k < 0:
+            raise ValueError(f"k must be non-negative, got {k}")
+        m = self.model(model)
+        return m.worst_bucket(bucketization, k, context=self.context)
+
+    # ------------------------------------------------------------------
+    # Lattice search (Section 3.4), adversary-parametric
+    # ------------------------------------------------------------------
+    def node_predicate(
+        self,
+        table,
+        lattice,
+        c: float,
+        k: int,
+        *,
+        model: str | AdversaryModel = "implication",
+    ) -> Callable[[tuple], bool]:
+        """A cached node-level safety predicate for the lattice searches.
+
+        Monotonicity along the generalization order is Theorem 14's gift for
+        the implication adversary and holds for every bucket-decomposable
+        model in this package; as with the raw search functions it remains
+        the caller's responsibility for custom plugins.
+        """
+        from repro.generalization.search import node_safety_predicate
+
+        m = self.model(model)
+        threshold = self.threshold(c, model=m)
+        return node_safety_predicate(
+            table,
+            lattice,
+            lambda bucketization: self.evaluate(bucketization, k, model=m)
+            < threshold,
+        )
+
+    def find_minimal_safe_nodes(
+        self,
+        table,
+        lattice,
+        c: float,
+        k: int,
+        *,
+        model: str | AdversaryModel = "implication",
+        stats=None,
+    ) -> list:
+        """All minimal (c,k)-safe lattice nodes under ``model`` (the paper's
+        modified-Incognito sweep, with this engine's cache behind it)."""
+        from repro.generalization.search import find_minimal_safe_nodes
+
+        predicate = self.node_predicate(table, lattice, c, k, model=model)
+        return find_minimal_safe_nodes(lattice, predicate, stats=stats)
+
+    def find_best_safe_node(
+        self,
+        table,
+        lattice,
+        c: float,
+        k: int,
+        utility: Callable[[tuple], float],
+        *,
+        model: str | AdversaryModel = "implication",
+        stats=None,
+    ):
+        """The minimal safe node maximizing ``utility`` under ``model``."""
+        from repro.generalization.search import find_best_safe_node
+
+        predicate = self.node_predicate(table, lattice, c, k, model=model)
+        return find_best_safe_node(lattice, predicate, utility, stats=stats)
+
+    def binary_search_chain(
+        self,
+        table,
+        lattice,
+        chain: Sequence,
+        c: float,
+        k: int,
+        *,
+        model: str | AdversaryModel = "implication",
+        stats=None,
+    ):
+        """Lowest safe node on a fine-to-coarse chain under ``model``."""
+        from repro.generalization.search import binary_search_chain
+
+        predicate = self.node_predicate(table, lattice, c, k, model=model)
+        return binary_search_chain(chain, predicate, stats=stats)

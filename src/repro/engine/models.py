@@ -1,0 +1,320 @@
+"""The built-in adversary models: the paper's languages as registry plugins.
+
+Each class here is a thin, behavior-preserving wrapper around an existing
+algorithm in :mod:`repro.core` — the engine tests assert byte-identical
+agreement with the legacy functions. What the wrappers add is the uniform
+protocol (shared solver, cache keys, witnesses, ``worst_bucket`` for
+sanitizers) that lets every consumer treat the adversary as a parameter.
+
+==============  =====================================================  ======
+name            language / legacy algorithm                            exact?
+==============  =====================================================  ======
+implication     ``L^k_basic`` (Definition 6; MINIMIZE1/2 DP)           yes
+negation        ``k`` negated atoms (ℓ-diversity; closed form)         yes
+weighted        cost-weighted negated atoms (Section 6; closed form)   no
+probabilistic   Jeffrey conditionalization over one implication        yes
+sampling        Monte Carlo estimate of the negation worst case        no
+==============  =====================================================  ======
+
+``probabilistic`` is oracle-based (world enumeration) and therefore only
+works on instances below :data:`repro.core.exact.MAX_WORLDS`; ``sampling``
+scales to anything but returns estimates. Both exist so that cross-model
+comparisons — Figure 5's solid-vs-dotted lines and their Section-6
+extensions — are one batched engine call.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Mapping
+from fractions import Fraction
+from typing import Any, ClassVar
+
+from repro.bucketization.bucketization import Bucketization
+from repro.core.disclosure import max_disclosure, max_disclosure_series
+from repro.core.exact import exact_disclosure_risk
+from repro.core.negation import (
+    bucket_negation_disclosure,
+    max_disclosure_negations,
+    max_disclosure_negations_series,
+    negation_witness,
+)
+from repro.core.probabilistic import max_jeffrey_disclosure_single
+from repro.core.sampling import SampledProbability, sample_disclosure_risk
+from repro.core.weighted import (
+    weighted_implication_bounds,
+    weighted_negation_candidates,
+    weighted_negation_disclosure,
+)
+from repro.core.witness import worst_case_witness
+from repro.engine.base import AdversaryModel, EngineContext, register_adversary
+
+__all__ = [
+    "ImplicationAdversary",
+    "NegationAdversary",
+    "WeightedAdversary",
+    "ProbabilisticAdversary",
+    "SamplingAdversary",
+]
+
+
+@register_adversary
+class ImplicationAdversary(AdversaryModel):
+    """``L^k_basic``: conjunctions of ``k`` basic implications (Definition 6).
+
+    The paper's headline adversary, computed by the MINIMIZE1/MINIMIZE2
+    dynamic programs in ``O(|B| k^3)``. One DP pass yields every
+    ``k' <= max k``, so :meth:`series` costs the same as the largest single
+    query, and all per-signature work lives in the context's shared solver.
+    """
+
+    name: ClassVar[str] = "implication"
+    supports_witness: ClassVar[bool] = True
+
+    def disclosure(
+        self, bucketization: Bucketization, k: int, *, context: EngineContext
+    ):
+        return max_disclosure(bucketization, k, solver=context.solver)
+
+    def series(self, bucketization, ks, *, context) -> dict[int, object]:
+        return max_disclosure_series(bucketization, ks, solver=context.solver)
+
+    def witness(self, bucketization, k, *, context):
+        return worst_case_witness(bucketization, k, exact=context.exact)
+
+    def worst_bucket(self, bucketization, k, *, context) -> int:
+        # A bucket whose local Formula-(1) ratio attains the global minimum
+        # drives the worst case (the single-bucket concentration the greedy
+        # suppression sanitizer relies on); first argmin, like the legacy
+        # sanitizer, so suppression orders are unchanged.
+        solver = context.solver
+
+        def ratio(bucket):
+            return (
+                solver.minimum(bucket.signature, k + 1)
+                * bucket.size
+                / bucket.top_frequency
+            )
+
+        buckets = bucketization.buckets
+        return min(range(len(buckets)), key=lambda i: ratio(buckets[i]))
+
+
+@register_adversary
+class NegationAdversary(AdversaryModel):
+    """``k`` negated atoms — the ℓ-diversity adversary (Figure 5's dotted
+    line), in closed form per bucket."""
+
+    name: ClassVar[str] = "negation"
+    supports_witness: ClassVar[bool] = True
+
+    def disclosure(self, bucketization, k, *, context):
+        return max_disclosure_negations(bucketization, k, exact=context.exact)
+
+    def series(self, bucketization, ks, *, context) -> dict[int, object]:
+        return max_disclosure_negations_series(
+            bucketization, ks, exact=context.exact
+        )
+
+    def witness(self, bucketization, k, *, context):
+        return negation_witness(bucketization, k, exact=context.exact)
+
+    def worst_bucket(self, bucketization, k, *, context) -> int:
+        buckets = bucketization.buckets
+        return max(
+            range(len(buckets)),
+            key=lambda i: bucket_negation_disclosure(
+                buckets[i], k, exact=context.exact
+            ),
+        )
+
+
+@register_adversary
+class WeightedAdversary(AdversaryModel):
+    """Cost-weighted negated atoms: "not all disclosures are equally bad".
+
+    Parameters
+    ----------
+    weights:
+        ``value -> cost`` mapping (missing values default to unit cost).
+        ``None`` means unit weights for every realized value, which makes
+        this model coincide with ``negation`` in float arithmetic.
+
+    The exact closed form :func:`repro.core.weighted.weighted_negation_disclosure`
+    is the worst case; :meth:`implication_bounds` exposes the rigorous
+    bracket for the weighted *implication* attacker (see
+    :mod:`repro.core.weighted` for why that case only has bounds).
+    """
+
+    name: ClassVar[str] = "weighted"
+    supports_exact: ClassVar[bool] = False
+    unbounded_scale: ClassVar[bool] = True  # disclosure scales with max w(s)
+
+    def __init__(self, weights: Mapping[Any, float] | None = None) -> None:
+        self.weights = dict(weights) if weights is not None else None
+
+    def params_key(self) -> tuple:
+        if self.weights is None:
+            return ("uniform",)
+        return tuple(sorted(self.weights.items(), key=lambda kv: repr(kv[0])))
+
+    def cache_key(self, bucketization: Bucketization):
+        if self.weights is None:
+            return super().cache_key(bucketization)
+        # Non-uniform costs depend on *which* values fill a histogram, not
+        # just its shape: key by the multiset of per-bucket value histograms
+        # (values_by_frequency/signature are already in canonical order).
+        histograms = Counter(
+            tuple(zip(bucket.values_by_frequency, bucket.signature))
+            for bucket in bucketization.buckets
+        )
+        return frozenset(histograms.items())
+
+    def _weights_for(self, bucketization: Bucketization) -> Mapping[Any, float]:
+        if self.weights is not None:
+            return self.weights
+        return {
+            value: 1.0
+            for bucket in bucketization.buckets
+            for value in bucket.values_by_frequency
+        }
+
+    def disclosure(self, bucketization, k, *, context):
+        return weighted_negation_disclosure(
+            bucketization, k, self._weights_for(bucketization)
+        )
+
+    def worst_value(self, bucket, k, *, context):
+        # The disclosure driver is the cost-optimal target, not the most
+        # frequent value: removing a tuple of that value shrinks the
+        # numerator of the term that attains the worst case.
+        candidates = weighted_negation_candidates(bucket, k, self.weights or {})
+        return max(candidates, key=lambda cv: cv[0])[1]
+
+    def implication_bounds(
+        self, bucketization: Bucketization, k: int
+    ) -> tuple[float, float]:
+        """Rigorous ``(lower, upper)`` bounds against ``k`` weighted
+        implications (Lemma 12's consequent choice is not weight-optimal, so
+        only a bracket is known)."""
+        return weighted_implication_bounds(
+            bucketization, k, self._weights_for(bucketization)
+        )
+
+
+@register_adversary
+class ProbabilisticAdversary(AdversaryModel):
+    """Jeffrey-conditionalization attacker: confident, not certain.
+
+    Parameters
+    ----------
+    confidence:
+        The attacker's probability ``q`` in [0, 1] that their (single simple
+        implication) formula holds; ``q = 1`` is ordinary conditioning.
+
+    ``k = 0`` is the no-knowledge baseline; for any ``k >= 1`` the model
+    evaluates the worst case over *one* formula held with confidence ``q``
+    (the probabilistic analogue of ``L^1_basic`` — this attacker's power does
+    not grow with ``k``). Oracle-based: small instances only.
+    """
+
+    name: ClassVar[str] = "probabilistic"
+
+    def __init__(self, confidence: Fraction | float = 1) -> None:
+        q = Fraction(confidence).limit_denominator(10**9)
+        if not 0 <= q <= 1:
+            raise ValueError(f"confidence must be in [0, 1], got {confidence}")
+        self.confidence = q
+
+    def params_key(self) -> tuple:
+        return (self.confidence,)
+
+    def disclosure(self, bucketization, k, *, context):
+        if k < 0:
+            raise ValueError(f"k must be non-negative, got {k}")
+        if k == 0:
+            value = exact_disclosure_risk(bucketization, None)
+        else:
+            value = max_jeffrey_disclosure_single(bucketization, self.confidence)
+        return value if context.exact else float(value)
+
+    def series(self, bucketization, ks, *, context) -> dict[int, object]:
+        # The answer is identical for every k >= 1 (a single-formula
+        # attacker), and the oracle sweep behind it is the most expensive
+        # computation in the package — run it once, not once per k.
+        ks = sorted(set(ks))
+        result: dict[int, object] = {}
+        shared = None
+        for k in ks:
+            if k == 0:
+                result[k] = self.disclosure(bucketization, 0, context=context)
+            else:
+                if shared is None:
+                    shared = self.disclosure(bucketization, k, context=context)
+                result[k] = shared
+        return result
+
+
+@register_adversary
+class SamplingAdversary(AdversaryModel):
+    """Monte Carlo estimate of the negation worst case (Theorem 8 regime).
+
+    The closed forms above are exact; this model is the estimator one would
+    use for a knowledge language *without* a polynomial algorithm. It
+    reconstructs the worst-case negation witness (cheap, closed form), then
+    estimates its conditional disclosure by rejection sampling — an unbiased
+    check of the analytic number, with a Wilson interval available from
+    :meth:`sample`.
+
+    Parameters
+    ----------
+    samples, seed:
+        Rejection-sampling budget and PRNG seed (deterministic per seed).
+    """
+
+    name: ClassVar[str] = "sampling"
+    supports_exact: ClassVar[bool] = False
+    monotone: ClassVar[bool] = False  # estimates are noisy near thresholds
+
+    def __init__(self, samples: int = 20_000, seed: int = 0) -> None:
+        if samples <= 0:
+            raise ValueError(f"samples must be positive, got {samples}")
+        self.samples = samples
+        self.seed = seed
+
+    def params_key(self) -> tuple:
+        return (self.samples, self.seed)
+
+    def cache_key(self, bucketization: Bucketization):
+        # Draws depend on each bucket's value *order* and on bucket order —
+        # strictly finer than the signature multiset — so the cache key must
+        # be too, or two same-shaped bucketizations would share one estimate.
+        return tuple(
+            tuple(bucket.sensitive_values) for bucket in bucketization.buckets
+        )
+
+    def _witness_event(self, bucketization: Bucketization, k: int):
+        if k == 0:
+            return None
+        witness = negation_witness(bucketization, k)
+        person = witness.person
+        negated = frozenset(witness.negated_values)
+
+        def phi(world: Mapping[Any, Any]) -> bool:
+            return world[person] not in negated
+
+        return phi
+
+    def sample(self, bucketization: Bucketization, k: int) -> SampledProbability:
+        """The full estimate (point, acceptance counts, Wilson interval)."""
+        if k < 0:
+            raise ValueError(f"k must be non-negative, got {k}")
+        return sample_disclosure_risk(
+            bucketization,
+            self._witness_event(bucketization, k),
+            samples=self.samples,
+            seed=self.seed,
+        )
+
+    def disclosure(self, bucketization, k, *, context):
+        return self.sample(bucketization, k).estimate

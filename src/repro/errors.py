@@ -15,6 +15,7 @@ __all__ = [
     "HierarchyError",
     "LatticeError",
     "SearchError",
+    "UnknownAdversaryError",
 ]
 
 
@@ -48,3 +49,7 @@ class LatticeError(ReproError):
 
 class SearchError(ReproError):
     """A lattice search failed, e.g. no safe node exists in the lattice."""
+
+
+class UnknownAdversaryError(ReproError):
+    """An adversary-model name was not found in the engine registry."""

@@ -19,11 +19,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from collections.abc import Sequence
 
-from repro.core.disclosure import max_disclosure_series
-from repro.core.negation import max_disclosure_negations_series
 from repro.data.adult import ADULT_SCHEMA
 from repro.data.hierarchies import adult_hierarchies
 from repro.data.table import Table
+from repro.engine.engine import DisclosureEngine
 from repro.generalization.apply import bucketize_at
 from repro.generalization.lattice import GeneralizationLattice
 
@@ -67,8 +66,14 @@ def run_figure5(
     *,
     ks: Sequence[int] = DEFAULT_KS,
     node: tuple[int, ...] = FIG5_NODE,
+    engine: DisclosureEngine | None = None,
 ) -> Figure5Result:
     """Reproduce Figure 5 on ``table`` (the synthetic or real Adult data).
+
+    Both series come from one batched
+    :meth:`~repro.engine.engine.DisclosureEngine.compare` call, so the two
+    adversaries share the engine's per-signature DP work and cache; pass a
+    shared ``engine`` to extend that sharing across figures and nodes.
 
     Examples
     --------
@@ -82,10 +87,17 @@ def run_figure5(
         adult_hierarchies(), ADULT_SCHEMA.quasi_identifiers
     )
     bucketization = bucketize_at(table, lattice, node)
-    implication = max_disclosure_series(bucketization, ks)
-    negation = max_disclosure_negations_series(bucketization, ks)
+    if engine is None:
+        engine = DisclosureEngine()
+    comparison = engine.compare(
+        bucketization, ks, models=("implication", "negation")
+    )
     rows = tuple(
-        Figure5Row(k=k, implication=implication[k], negation=negation[k])
+        Figure5Row(
+            k=k,
+            implication=comparison["implication"][k],
+            negation=comparison["negation"][k],
+        )
         for k in sorted(set(ks))
     )
     return Figure5Result(

@@ -17,11 +17,11 @@ from __future__ import annotations
 from collections.abc import Sequence
 from dataclasses import dataclass
 
-from repro.core.disclosure import max_disclosure_series
-from repro.core.minimize1 import Minimize1Solver
 from repro.data.adult import ADULT_SCHEMA
 from repro.data.hierarchies import adult_hierarchies
 from repro.data.table import Table
+from repro.engine.base import AdversaryModel
+from repro.engine.engine import DisclosureEngine
 from repro.generalization.apply import bucketize_at
 from repro.generalization.lattice import GeneralizationLattice
 from repro.utility.entropy import min_bucket_entropy
@@ -49,6 +49,8 @@ class Figure6Result:
     ks: tuple[int, ...]
     num_rows: int
     nodes: tuple[Figure6Node, ...]
+    #: Which adversary produced the disclosure series (for labeling).
+    model: str = "implication"
 
     def envelope(self, k: int, *, digits: int = 6) -> list[tuple[float, float]]:
         """``(h, least max disclosure among nodes with min-entropy h)`` pairs,
@@ -73,6 +75,8 @@ def run_figure6(
     *,
     ks: Sequence[int] = DEFAULT_FIG6_KS,
     min_entropy_floor: float | None = None,
+    model: str | AdversaryModel = "implication",
+    engine: DisclosureEngine | None = None,
 ) -> Figure6Result:
     """Sweep every node of the Adult lattice and build Figure 6's data.
 
@@ -85,12 +89,18 @@ def run_figure6(
     min_entropy_floor:
         Optionally drop anonymizations whose minimum entropy is below this
         (the paper's plot starts at h = 1; ``None`` keeps everything).
+    model:
+        Adversary model name or instance (default: the paper's implication
+        attacker; pass ``"negation"`` for the ℓ-diversity analogue).
+    engine:
+        Optional shared :class:`~repro.engine.engine.DisclosureEngine`.
 
     Notes
     -----
-    One shared :class:`~repro.core.minimize1.Minimize1Solver` serves all 72
-    nodes: bucket signatures repeat heavily across anonymizations, so most of
-    the per-bucket DP work is done once (Section 3.3.3's incremental remark).
+    One engine (one shared MINIMIZE1 solver plus the signature-multiset
+    cache) serves all 72 nodes: bucket signatures repeat heavily across
+    anonymizations, so most of the per-bucket DP work is done once
+    (Section 3.3.3's incremental remark).
     """
     ks = tuple(sorted(set(ks)))
     if not ks:
@@ -98,14 +108,15 @@ def run_figure6(
     lattice = GeneralizationLattice(
         adult_hierarchies(), ADULT_SCHEMA.quasi_identifiers
     )
-    solver = Minimize1Solver()
+    if engine is None:
+        engine = DisclosureEngine()
     records = []
     for node in lattice.nodes():
         bucketization = bucketize_at(table, lattice, node)
         h = min_bucket_entropy(bucketization)
         if min_entropy_floor is not None and h < min_entropy_floor:
             continue
-        disclosure = max_disclosure_series(bucketization, ks, solver=solver)
+        disclosure = engine.series(bucketization, ks, model=model)
         records.append(
             Figure6Node(
                 node=tuple(node),
@@ -115,4 +126,9 @@ def run_figure6(
             )
         )
     records.sort(key=lambda r: (r.min_entropy, r.node))
-    return Figure6Result(ks=ks, num_rows=len(table), nodes=tuple(records))
+    return Figure6Result(
+        ks=ks,
+        num_rows=len(table),
+        nodes=tuple(records),
+        model=engine.model(model).name,
+    )

@@ -2,7 +2,11 @@
 
 The CLI (:mod:`repro.cli`), the benchmark harness (``benchmarks/``) and the
 ``EXPERIMENTS.md`` generator all funnel through these helpers so the numbers
-they report are produced identically.
+they report are produced identically. Disclosure numbers themselves come
+from the :class:`~repro.engine.engine.DisclosureEngine` inside
+:func:`~repro.experiments.fig5.run_figure5` /
+:func:`~repro.experiments.fig6.run_figure6`, so every figure shares the
+engine's model registry and caching.
 """
 
 from __future__ import annotations
@@ -11,8 +15,8 @@ from functools import lru_cache
 
 from repro.data.adult import ADULT_SIZE, generate_adult
 from repro.data.table import Table
-from repro.experiments.fig5 import Figure5Result, run_figure5
-from repro.experiments.fig6 import Figure6Result, run_figure6
+from repro.experiments.fig5 import Figure5Result
+from repro.experiments.fig6 import Figure6Result
 
 __all__ = [
     "default_adult_table",
@@ -70,7 +74,7 @@ def render_figure6(result: Figure6Result, *, per_node: bool = False) -> str:
         f"nodes swept: {len(result.nodes)}   rows: {result.num_rows}",
     ]
     for k in result.ks:
-        lines.append(f"-- k = {k} implications --")
+        lines.append(f"-- k = {k} {result.model} pieces of knowledge --")
         lines.append(f"{'min entropy':>12}  {'min worst-case disclosure':>26}")
         for h, d in result.envelope(k):
             lines.append(f"{h:>12.4f}  {d:>26.6f}")

@@ -24,6 +24,7 @@ __all__ = [
     "find_minimal_safe_nodes",
     "find_best_safe_node",
     "binary_search_chain",
+    "node_safety_predicate",
     "SearchStats",
     "incognito_minimal_safe_nodes",
     "IncognitoStats",
@@ -35,6 +36,7 @@ _LAZY = {
     "find_minimal_safe_nodes": "repro.generalization.search",
     "find_best_safe_node": "repro.generalization.search",
     "binary_search_chain": "repro.generalization.search",
+    "node_safety_predicate": "repro.generalization.search",
     "SearchStats": "repro.generalization.search",
     "incognito_minimal_safe_nodes": "repro.generalization.incognito",
     "IncognitoStats": "repro.generalization.incognito",

@@ -150,13 +150,13 @@ class Hierarchy:
         if sorted(widths) != widths:
             raise HierarchyError(
                 f"{attribute}: interval widths must be non-decreasing for "
-                f"levels to refine consistently"
+                "levels to refine consistently"
             )
         for smaller, larger in zip(widths, widths[1:]):
             if larger % smaller != 0:
                 raise HierarchyError(
                     f"{attribute}: width {larger} is not a multiple of {smaller}; "
-                    f"levels would not nest"
+                    "levels would not nest"
                 )
 
         def interval_fn(width: int) -> Callable[[Any], Any]:

@@ -12,7 +12,11 @@ Theorem 14 makes (c,k)-safety monotone: if a node is safe, every ancestor
   the least safe node is found with logarithmically many checks.
 
 Both accept any monotone predicate, so they also serve k-anonymity and
-ℓ-diversity (see :mod:`repro.anonymity`).
+ℓ-diversity (see :mod:`repro.anonymity`). For (c,k)-safety against an
+arbitrary adversary model, build the predicate with
+:func:`node_safety_predicate` (or use the equivalent
+:class:`~repro.engine.engine.DisclosureEngine` search methods, which share
+the engine's disclosure cache across nodes and models).
 """
 
 from __future__ import annotations
@@ -25,10 +29,35 @@ from repro.generalization.lattice import GeneralizationLattice, Node
 
 __all__ = [
     "SearchStats",
+    "node_safety_predicate",
     "find_minimal_safe_nodes",
     "find_best_safe_node",
     "binary_search_chain",
 ]
+
+
+def node_safety_predicate(
+    table, lattice: GeneralizationLattice, checker: Callable
+) -> Callable[[Node], bool]:
+    """Lift a bucketization-level safety check to lattice nodes.
+
+    ``checker`` is anything callable on a bucketization — typically a
+    :class:`~repro.core.safety.SafetyChecker` (which carries its adversary
+    model and shares the engine's signature-multiset cache across nodes), but
+    a bare lambda works too.
+
+    Examples
+    --------
+    ``find_minimal_safe_nodes(lattice, node_safety_predicate(table, lattice,
+    SafetyChecker(0.7, 3, model="negation")))`` finds the minimal nodes safe
+    against the ℓ-diversity adversary.
+    """
+    from repro.generalization.apply import bucketize_at
+
+    def is_safe(node: Node) -> bool:
+        return bool(checker(bucketize_at(table, lattice, node)))
+
+    return is_safe
 
 
 @dataclass

@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
-
 from repro.experiments.ablation import (
     SingleBucketReport,
     dedupe_speedup,

@@ -5,7 +5,6 @@ from __future__ import annotations
 import pytest
 
 from repro.core.safety import SafetyChecker
-from repro.data.adult import ADULT_SCHEMA
 from repro.errors import SearchError
 from repro.generalization.apply import bucketize_at, generalize_table
 from repro.generalization.hierarchy import SUPPRESSED
@@ -56,8 +55,6 @@ class TestApply:
         assert fine.refines(coarse)
 
     def test_attribute_mismatch_rejected(self, small_adult, adult_lattice):
-        from repro.data.schema import Schema
-        from repro.data.table import Table
         from repro.generalization.lattice import GeneralizationLattice
         from repro.generalization.hierarchy import Hierarchy
 

@@ -104,9 +104,9 @@ class TestCommands:
             == 0
         )
         incognito_out = capsys.readouterr().out
-        sweep_nodes = {l for l in sweep_out.splitlines() if "node (" in l}
+        sweep_nodes = {ln for ln in sweep_out.splitlines() if "node (" in ln}
         incognito_nodes = {
-            l for l in incognito_out.splitlines() if "node (" in l
+            ln for ln in incognito_out.splitlines() if "node (" in ln
         }
         assert sweep_nodes == incognito_nodes
 
@@ -122,6 +122,65 @@ class TestCommands:
         )
         assert code == 0
         assert "95% CI" in capsys.readouterr().out
+
+    def test_disclosure_adversary_negation(self, capsys):
+        code = main(
+            ["disclosure", "--rows", "500", "--k", "2",
+             "--adversary", "negation"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "negation adversary, k=2" in out
+        assert "implications" not in out  # single-model output
+
+    def test_disclosure_adversary_weighted_runs(self, capsys):
+        code = main(
+            ["disclosure", "--rows", "400", "--k", "1",
+             "--adversary", "weighted"]
+        )
+        assert code == 0
+        assert "weighted adversary" in capsys.readouterr().out
+
+    def test_disclosure_rejects_unknown_adversary(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["disclosure", "--adversary", "telepathy"]
+            )
+
+    def test_search_adversary_negation(self, capsys):
+        code = main(
+            ["search", "--rows", "500", "--c", "0.9", "--k", "1",
+             "--adversary", "negation"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "[negation]" in out
+        assert "minimal safe" in out and "best by precision" in out
+
+    def test_breach_adversary_negation(self, capsys):
+        code = main(
+            ["breach", "--rows", "500", "--level", "0.9",
+             "--adversary", "negation"]
+        )
+        assert code == 0
+        assert "negated atom(s) suffice to reach" in capsys.readouterr().out
+
+    def test_witness_adversary_negation(self, capsys):
+        code = main(
+            ["witness", "--rows", "400", "--k", "2",
+             "--adversary", "negation"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "NOT t[" in out and "disclosure" in out
+
+    def test_witness_unsupported_adversary_fails_cleanly(self, capsys):
+        code = main(
+            ["witness", "--rows", "300", "--k", "1",
+             "--adversary", "sampling"]
+        )
+        assert code == 2
+        assert "sampling" in capsys.readouterr().err
 
     def test_estimate_command_with_formula(self, capsys):
         code = main(

@@ -27,6 +27,7 @@ MODULES = [
     "repro.knowledge.parser",
     "repro.core.disclosure",
     "repro.core.safety",
+    "repro.engine.engine",
     "repro.generalization.hierarchy",
     "repro.generalization.lattice",
 ]

@@ -108,3 +108,22 @@ class TestDisclosureRisk:
     def test_risk_is_one_for_homogeneous_bucket(self):
         b = Bucketization.from_value_lists([["s", "s"]])
         assert exact_disclosure_risk(b) == 1
+
+
+class TestAssignmentMemoization:
+    def test_repeated_multisets_share_enumeration(self):
+        from repro.core.exact import _multiset_assignments
+
+        _multiset_assignments.cache_clear()
+        first = Bucket(["p1", "p2", "p3"], ["flu", "flu", "mumps"])
+        # Different people, different value order — same multiset.
+        second = Bucket(["q1", "q2", "q3"], ["mumps", "flu", "flu"])
+        assert bucket_assignments(first) == bucket_assignments(second)
+        info = _multiset_assignments.cache_info()
+        assert info.hits == 1 and info.misses == 1
+
+    def test_assignment_lists_are_independent_copies(self):
+        bucket = Bucket(["a", "b"], ["x", "y"])
+        one = bucket_assignments(bucket)
+        one.append("sentinel")
+        assert "sentinel" not in bucket_assignments(bucket)

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.data.adult import ADULT_SCHEMA, MARITAL_STATUSES, RACES, SEXES
+from repro.data.adult import MARITAL_STATUSES, RACES, SEXES
 from repro.data.hierarchies import adult_hierarchies
 from repro.errors import HierarchyError, LatticeError
 from repro.generalization.hierarchy import SUPPRESSED, Hierarchy
