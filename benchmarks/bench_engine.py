@@ -17,11 +17,16 @@ three polynomial models and measure the cache two ways:
 
 Run with ``pytest benchmarks/bench_engine.py --benchmark-only`` for timings,
 or ``--benchmark-disable`` for the assertions alone (CI does the latter).
+Either way the shared-sweep benchmark writes ``BENCH_engine.json`` (wall
+time, hit rate, cache size) so the numbers are tracked across PRs.
 """
 
 from __future__ import annotations
 
+import time
 from collections import Counter
+
+from reporting import write_bench_json
 
 from repro.engine import DisclosureEngine
 from repro.generalization.apply import bucketize_at
@@ -58,9 +63,11 @@ def _cold_sweep(bucketizations) -> tuple[int, int]:
 def test_shared_engine_two_epoch_sweep(benchmark, adult_medium, lattice):
     bucketizations = _bucketizations(adult_medium, lattice)
     epochs = 2
+    start = time.perf_counter()
     engine = benchmark.pedantic(
         _shared_sweep, args=(bucketizations, epochs), rounds=1, iterations=1
     )
+    wall_time = time.perf_counter() - start
 
     # Every signature multiset seen more than once must have produced at
     # least one cache hit *per model* (shared engine cache, not per-model).
@@ -87,6 +94,22 @@ def test_shared_engine_two_epoch_sweep(benchmark, adult_medium, lattice):
     benchmark.extra_info["nodes"] = len(bucketizations)
     benchmark.extra_info["hit_rate"] = round(engine.stats.hit_rate, 4)
     benchmark.extra_info["cache_entries"] = engine.cache_size()
+
+    write_bench_json(
+        "engine",
+        {
+            "wall_time_s": round(wall_time, 4),
+            "rows": len(adult_medium),
+            "nodes": len(bucketizations),
+            "models": list(MODELS),
+            "ks": list(KS),
+            "epochs": epochs,
+            "cache_hit_rate": round(engine.stats.hit_rate, 4),
+            "cache_entries": engine.cache_size(),
+            "evictions": engine.stats.evictions,
+            "stats": engine.stats.as_dict(),
+        },
+    )
 
 
 def test_cold_engine_baseline(benchmark, adult_medium, lattice):

@@ -1,0 +1,136 @@
+"""Parallel ``evaluate_many`` vs. the serial path, with a JSON artifact.
+
+The engine's parallel executor chunks *unique* signature-id multisets over a
+process pool and warms the results back into the shared cache
+(:mod:`repro.engine.plane`). These benchmarks measure that path on a
+multi-node sweep of mostly-distinct signature multisets (the honest case —
+heavy signature overlap would favor the serial shared solver) and assert:
+
+- **bit-for-bit agreement**: the parallel result list equals the serial one
+  exactly (also property-tested in ``tests/test_plane.py``);
+- **speedup**: with 4 workers the sweep beats serial by > 1.3x — asserted
+  only when the machine actually has >= 2 usable cores (a process pool
+  cannot beat serial CPU-bound work on one core; the JSON records
+  ``cores_available`` either way so the artifact is interpretable);
+- **warm-back**: a serial re-run on the parallel engine is answered entirely
+  from cache.
+
+Writes ``BENCH_parallel.json`` (serial/parallel wall time, speedup, worker
+and core counts). ``BENCH_TINY=1`` shrinks the workload for CI smoke.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+
+from reporting import tiny_mode, write_bench_json
+
+from repro.bucketization import Bucketization
+from repro.engine import DisclosureEngine
+
+WORKERS = 4
+
+
+def _cores_available() -> int:
+    if hasattr(os, "sched_getaffinity"):
+        return len(os.sched_getaffinity(0))
+    return os.cpu_count() or 1
+
+
+def _workload() -> tuple[list[Bucketization], tuple[int, ...]]:
+    """A multi-node sweep with mostly-distinct signatures per node, so the
+    serial path's cross-node solver sharing does not mask the comparison."""
+    tiny = tiny_mode()
+    nodes = 6 if tiny else 32
+    buckets_per_node = 5 if tiny else 28
+    ks = (3,) if tiny else (34,)
+    rng = random.Random(20070419)
+    bucketizations = []
+    for i in range(nodes):
+        value_lists = []
+        for j in range(buckets_per_node):
+            domain = [f"v{i}_{j}_{x}" for x in range(rng.randint(5, 9))]
+            size = rng.randint(10, 18) if tiny else rng.randint(40, 64)
+            value_lists.append([rng.choice(domain) for _ in range(size)])
+        bucketizations.append(Bucketization.from_value_lists(value_lists))
+    return bucketizations, ks
+
+
+def test_parallel_evaluate_many_speedup(benchmark):
+    bucketizations, ks = _workload()
+
+    serial_engine = DisclosureEngine()
+    start = time.perf_counter()
+    serial_results = serial_engine.evaluate_many(bucketizations, ks, workers=1)
+    serial_s = time.perf_counter() - start
+
+    parallel_engine = DisclosureEngine(workers=WORKERS)
+    start = time.perf_counter()
+    parallel_results = benchmark.pedantic(
+        parallel_engine.evaluate_many,
+        args=(bucketizations, ks),
+        rounds=1,
+        iterations=1,
+    )
+    parallel_s = time.perf_counter() - start
+
+    # The headline correctness claim: bit-for-bit identical to serial.
+    assert parallel_results == serial_results
+    assert parallel_engine.stats.parallel_tasks == len(bucketizations)
+
+    # Warm-back: the same sweep again, serially, is pure cache hits.
+    hits_before = parallel_engine.stats.cache_hits
+    rerun = parallel_engine.evaluate_many(bucketizations, ks, workers=1)
+    assert rerun == serial_results
+    new_lookups = len(bucketizations) * len(ks)
+    assert parallel_engine.stats.cache_hits - hits_before == new_lookups
+
+    cores = _cores_available()
+    speedup = serial_s / parallel_s if parallel_s > 0 else float("inf")
+    benchmark.extra_info["speedup_vs_serial"] = round(speedup, 3)
+    benchmark.extra_info["cores_available"] = cores
+
+    write_bench_json(
+        "parallel",
+        {
+            "serial_s": round(serial_s, 4),
+            "parallel_s": round(parallel_s, 4),
+            "speedup_vs_serial": round(speedup, 3),
+            "workers": WORKERS,
+            "cores_available": cores,
+            "nodes": len(bucketizations),
+            "ks": list(ks),
+            "identical_results": parallel_results == serial_results,
+            "parallel_tasks": parallel_engine.stats.parallel_tasks,
+            "cache_hit_rate": round(parallel_engine.stats.hit_rate, 4),
+        },
+    )
+
+    # The speedup target only holds where parallelism is physically possible:
+    # full-size workload on a machine with at least two usable cores.
+    if not tiny_mode() and cores >= 2:
+        assert speedup > 1.3, (
+            f"parallel evaluate_many too slow: {speedup:.2f}x "
+            f"(serial {serial_s:.2f}s, parallel {parallel_s:.2f}s, "
+            f"{cores} cores)"
+        )
+
+
+def test_parallel_fig6_sweep_matches_serial(benchmark, adult_medium):
+    """The Figure-6 node sweep through the pool equals the serial sweep."""
+    from repro.experiments.fig6 import run_figure6
+
+    ks = (1, 3) if tiny_mode() else (1, 3, 5)
+    serial = run_figure6(adult_medium, ks=ks)
+    parallel_engine = DisclosureEngine(workers=WORKERS)
+    parallel = benchmark.pedantic(
+        run_figure6,
+        args=(adult_medium,),
+        kwargs={"ks": ks, "engine": parallel_engine, "workers": WORKERS},
+        rounds=1,
+        iterations=1,
+    )
+    assert parallel.nodes == serial.nodes
+    assert parallel_engine.stats.parallel_tasks > 0

@@ -6,12 +6,17 @@ The benchmark suite regenerates every evaluation artifact of the paper
     pytest benchmarks/ --benchmark-only
 
 Reported series are attached to each benchmark's ``extra_info`` (visible with
-``--benchmark-json``) and asserted structurally in the benchmark bodies.
+``--benchmark-json``) and asserted structurally in the benchmark bodies. The
+JSON-emitting benchmarks (``bench_engine``, ``bench_parallel``) also write
+``BENCH_*.json`` artifacts — set ``BENCH_TINY=1`` (as the CI smoke job does)
+to shrink their workloads to seconds.
 """
 
 from __future__ import annotations
 
 import pytest
+
+from reporting import tiny_mode
 
 from repro.data.adult import ADULT_SCHEMA, ADULT_SIZE
 from repro.data.hierarchies import adult_hierarchies
@@ -27,8 +32,8 @@ def adult_full():
 
 @pytest.fixture(scope="session")
 def adult_medium():
-    """A 10k-row dataset for the heavier sweeps."""
-    return default_adult_table(10_000)
+    """A 10k-row dataset for the heavier sweeps (800 rows in tiny mode)."""
+    return default_adult_table(800 if tiny_mode() else 10_000)
 
 
 @pytest.fixture(scope="session")

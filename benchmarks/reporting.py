@@ -1,0 +1,43 @@
+"""Machine-readable benchmark artifacts: ``BENCH_<name>.json`` files.
+
+Each JSON-emitting benchmark writes one flat record via
+:func:`write_bench_json` so the perf trajectory (wall time, cache hit rate,
+parallel speedup) can be compared across PRs and validated in CI
+(``scripts/check_bench_schema.py`` asserts the schema; the ``bench-smoke``
+job runs the emitters at tiny sizes with ``BENCH_TINY=1``).
+
+Output lands in the current directory unless ``BENCH_OUT_DIR`` is set.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+from pathlib import Path
+
+__all__ = ["SCHEMA_VERSION", "tiny_mode", "write_bench_json"]
+
+#: Bumped whenever a BENCH_*.json record's required keys change.
+SCHEMA_VERSION = 1
+
+
+def tiny_mode() -> bool:
+    """Whether to shrink workloads to CI-smoke sizes (``BENCH_TINY=1``)."""
+    return os.environ.get("BENCH_TINY") == "1"
+
+
+def write_bench_json(name: str, payload: dict) -> Path:
+    """Write ``BENCH_<name>.json`` with the shared envelope fields."""
+    out_dir = Path(os.environ.get("BENCH_OUT_DIR", "."))
+    out_dir.mkdir(parents=True, exist_ok=True)
+    record = {
+        "benchmark": name,
+        "schema_version": SCHEMA_VERSION,
+        "python": platform.python_version(),
+        "tiny": tiny_mode(),
+        **payload,
+    }
+    path = out_dir / f"BENCH_{name}.json"
+    path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    return path

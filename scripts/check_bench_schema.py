@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Validate BENCH_*.json benchmark artifacts against their schema.
+
+CI's bench-smoke job runs the JSON-emitting benchmarks at tiny sizes and
+then this checker, so schema drift (a renamed or dropped key, a version
+bump without a matching update here) fails the build instead of silently
+breaking the cross-PR perf trajectory.
+
+Usage: python scripts/check_bench_schema.py BENCH_engine.json BENCH_parallel.json
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+SCHEMA_VERSION = 1
+
+#: Required keys per benchmark name (the shared envelope plus specifics).
+ENVELOPE = {"benchmark", "schema_version", "python", "tiny"}
+REQUIRED = {
+    "engine": ENVELOPE
+    | {
+        "wall_time_s",
+        "rows",
+        "nodes",
+        "models",
+        "ks",
+        "epochs",
+        "cache_hit_rate",
+        "cache_entries",
+        "evictions",
+        "stats",
+    },
+    "parallel": ENVELOPE
+    | {
+        "serial_s",
+        "parallel_s",
+        "speedup_vs_serial",
+        "workers",
+        "cores_available",
+        "nodes",
+        "ks",
+        "identical_results",
+        "parallel_tasks",
+        "cache_hit_rate",
+    },
+}
+
+
+def check(path: str) -> list[str]:
+    errors: list[str] = []
+    try:
+        with open(path) as handle:
+            record = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"{path}: unreadable ({exc})"]
+    name = record.get("benchmark")
+    required = REQUIRED.get(name)
+    if required is None:
+        return [f"{path}: unknown benchmark name {name!r}"]
+    if record.get("schema_version") != SCHEMA_VERSION:
+        errors.append(
+            f"{path}: schema_version {record.get('schema_version')!r} "
+            f"!= {SCHEMA_VERSION}"
+        )
+    missing = sorted(required - set(record))
+    if missing:
+        errors.append(f"{path}: missing keys {missing}")
+    if name == "parallel" and record.get("identical_results") is not True:
+        errors.append(f"{path}: parallel results did not match serial")
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    if not argv:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    errors = [error for path in argv for error in check(path)]
+    for error in errors:
+        print(f"schema error: {error}", file=sys.stderr)
+    if not errors:
+        print(f"ok: {len(argv)} benchmark artifact(s) match schema v{SCHEMA_VERSION}")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

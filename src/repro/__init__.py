@@ -86,8 +86,10 @@ from repro.data import (
 )
 from repro.engine import (
     AdversaryModel,
+    CachePolicy,
     DisclosureEngine,
     EngineStats,
+    SignaturePlane,
     available_adversaries,
     get_adversary,
     register_adversary,
@@ -157,6 +159,8 @@ __all__ = [
     "AdversaryModel",
     "DisclosureEngine",
     "EngineStats",
+    "SignaturePlane",
+    "CachePolicy",
     "register_adversary",
     "get_adversary",
     "available_adversaries",

@@ -179,6 +179,31 @@ class Bucket:
         """Bucket with anonymous integer person ids ``0..n-1`` (handy in tests)."""
         return cls(range(len(tuple(sensitive_values))), sensitive_values)
 
+    @classmethod
+    def from_signature(
+        cls, signature: Sequence[int], *, start_id: int = 0
+    ) -> "Bucket":
+        """A synthetic bucket realizing ``signature`` with placeholder values.
+
+        Person ids (``start_id..``) and value labels (``s0, s1, ...``) carry
+        no information: every signature-decomposable computation — all of the
+        paper's worst-case algorithms — is invariant to them, which is what
+        lets the signature plane rebuild an evaluation-equivalent bucket from
+        an interned signature (e.g. inside a worker process).
+
+        Examples
+        --------
+        >>> Bucket.from_signature((2, 1)).signature
+        (2, 1)
+        """
+        counts = tuple(signature)
+        if any(a < b for a, b in zip(counts, counts[1:])):
+            raise ValueError(f"signature must be non-increasing: {counts}")
+        values = [
+            f"s{index}" for index, count in enumerate(counts) for _ in range(count)
+        ]
+        return cls(range(start_id, start_id + len(values)), values)
+
     # ------------------------------------------------------------------
     # Dunder plumbing
     # ------------------------------------------------------------------

@@ -31,7 +31,7 @@ class Bucketization:
     (3, 1)
     """
 
-    __slots__ = ("_buckets", "_bucket_of")
+    __slots__ = ("_buckets", "_bucket_of", "_signature_items")
 
     def __init__(self, buckets: Iterable[Bucket]) -> None:
         bs = tuple(buckets)
@@ -48,6 +48,7 @@ class Bucketization:
                 bucket_of[pid] = index
         self._buckets = bs
         self._bucket_of = bucket_of
+        self._signature_items: tuple[tuple[tuple[int, ...], int], ...] | None = None
 
     # ------------------------------------------------------------------
     # Container protocol
@@ -109,7 +110,20 @@ class Bucketization:
 
     def signature_multiset(self) -> Counter:
         """Multiset of bucket signatures — all the disclosure DP needs."""
-        return Counter(b.signature for b in self._buckets)
+        return Counter(dict(self.signature_items()))
+
+    def signature_items(self) -> tuple[tuple[tuple[int, ...], int], ...]:
+        """The signature multiset as a canonical hashable tuple of
+        ``(signature, count)`` pairs, sorted by signature.
+
+        Computed once per bucketization — this is the form the signature
+        plane interns, every whole-bucketization cache keys on, and the
+        parallel executor ships to worker processes.
+        """
+        if self._signature_items is None:
+            counts = Counter(b.signature for b in self._buckets)
+            self._signature_items = tuple(sorted(counts.items()))
+        return self._signature_items
 
     # ------------------------------------------------------------------
     # Constructors
@@ -141,6 +155,32 @@ class Bucketization:
             Bucket(pids, values)
             for _, (pids, values) in sorted(groups.items(), key=lambda kv: repr(kv[0]))
         ]
+        return cls(buckets)
+
+    @classmethod
+    def from_signature_counts(cls, counts) -> "Bucketization":
+        """Synthetic bucketization realizing a signature multiset.
+
+        ``counts`` is a mapping ``signature -> multiplicity`` or an iterable
+        of ``(signature, count)`` pairs. Person ids and value labels are
+        fresh placeholders (see :meth:`Bucket.from_signature`): for every
+        signature-decomposable computation the result is evaluation-
+        equivalent to any bucketization with the same signature multiset,
+        which is how the signature plane turns an interned cache key back
+        into a unit of work for a worker process.
+        """
+        items = counts.items() if hasattr(counts, "items") else counts
+        buckets: list[Bucket] = []
+        next_id = 0
+        for signature, count in sorted(items):
+            if count <= 0:
+                raise ValueError(
+                    f"signature multiplicity must be positive, got {count}"
+                )
+            for _ in range(count):
+                bucket = Bucket.from_signature(signature, start_id=next_id)
+                next_id += bucket.size
+                buckets.append(bucket)
         return cls(buckets)
 
     @classmethod

@@ -25,7 +25,11 @@ or ``--csv`` to use a file produced by ``generate`` (or the real Adult data
 converted with :func:`repro.data.loader.load_adult_file`). The disclosure
 analysis commands (``disclosure``, ``search``, ``breach``, ``witness``)
 accept ``--adversary`` with any model name from the engine registry
-(:func:`repro.engine.base.available_adversaries`).
+(:func:`repro.engine.base.available_adversaries`). ``disclosure``,
+``search``, ``fig5`` and ``fig6`` additionally take the engine knobs
+``--workers`` (process-pool size for batch evaluation) and ``--cache-limit``
+(LRU bound on the shared cache); ``disclosure --cache-stats`` prints the
+cache's hit/miss/eviction counters.
 """
 
 from __future__ import annotations
@@ -38,7 +42,7 @@ from repro.core.negation import NegationWitness
 from repro.core.safety import SafetyChecker
 from repro.core.sampling import sample_probability
 from repro.core.witness import WorstCaseWitness
-from repro.engine import DisclosureEngine, available_adversaries
+from repro.engine import CachePolicy, DisclosureEngine, available_adversaries
 from repro.knowledge.parser import parse_atom, parse_conjunction
 from repro.data.adult import ADULT_SCHEMA, ADULT_SIZE
 from repro.data.hierarchies import adult_hierarchies
@@ -56,11 +60,7 @@ from repro.experiments.runner import (
 )
 from repro.generalization.apply import bucketize_at
 from repro.generalization.lattice import GeneralizationLattice
-from repro.generalization.search import (
-    SearchStats,
-    find_minimal_safe_nodes,
-    node_safety_predicate,
-)
+from repro.generalization.search import SearchStats
 from repro.utility.metrics import precision
 
 __all__ = ["main", "build_parser"]
@@ -89,6 +89,55 @@ def _add_adversary_option(
         choices=available_adversaries(),
         default=default,
         help=f"background-knowledge model (default {default})",
+    )
+
+
+def _positive_int(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer, got {text!r}"
+        ) from None
+    if value <= 0:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer, got {value}"
+        )
+    return value
+
+
+def _add_engine_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=1,
+        help=(
+            "process-pool size for batch disclosure evaluation; parallelizes "
+            "multi-node sweeps (search, fig6), no effect on single-node "
+            "commands (1 = serial)"
+        ),
+    )
+    parser.add_argument(
+        "--cache-limit",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="bound the engine's shared cache to N entries (LRU eviction)",
+    )
+
+
+def _build_engine(args: argparse.Namespace) -> DisclosureEngine:
+    """One engine per command, configured from the shared engine flags."""
+    policy = CachePolicy(max_entries=getattr(args, "cache_limit", None))
+    return DisclosureEngine(policy=policy, workers=getattr(args, "workers", 1))
+
+
+def _print_cache_stats(engine: DisclosureEngine) -> None:
+    stats = engine.stats
+    print(
+        f"cache: {engine.cache_size()} entries, {stats.cache_hits} hits / "
+        f"{stats.misses} misses (hit rate {stats.hit_rate:.2%}), "
+        f"{stats.evictions} evictions"
     )
 
 
@@ -128,6 +177,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_fig5.add_argument(
         "--out", type=str, default=None, help="also write the series as CSV"
     )
+    _add_engine_options(p_fig5)
 
     p_fig6 = sub.add_parser("fig6", help="reproduce Figure 6")
     _add_dataset_options(p_fig6)
@@ -137,6 +187,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_fig6.add_argument(
         "--out", type=str, default=None, help="also write the envelopes as CSV"
     )
+    _add_engine_options(p_fig6)
 
     p_disc = sub.add_parser(
         "disclosure", help="max disclosure of one anonymization"
@@ -150,6 +201,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="report a single model (default: both implication and negation)",
     )
+    p_disc.add_argument(
+        "--cache-stats",
+        action="store_true",
+        help="print engine cache behavior (hits/misses/evictions)",
+    )
+    _add_engine_options(p_disc)
 
     p_search = sub.add_parser(
         "search", help="find minimal (c,k)-safe lattice nodes"
@@ -163,6 +220,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="use the multi-phase Incognito search (subset pruning)",
     )
     _add_adversary_option(p_search)
+    _add_engine_options(p_search)
 
     p_wit = sub.add_parser(
         "witness", help="print a worst-case formula for an anonymization"
@@ -222,7 +280,7 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 
 def _cmd_fig5(args: argparse.Namespace) -> int:
-    result = run_figure5(_load_table(args), node=args.node)
+    result = run_figure5(_load_table(args), node=args.node, engine=_build_engine(args))
     print(render_figure5(result))
     if args.out:
         with open(args.out, "w") as handle:
@@ -232,7 +290,9 @@ def _cmd_fig5(args: argparse.Namespace) -> int:
 
 
 def _cmd_fig6(args: argparse.Namespace) -> int:
-    result = run_figure6(_load_table(args))
+    result = run_figure6(
+        _load_table(args), engine=_build_engine(args), workers=args.workers
+    )
     print(render_figure6(result, per_node=args.per_node))
     if args.out:
         with open(args.out, "w") as handle:
@@ -244,7 +304,7 @@ def _cmd_fig6(args: argparse.Namespace) -> int:
 def _cmd_disclosure(args: argparse.Namespace) -> int:
     table = _load_table(args)
     bucketization = bucketize_at(table, _adult_lattice(), args.node)
-    engine = DisclosureEngine()
+    engine = _build_engine(args)
     print(f"node {tuple(args.node)}: {len(bucketization)} buckets")
     if args.adversary is None:
         comparison = engine.compare(
@@ -260,13 +320,16 @@ def _cmd_disclosure(args: argparse.Namespace) -> int:
             f"max disclosure, {args.adversary} adversary, k={args.k} : "
             f"{float(value):.6f}"
         )
+    if args.cache_stats:
+        _print_cache_stats(engine)
     return 0
 
 
 def _cmd_search(args: argparse.Namespace) -> int:
     table = _load_table(args)
     lattice = _adult_lattice()
-    checker = SafetyChecker(args.c, args.k, model=args.adversary)
+    engine = _build_engine(args)
+    checker = SafetyChecker(args.c, args.k, model=args.adversary, engine=engine)
     if not checker.model.monotone:
         print(
             f"warning: the {checker.model.name!r} adversary is not monotone "
@@ -293,10 +356,17 @@ def _cmd_search(args: argparse.Namespace) -> int:
         )
     else:
         stats = SearchStats()
-        minimal = find_minimal_safe_nodes(
+        # The engine search: signature-memoized predicate, plus a parallel
+        # prewarm of every node's disclosure when --workers > 1 (the pruned
+        # sweep then runs on pure cache hits).
+        minimal = engine.find_minimal_safe_nodes(
+            table,
             lattice,
-            node_safety_predicate(table, lattice, checker),
+            args.c,
+            args.k,
+            model=args.adversary,
             stats=stats,
+            workers=args.workers,
         )
         print(
             f"(c={args.c}, k={args.k})-safety [{args.adversary}]: "

@@ -13,7 +13,7 @@ signatures and across calls that pass a common solver.
 
 from __future__ import annotations
 
-from collections.abc import Iterable
+from collections.abc import Iterable, Mapping
 from fractions import Fraction
 
 from repro.bucketization.bucketization import Bucketization
@@ -24,6 +24,7 @@ __all__ = [
     "min_formula1_ratio",
     "max_disclosure",
     "max_disclosure_series",
+    "max_disclosure_series_from_counts",
     "min_k_to_breach",
 ]
 
@@ -49,8 +50,9 @@ def min_formula1_ratio(
     if k < 0:
         raise ValueError(f"k must be non-negative, got {k}")
     solver = resolve_solver(exact, solver)
-    signatures = [bucket.signature for bucket in bucketization.buckets]
-    table = min_ratio_table(signatures, k, solver=solver)
+    table = min_ratio_table(
+        dict(bucketization.signature_items()), k, solver=solver
+    )
     return table[k]
 
 
@@ -116,14 +118,32 @@ def max_disclosure_series(
     in :func:`max_disclosure` (the solver's mode wins; explicit conflicts
     raise).
     """
+    return max_disclosure_series_from_counts(
+        dict(bucketization.signature_items()), ks, exact=exact, solver=solver
+    )
+
+
+def max_disclosure_series_from_counts(
+    signature_counts: Mapping[tuple[int, ...], int],
+    ks: Iterable[int],
+    *,
+    exact: bool | None = None,
+    solver: Minimize1Solver | None = None,
+) -> dict[int, object]:
+    """:func:`max_disclosure_series` computed purely on the signature plane.
+
+    ``signature_counts`` maps each bucket signature to its multiplicity —
+    all the implication worst case depends on (Lemma 12 / MINIMIZE2 see a
+    bucketization only through its histogram shapes). This is the entry
+    point the engine's parallel executor and persistence layer use: a cache
+    key round-trips to a computation without ever rebuilding people."""
     ks = sorted(set(ks))
     if not ks:
         return {}
     if ks[0] < 0:
         raise ValueError(f"k must be non-negative, got {ks[0]}")
     solver = resolve_solver(exact, solver)
-    signatures = [bucket.signature for bucket in bucketization.buckets]
-    table = min_ratio_table(signatures, ks[-1], solver=solver)
+    table = min_ratio_table(signature_counts, ks[-1], solver=solver)
     return {
         k: _to_disclosure(table[k], exact=solver.exact) for k in ks
     }

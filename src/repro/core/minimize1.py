@@ -171,12 +171,19 @@ class Minimize1Solver:
     exact:
         Use :class:`~fractions.Fraction` arithmetic (slower, exact) instead
         of floats.
+    intern:
+        Optional ``signature -> hashable id`` mapping (e.g.
+        ``SignaturePlane.intern``). When provided, the memo is keyed by the
+        interned id instead of the raw signature tuple, so a plane shared
+        with the engine pays for hashing each signature once instead of on
+        every lookup.
     """
 
-    def __init__(self, *, exact: bool = False) -> None:
+    def __init__(self, *, exact: bool = False, intern=None) -> None:
         self._exact = exact
         self._one = Fraction(1) if exact else 1.0
-        self._memo: dict[tuple[int, ...], dict] = {}
+        self._intern = intern
+        self._memo: dict[object, dict] = {}
 
     @property
     def exact(self) -> bool:
@@ -194,7 +201,8 @@ class Minimize1Solver:
         n = sum(sig)
         prefix = _prefix_sums(sig)
         d = len(sig)
-        memo = self._memo.setdefault(sig, {})
+        key = sig if self._intern is None else self._intern(sig)
+        memo = self._memo.setdefault(key, {})
 
         def g(i: int, cap: int, rem: int):
             if rem == 0:

@@ -33,7 +33,7 @@ Implementation notes (see DESIGN.md Section 6):
 from __future__ import annotations
 
 from collections import Counter
-from collections.abc import Sequence
+from collections.abc import Mapping, Sequence
 from fractions import Fraction
 
 from repro.core.minimize1 import INFEASIBLE, Minimize1Solver, resolve_solver
@@ -49,14 +49,23 @@ def _times(a, b):
 
 
 def effective_signatures(
-    signatures: Sequence[tuple[int, ...]], cap: int
+    signatures: Sequence[tuple[int, ...]] | Mapping[tuple[int, ...], int],
+    cap: int,
 ) -> list[tuple[int, ...]]:
     """Deduplicate a signature list: keep each distinct signature at most
     ``cap`` times (``cap = max_k + 1`` preserves every optimum because a
-    placement touches at most ``k + 1`` buckets)."""
+    placement touches at most ``k + 1`` buckets).
+
+    Accepts either one signature per bucket or a pre-counted multiset
+    (``signature -> count``, the signature plane's native form); both yield
+    the identical effective list, so counted callers skip materializing a
+    per-bucket list entirely.
+    """
     if cap <= 0:
         raise ValueError(f"cap must be positive, got {cap}")
-    counted = Counter(signatures)
+    counted = (
+        signatures if isinstance(signatures, Mapping) else Counter(signatures)
+    )
     effective: list[tuple[int, ...]] = []
     for signature in sorted(counted, key=repr):
         effective.extend([signature] * min(counted[signature], cap))
@@ -142,7 +151,7 @@ class MinRatioComputation:
 
 
 def min_ratio_table(
-    signatures: Sequence[tuple[int, ...]],
+    signatures: Sequence[tuple[int, ...]] | Mapping[tuple[int, ...], int],
     max_k: int,
     *,
     solver: Minimize1Solver | None = None,
@@ -150,7 +159,8 @@ def min_ratio_table(
     dedupe: bool = True,
 ) -> list:
     """Minimum of Formula (1) for every ``k in 0..max_k`` over a bucketization
-    given by its bucket ``signatures``.
+    given by its bucket ``signatures`` (one per bucket, or pre-counted as a
+    ``signature -> count`` mapping — the signature plane's form).
 
     The result is a list ``r`` with ``max disclosure(k) = 1 / (1 + r[k])``;
     ``r[k] = 0`` means some k-implication formula forces a certain disclosure.
@@ -168,7 +178,16 @@ def min_ratio_table(
         undeduplicated algorithm).
     """
     solver = resolve_solver(exact, solver)
-    sigs = list(signatures)
     if dedupe:
-        sigs = effective_signatures(sigs, max_k + 1)
+        sigs = effective_signatures(signatures, max_k + 1)
+    elif isinstance(signatures, Mapping):
+        # Expand the counted form in the same canonical order the dedupe
+        # path uses, so float results are bit-identical either way.
+        sigs = [
+            signature
+            for signature in sorted(signatures, key=repr)
+            for _ in range(signatures[signature])
+        ]
+    else:
+        sigs = list(signatures)
     return MinRatioComputation(sigs, max_k, solver).ratios()

@@ -3,15 +3,24 @@
 The framework of the paper is parametric in the background-knowledge
 language; this subsystem makes that parameter a first-class runtime object.
 
+- :mod:`repro.engine.plane` — the :class:`SignaturePlane` (bucket signatures
+  interned to dense ids; any bucketization becomes a compact id-multiset —
+  the single cache key and unit of work), :class:`CachePolicy` (LRU bound,
+  sweep pinning), and the deterministic process-pool executor behind
+  parallel batch evaluation.
 - :mod:`repro.engine.base` — the :class:`AdversaryModel` protocol, the
   string-keyed registry, and the :class:`EngineContext` shared state.
 - :mod:`repro.engine.models` — the five built-in models (``implication``,
   ``negation``, ``weighted``, ``probabilistic``, ``sampling``), each a thin
   wrapper over the corresponding :mod:`repro.core` algorithm.
-- :mod:`repro.engine.engine` — the :class:`DisclosureEngine`: shared
-  signature-multiset memoization across *all* models, batch evaluation over
-  many ``k`` / bucketizations / models, uniform exact-float handling and
-  witness reconstruction, plus adversary-parametric lattice search.
+- :mod:`repro.engine.models_distribution` — Wong et al.'s distribution-based
+  worst-case adversary (``distribution``) as a one-file registry plugin.
+- :mod:`repro.engine.engine` — the :class:`DisclosureEngine`: one bounded
+  LRU cache on the signature plane shared across *all* models, batch
+  evaluation over many ``k`` / bucketizations / models (optionally over a
+  process pool with cache warm-back), cache persistence, uniform
+  exact-float handling and witness reconstruction, plus
+  adversary-parametric lattice search.
 
 Every consumer in this package — :class:`~repro.core.safety.SafetyChecker`,
 greedy suppression, Incognito/lattice search, the Figure 5/6 experiments and
@@ -35,12 +44,19 @@ from repro.engine.models import (
     SamplingAdversary,
     WeightedAdversary,
 )
+from repro.engine.models_distribution import (
+    DistributionAdversary,
+    DistributionWitness,
+)
+from repro.engine.plane import CachePolicy, SignaturePlane
 
 __all__ = [
     "AdversaryModel",
     "EngineContext",
     "DisclosureEngine",
     "EngineStats",
+    "SignaturePlane",
+    "CachePolicy",
     "register_adversary",
     "get_adversary",
     "available_adversaries",
@@ -49,4 +65,6 @@ __all__ = [
     "WeightedAdversary",
     "ProbabilisticAdversary",
     "SamplingAdversary",
+    "DistributionAdversary",
+    "DistributionWitness",
 ]

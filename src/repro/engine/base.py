@@ -30,6 +30,7 @@ from typing import Any, ClassVar
 
 from repro.bucketization.bucketization import Bucketization
 from repro.core.minimize1 import Minimize1Solver
+from repro.engine.plane import SignaturePlane
 from repro.errors import UnknownAdversaryError
 
 __all__ = [
@@ -50,21 +51,30 @@ class EngineContext:
         The engine's arithmetic mode. Models that support it return
         :class:`~fractions.Fraction` when True; models that are inherently
         floating-point (``supports_exact = False``) return floats either way.
+    plane:
+        The shared :class:`~repro.engine.plane.SignaturePlane`: bucket
+        signatures are interned to dense integer ids once, and every layer —
+        the engine cache, the MINIMIZE1 memo, batch execution — keys on the
+        interned form instead of re-hashing raw tuples.
     solver:
         One shared :class:`~repro.core.minimize1.Minimize1Solver`. Its memo is
-        keyed by bucket signature, so per-bucket DP work done for one model or
-        one bucketization is reused by every later call on the same context.
+        keyed by the plane's interned signature ids, so per-bucket DP work
+        done for one model or one bucketization is reused by every later call
+        on the same context.
     scratch:
         A free-form dict for model-private cross-call state (keyed by model
         name by convention); lets plugins memoize beyond what the engine's
         whole-bucketization cache covers.
     """
 
-    __slots__ = ("exact", "solver", "scratch")
+    __slots__ = ("exact", "plane", "solver", "scratch")
 
-    def __init__(self, *, exact: bool = False) -> None:
+    def __init__(
+        self, *, exact: bool = False, plane: SignaturePlane | None = None
+    ) -> None:
         self.exact = exact
-        self.solver = Minimize1Solver(exact=exact)
+        self.plane = plane if plane is not None else SignaturePlane()
+        self.solver = Minimize1Solver(exact=exact, intern=self.plane.intern)
         self.scratch: dict[Any, Any] = {}
 
 
@@ -174,6 +184,20 @@ class AdversaryModel(abc.ABC):
     # ------------------------------------------------------------------
     # Memoization hooks
     # ------------------------------------------------------------------
+    def signature_decomposable(self) -> bool:
+        """Whether this instance's answers depend on the bucketization only
+        through its signature multiset.
+
+        When True (the default — every closed-form and DP model in the
+        paper), the engine keys this model on the interned signature plane
+        and may evaluate it in worker processes on synthetically rebuilt
+        bucketizations (:func:`~repro.engine.plane.evaluate_raw_multisets`).
+        Models sensitive to more — Monte Carlo draws that depend on value
+        order, cost weights attached to concrete values — return False and
+        are cached under :meth:`cache_key` and evaluated serially instead.
+        """
+        return True
+
     def params_key(self) -> tuple:
         """Hashable identity of the model's parameters (weights, confidence,
         sample sizes, ...) — part of the engine's cache key so differently
@@ -183,14 +207,14 @@ class AdversaryModel(abc.ABC):
     def cache_key(self, bucketization: Bucketization) -> Hashable:
         """What the model's answer depends on, as a hashable key.
 
-        The default is the signature *multiset*: every closed-form and DP
-        model in this package sees a bucketization only through its bucket
-        histograms, so bucketizations that partition people differently but
-        induce the same histogram shapes share one cache entry. Models that
-        are sensitive to more (e.g. Monte Carlo draws depend on value order)
-        override this with a finer key.
+        Only consulted when :meth:`signature_decomposable` is False —
+        decomposable models are keyed on the engine's interned signature
+        plane instead. The default is the signature multiset (kept for
+        plugins that override decomposability without providing a finer
+        key); models sensitive to more (e.g. Monte Carlo draws depend on
+        value order) override this.
         """
-        return frozenset(bucketization.signature_multiset().items())
+        return bucketization.signature_items()
 
 
 # ---------------------------------------------------------------------------

@@ -2,22 +2,30 @@
 
 The engine owns three things no single legacy function had:
 
-1. **A shared cache.** The signature-multiset memoization that used to be
-   private to :class:`~repro.core.safety.SafetyChecker` is generalized here
-   to *every* registered adversary model: one dict, keyed by
-   ``(model name, model params, k, model cache key)``, serves all models, all
-   bucketizations and all attacker powers evaluated on the engine. A lattice
-   sweep, a Figure-5 reproduction and a safety check share the same entries.
-2. **Batch APIs.** :meth:`DisclosureEngine.series` evaluates many ``k`` at the
-   cost the model can manage (the implication DP computes them all in one
-   pass); :meth:`DisclosureEngine.evaluate_many` runs a series over many
-   bucketizations; :meth:`DisclosureEngine.compare` runs many *models* over
-   one bucketization — Figure 5's solid-vs-dotted lines in one call.
+1. **A shared, bounded cache on the signature plane.** Every bucketization
+   is interned once into a compact id-multiset
+   (:class:`~repro.engine.plane.SignaturePlane`), and one LRU-ordered dict —
+   keyed by ``(model name, model params, k, plane key)`` — serves all
+   models, all bucketizations, and all attacker powers evaluated on the
+   engine. A :class:`~repro.engine.plane.CachePolicy` bounds the entry
+   count (evictions are counted in :class:`EngineStats`), lattice sweeps
+   can pin their entries, and :meth:`DisclosureEngine.save_cache` /
+   :meth:`DisclosureEngine.load_cache` persist entries portably (plane keys
+   are decoded to raw signatures on disk and re-interned on load).
+2. **Batch APIs, optionally parallel.** :meth:`DisclosureEngine.series`
+   evaluates many ``k`` at the cost the model can manage;
+   :meth:`DisclosureEngine.evaluate_many` runs a series over many
+   bucketizations — serially through the cache, or chunked by *unique*
+   plane key over a process pool (``workers > 1``) with deterministic merge
+   order and warm-back, so parallel results populate the shared cache and
+   are bit-for-bit identical to the serial path;
+   :meth:`DisclosureEngine.compare` runs many *models* over one
+   bucketization — Figure 5's solid-vs-dotted lines in one call.
 3. **Uniform mode and witness handling.** The engine fixes exact/float
    arithmetic once at construction; every model call receives the shared
-   :class:`~repro.engine.base.EngineContext` (mode + MINIMIZE1 solver), and
-   :meth:`DisclosureEngine.witness` reconstructs worst-case formulas for any
-   model that supports them.
+   :class:`~repro.engine.base.EngineContext` (mode + signature plane +
+   MINIMIZE1 solver), and :meth:`DisclosureEngine.witness` reconstructs
+   worst-case formulas for any model that supports them.
 
 High-level consumers — (c,k)-safety, greedy suppression, the lattice
 searches, the experiments, the CLI — are thin wrappers over this class, so an
@@ -27,16 +35,25 @@ immediately usable everywhere.
 
 from __future__ import annotations
 
+import pickle
+from collections import OrderedDict
 from collections.abc import Callable, Iterable, Sequence
+from contextlib import contextmanager
 from dataclasses import dataclass
 from fractions import Fraction
 from typing import Any
 
 from repro.bucketization.bucketization import Bucketization
 from repro.engine.base import AdversaryModel, EngineContext, get_adversary
+from repro.engine.plane import CachePolicy, SignaturePlane, parallel_series
 from repro.errors import SearchError
 
 __all__ = ["EngineStats", "DisclosureEngine"]
+
+#: On-disk cache format version (bumped on incompatible layout changes).
+CACHE_FORMAT = 1
+
+_MISS = object()
 
 
 def _threshold(c: float, *, exact: bool, bounded: bool = True):
@@ -62,10 +79,18 @@ class EngineStats:
         Number of ``(bucketization, k, model)`` lookups requested.
     cache_hits:
         How many of those were answered from the shared cache.
+    evictions:
+        Entries dropped by the LRU bound (0 when ``max_entries`` is unset).
+    parallel_tasks:
+        Unique plane keys whose series were computed by worker processes
+        (their per-``k`` results arrive via cache warm-back, so the
+        subsequent lookups count as hits).
     """
 
     evaluations: int = 0
     cache_hits: int = 0
+    evictions: int = 0
+    parallel_tasks: int = 0
 
     @property
     def misses(self) -> int:
@@ -75,6 +100,17 @@ class EngineStats:
     def hit_rate(self) -> float:
         """Fraction of lookups served from cache (0.0 when none yet)."""
         return self.cache_hits / self.evaluations if self.evaluations else 0.0
+
+    def as_dict(self) -> dict[str, object]:
+        """The counters plus derived rates, for JSON benchmark artifacts."""
+        return {
+            "evaluations": self.evaluations,
+            "cache_hits": self.cache_hits,
+            "misses": self.misses,
+            "hit_rate": round(self.hit_rate, 6),
+            "evictions": self.evictions,
+            "parallel_tasks": self.parallel_tasks,
+        }
 
 
 class DisclosureEngine:
@@ -87,6 +123,13 @@ class DisclosureEngine:
         that supports it (inherently floating-point models — ``weighted``,
         ``sampling`` — return floats regardless; see each model's
         ``supports_exact``).
+    policy:
+        A :class:`~repro.engine.plane.CachePolicy` bounding the shared
+        cache; the default is unbounded with no sweep pinning.
+    workers:
+        Default process-pool size for :meth:`evaluate_many` and the engine's
+        lattice-sweep prewarm (1 = serial; the per-call ``workers`` argument
+        overrides it).
 
     Examples
     --------
@@ -101,11 +144,22 @@ class DisclosureEngine:
     2
     """
 
-    def __init__(self, *, exact: bool = False) -> None:
+    def __init__(
+        self,
+        *,
+        exact: bool = False,
+        policy: CachePolicy | None = None,
+        workers: int = 1,
+    ) -> None:
         self.exact = exact
-        self.context = EngineContext(exact=exact)
+        self.policy = policy if policy is not None else CachePolicy()
+        self.workers = max(1, int(workers))
+        self.plane = SignaturePlane()
+        self.context = EngineContext(exact=exact, plane=self.plane)
         self.stats = EngineStats()
-        self._cache: dict[tuple, Any] = {}
+        self._cache: OrderedDict[tuple, Any] = OrderedDict()
+        self._pinned: set[tuple] = set()
+        self._pin_depth = 0
         self._instances: dict[str, AdversaryModel] = {}
 
     # ------------------------------------------------------------------
@@ -123,8 +177,12 @@ class DisclosureEngine:
         return instance
 
     def cache_size(self) -> int:
-        """Number of memoized ``(model, params, k, bucketization)`` entries."""
+        """Number of memoized ``(model, params, k, plane key)`` entries."""
         return len(self._cache)
+
+    def pinned_count(self) -> int:
+        """Number of entries currently exempt from LRU eviction."""
+        return len(self._pinned)
 
     def threshold(self, c: float, *, model: str | AdversaryModel | None = None):
         """Validate a disclosure threshold and convert it to this engine's
@@ -139,8 +197,139 @@ class DisclosureEngine:
             bounded = not self.model(model).unbounded_scale
         return _threshold(c, exact=self.exact, bounded=bounded)
 
+    def _bucket_key(self, m: AdversaryModel, bucketization: Bucketization):
+        """The bucketization half of a cache key, tagged by provenance:
+        ``("plane", id-multiset)`` for signature-decomposable models (the
+        common case — portable via the plane), ``("raw", model key)`` for
+        models keyed finer than the signature plane."""
+        if m.signature_decomposable():
+            return ("plane", self.plane.encode(bucketization))
+        return ("raw", m.cache_key(bucketization))
+
     def _key(self, m: AdversaryModel, bucketization: Bucketization, k: int):
-        return (m.name, m.params_key(), k, m.cache_key(bucketization))
+        return (m.name, m.params_key(), k, self._bucket_key(m, bucketization))
+
+    def _cache_get(self, key):
+        value = self._cache.get(key, _MISS)
+        if value is not _MISS:
+            self._cache.move_to_end(key)
+            if self._pin_depth > 0:
+                # A pinned scope claims what it *uses*, not just what it
+                # inserts — a sweep rereading a warm entry must keep it.
+                self._pinned.add(key)
+        return value
+
+    def _cache_put(self, key, value) -> None:
+        self._cache[key] = value
+        self._cache.move_to_end(key)
+        if self._pin_depth > 0:
+            self._pinned.add(key)
+        limit = self.policy.max_entries
+        if limit is None:
+            return
+        while len(self._cache) > limit:
+            if len(self._pinned) >= len(self._cache):
+                break  # everything pinned: overflow beats data loss
+            victim = next(iter(self._cache))
+            if victim in self._pinned:
+                # Rotate pinned keys out of scan position: they are immune
+                # to eviction, so their LRU position carries no information,
+                # and rotating keeps each eviction O(1) amortized instead of
+                # rescanning a pinned prefix on every insert.
+                self._cache.move_to_end(victim)
+                continue
+            del self._cache[victim]
+            self.stats.evictions += 1
+
+    @contextmanager
+    def pinned(self):
+        """Scope in which every cache entry inserted is pinned: exempt from
+        LRU eviction until :meth:`unpin_all`. Lattice sweeps use this (via
+        ``CachePolicy.pin_sweeps``) so a bounded cache serving both a sweep
+        and ad-hoc traffic evicts the traffic, not the sweep."""
+        self._pin_depth += 1
+        try:
+            yield self
+        finally:
+            self._pin_depth -= 1
+
+    def unpin_all(self) -> None:
+        """Release every pin (entries stay cached, but become evictable).
+
+        Formerly pinned entries may have been rotated to the recent end of
+        the LRU order while pinned (their position was irrelevant then), so
+        immediately after unpinning they are evicted late rather than in
+        strict original recency order.
+        """
+        self._pinned.clear()
+
+    # ------------------------------------------------------------------
+    # Cache persistence
+    # ------------------------------------------------------------------
+    def save_cache(self, path) -> int:
+        """Persist the cache to ``path`` in a plane-independent form.
+
+        Plane-tagged keys are decoded to raw signature multisets (ids are
+        plane-local and would be meaningless elsewhere); a different engine —
+        or the same service after a restart — re-interns them on
+        :meth:`load_cache`. Returns the number of entries written.
+        """
+        entries = []
+        for key, value in self._cache.items():
+            name, params, k, (tag, bucket_key) = key
+            if tag == "plane":
+                bucket_key = self.plane.decode(bucket_key)
+            entries.append((name, params, k, tag, bucket_key, value))
+        payload = {
+            "format": CACHE_FORMAT,
+            "exact": self.exact,
+            "entries": entries,
+        }
+        with open(path, "wb") as handle:
+            pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        return len(entries)
+
+    def load_cache(self, path) -> int:
+        """Load entries saved by :meth:`save_cache`, re-interning plane keys.
+
+        Existing entries win on collision. The cache policy applies (loading
+        more than ``max_entries`` evicts). Returns the number of entries
+        actually inserted.
+
+        .. warning::
+            The file is deserialized with :mod:`pickle`, which executes code
+            during loading — only load cache files you wrote yourself (or
+            otherwise trust). Never point this at shared or
+            attacker-writable storage.
+
+        Raises
+        ------
+        ValueError
+            On a format-version mismatch, or when the file was saved by an
+            engine in the other arithmetic mode (float and Fraction answers
+            must never mix in one cache).
+        """
+        with open(path, "rb") as handle:
+            payload = pickle.load(handle)
+        if payload.get("format") != CACHE_FORMAT:
+            raise ValueError(
+                f"unsupported cache format {payload.get('format')!r} "
+                f"(expected {CACHE_FORMAT})"
+            )
+        if bool(payload.get("exact")) != self.exact:
+            raise ValueError(
+                f"cache was saved with exact={payload.get('exact')} but this "
+                f"engine has exact={self.exact}; arithmetic modes must match"
+            )
+        loaded = 0
+        for name, params, k, tag, bucket_key, value in payload["entries"]:
+            if tag == "plane":
+                bucket_key = self.plane.encode_counts(bucket_key)
+            key = (name, params, k, (tag, bucket_key))
+            if key not in self._cache:
+                self._cache_put(key, value)
+                loaded += 1
+        return loaded
 
     # ------------------------------------------------------------------
     # Evaluation
@@ -159,11 +348,12 @@ class DisclosureEngine:
         m = self.model(model)
         key = self._key(m, bucketization, k)
         self.stats.evaluations += 1
-        if key in self._cache:
+        value = self._cache_get(key)
+        if value is not _MISS:
             self.stats.cache_hits += 1
-            return self._cache[key]
+            return value
         value = m.disclosure(bucketization, k, context=self.context)
-        self._cache[key] = value
+        self._cache_put(key, value)
         return value
 
     def series(
@@ -187,20 +377,22 @@ class DisclosureEngine:
             raise ValueError(f"k must be non-negative, got {ks[0]}")
         result: dict[int, object] = {}
         missing: list[int] = []
-        base_key = (m.name, m.params_key(), m.cache_key(bucketization))
+        name, params = m.name, m.params_key()
+        bucket_key = self._bucket_key(m, bucketization)
         for k in ks:
-            key = (base_key[0], base_key[1], k, base_key[2])
+            key = (name, params, k, bucket_key)
             self.stats.evaluations += 1
-            if key in self._cache:
+            value = self._cache_get(key)
+            if value is not _MISS:
                 self.stats.cache_hits += 1
-                result[k] = self._cache[key]
+                result[k] = value
             else:
                 missing.append(k)
         if missing:
             computed = m.series(bucketization, missing, context=self.context)
             for k in missing:
                 value = computed[k]
-                self._cache[(base_key[0], base_key[1], k, base_key[2])] = value
+                self._cache_put((name, params, k, bucket_key), value)
                 result[k] = value
         return result
 
@@ -210,15 +402,95 @@ class DisclosureEngine:
         ks: Iterable[int],
         *,
         model: str | AdversaryModel = "implication",
+        workers: int | None = None,
     ) -> list[dict[int, object]]:
         """One series per bucketization, in input order, all sharing this
         engine's cache and solver — the batched form a lattice sweep or an
-        incremental republication wants."""
-        ks = list(ks)
-        return [
-            self.series(bucketization, ks, model=model)
-            for bucketization in bucketizations
-        ]
+        incremental republication wants.
+
+        With ``workers > 1`` (default: the engine's ``workers``) and a
+        signature-decomposable model, the *unique uncached* plane keys are
+        evaluated over a process pool — each distinct signature multiset is
+        computed exactly once — and warm-backed into the shared cache before
+        the per-bucketization assembly, which then runs entirely on cache
+        hits. Results are bit-for-bit identical to the serial path
+        (deterministic chunking and merge order; same canonical signature
+        order inside each worker). Serial fallback: ``workers <= 1``,
+        non-decomposable models (their answers depend on more than the
+        plane ships), or an unavailable/broken pool.
+        """
+        bs = list(bucketizations)
+        ks = sorted(set(ks))
+        m = self.model(model)
+        workers = self.workers if workers is None else max(1, int(workers))
+        warmed: dict[tuple, dict[int, object]] = {}
+        if (
+            workers > 1
+            and len(bs) > 1
+            and ks
+            and m.signature_decomposable()
+        ):
+            warmed = self._parallel_warm(bs, ks, m, workers)
+        if not warmed:
+            return [self.series(b, ks, model=m) for b in bs]
+        # Assemble from the pool's own results where available (not only via
+        # the cache warm-back: a tight CachePolicy may already have evicted
+        # them, and recomputing serially would waste the pool's work). Stats
+        # count these lookups as hits — the values came from shared state.
+        results = []
+        for b in bs:
+            series = warmed.get(self.plane.encode(b))
+            if series is None:
+                results.append(self.series(b, ks, model=m))
+                continue
+            self.stats.evaluations += len(ks)
+            self.stats.cache_hits += len(ks)
+            results.append({k: series[k] for k in ks})
+        return results
+
+    def _parallel_warm(
+        self,
+        bucketizations: Sequence[Bucketization],
+        ks: Sequence[int],
+        m: AdversaryModel,
+        workers: int,
+    ) -> dict[tuple, dict[int, object]]:
+        """Compute the unique uncached plane keys in a process pool.
+
+        Returns ``{plane key: series}`` for the computed multisets (empty on
+        any pool failure — the serial path then takes over, recomputing and
+        re-raising any genuine model error cleanly) and warm-backs the
+        results into the shared cache so later calls hit."""
+        name, params = m.name, m.params_key()
+        pending: dict[tuple, None] = {}
+        for b in bucketizations:
+            plane_key = self.plane.encode(b)
+            if plane_key in pending:
+                continue
+            tagged = ("plane", plane_key)
+            if any((name, params, k, tagged) not in self._cache for k in ks):
+                pending[plane_key] = None
+        if len(pending) < 2:
+            return {}  # nothing (or one series) to fan out; serial is cheaper
+        raw = [self.plane.decode(plane_key) for plane_key in pending]
+        try:
+            all_series = parallel_series(
+                m, raw, ks, exact=self.exact, workers=workers
+            )
+        except Exception:
+            # Pool unavailable (unpicklable plugin, fork restrictions,
+            # broken pool) — degrade silently to the serial path.
+            return {}
+        warmed: dict[tuple, dict[int, object]] = {}
+        for plane_key, series in zip(pending, all_series):
+            warmed[plane_key] = series
+            tagged = ("plane", plane_key)
+            for k, value in series.items():
+                key = (name, params, k, tagged)
+                if key not in self._cache:
+                    self._cache_put(key, value)
+        self.stats.parallel_tasks += len(raw)
+        return warmed
 
     def compare(
         self,
@@ -338,8 +610,17 @@ class DisclosureEngine:
         k: int,
         *,
         model: str | AdversaryModel = "implication",
+        bucketizations: dict | None = None,
     ) -> Callable[[tuple], bool]:
         """A cached node-level safety predicate for the lattice searches.
+
+        For signature-decomposable models the predicate also carries a
+        signature-level memo: two nodes whose bucketizations induce the same
+        signature multiset resolve with one engine call and one threshold
+        comparison. With ``CachePolicy.pin_sweeps``, every cache entry the
+        predicate inserts or reads is pinned. A prebuilt
+        ``node -> bucketization`` dict (e.g. from a parallel prewarm) is
+        consumed instead of re-bucketizing.
 
         Monotonicity along the generalization order is Theorem 14's gift for
         the implication adversary and holds for every bucket-decomposable
@@ -350,11 +631,23 @@ class DisclosureEngine:
 
         m = self.model(model)
         threshold = self.threshold(c, model=m)
+        pin = self.policy.pin_sweeps
+        signature_memo = {} if m.signature_decomposable() else None
+
+        def checker(bucketization: Bucketization) -> bool:
+            if pin:
+                with self.pinned():
+                    value = self.evaluate(bucketization, k, model=m)
+            else:
+                value = self.evaluate(bucketization, k, model=m)
+            return value < threshold
+
         return node_safety_predicate(
             table,
             lattice,
-            lambda bucketization: self.evaluate(bucketization, k, model=m)
-            < threshold,
+            checker,
+            signature_memo=signature_memo,
+            bucketizations=bucketizations,
         )
 
     def find_minimal_safe_nodes(
@@ -366,12 +659,45 @@ class DisclosureEngine:
         *,
         model: str | AdversaryModel = "implication",
         stats=None,
+        workers: int | None = None,
     ) -> list:
         """All minimal (c,k)-safe lattice nodes under ``model`` (the paper's
-        modified-Incognito sweep, with this engine's cache behind it)."""
+        modified-Incognito sweep, with this engine's cache behind it).
+
+        With ``workers > 1`` and a signature-decomposable model, every
+        node's disclosure is prewarmed in parallel over the process pool
+        before the sweep, which then runs on pure cache hits; the prewarm's
+        bucketizations are handed to the predicate so no node is bucketized
+        twice. (The prewarm trades the sweep's monotonicity pruning for
+        parallelism — it evaluates all nodes — so it pays off when per-node
+        work dominates, the common case for large tables.) Non-decomposable
+        models, and a failed pool, skip the prewarm and keep the ordinary
+        pruned serial sweep.
+        """
         from repro.generalization.search import find_minimal_safe_nodes
 
-        predicate = self.node_predicate(table, lattice, c, k, model=model)
+        m = self.model(model)
+        workers = self.workers if workers is None else max(1, int(workers))
+        node_bucketizations: dict | None = None
+        if workers > 1 and m.signature_decomposable():
+            from repro.generalization.apply import bucketize_at
+
+            node_bucketizations = {
+                node: bucketize_at(table, lattice, node)
+                for node in lattice.nodes()
+            }
+            bs = list(node_bucketizations.values())
+            ks = [k]
+            if self.policy.pin_sweeps:
+                # The prewarm IS the sweep's cache fill: pin it, or the
+                # pin_sweeps guarantee would only cover the serial path.
+                with self.pinned():
+                    self._parallel_warm(bs, ks, m, workers)
+            else:
+                self._parallel_warm(bs, ks, m, workers)
+        predicate = self.node_predicate(
+            table, lattice, c, k, model=m, bucketizations=node_bucketizations
+        )
         return find_minimal_safe_nodes(lattice, predicate, stats=stats)
 
     def find_best_safe_node(

@@ -158,9 +158,12 @@ class WeightedAdversary(AdversaryModel):
             return ("uniform",)
         return tuple(sorted(self.weights.items(), key=lambda kv: repr(kv[0])))
 
+    def signature_decomposable(self) -> bool:
+        # Unit weights see only histogram shapes; explicit costs attach to
+        # concrete values, which the signature plane does not carry.
+        return self.weights is None
+
     def cache_key(self, bucketization: Bucketization):
-        if self.weights is None:
-            return super().cache_key(bucketization)
         # Non-uniform costs depend on *which* values fill a histogram, not
         # just its shape: key by the multiset of per-bucket value histograms
         # (values_by_frequency/signature are already in canonical order).
@@ -284,6 +287,9 @@ class SamplingAdversary(AdversaryModel):
 
     def params_key(self) -> tuple:
         return (self.samples, self.seed)
+
+    def signature_decomposable(self) -> bool:
+        return False  # draws depend on value order, not just the histogram
 
     def cache_key(self, bucketization: Bucketization):
         # Draws depend on each bucket's value *order* and on bucket order —

@@ -1,0 +1,219 @@
+"""The signature plane: interned signatures as the engine's unit of work.
+
+Every disclosure algorithm in this package sees a bucketization only through
+its multiset of bucket *signatures* (sorted frequency vectors). Before this
+module, each layer re-derived and re-hashed those signatures per call: the
+engine hashed a ``frozenset`` of multiset items for every cache lookup, the
+MINIMIZE1 memo hashed raw signature tuples, and batch evaluation re-did both
+per bucketization. The :class:`SignaturePlane` does that work once:
+
+- :meth:`SignaturePlane.intern` maps each distinct signature to a dense
+  integer id (one tuple hash per *new* signature, ever);
+- :meth:`SignaturePlane.encode` represents any bucketization as a compact
+  id-multiset — a small sorted tuple of ``(signature id, count)`` pairs —
+  which is the engine's cache key and the unit of work for batch execution;
+- :meth:`SignaturePlane.decode` turns a key back into raw signatures, so a
+  cache key is *portable*: it can be shipped to a worker process (which
+  rebuilds an evaluation-equivalent bucketization via
+  :meth:`~repro.bucketization.bucketization.Bucketization.from_signature_counts`)
+  or persisted to disk and re-interned by a different engine.
+
+On top of the plane, this module provides the engine's :class:`CachePolicy`
+(entry-count bound, pinning behavior for lattice sweeps) and the parallel
+executor :func:`parallel_series` used by
+:meth:`~repro.engine.engine.DisclosureEngine.evaluate_many`: unique
+id-multisets are chunked over a :class:`~concurrent.futures.ProcessPoolExecutor`
+and merged back in deterministic input order, so parallel results are
+bit-for-bit identical to the serial path.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+from repro.bucketization.bucketization import Bucketization
+
+__all__ = [
+    "SignaturePlane",
+    "CachePolicy",
+    "parallel_series",
+    "evaluate_raw_multisets",
+]
+
+#: A plane-encoded bucketization: ``((signature id, count), ...)`` sorted by id.
+PlaneKey = tuple
+#: A portable (plane-independent) form: ``((signature, count), ...)``.
+RawMultiset = tuple
+
+
+class SignaturePlane:
+    """Interns bucket signatures into dense integer ids, once per engine.
+
+    Ids are assigned in first-seen order and are **plane-local**: two planes
+    intern the same signatures to different ids, which is why everything that
+    leaves the plane (worker processes, cache persistence) goes through
+    :meth:`decode` first and is re-interned on arrival.
+
+    Examples
+    --------
+    >>> plane = SignaturePlane()
+    >>> b = Bucketization.from_value_lists([["a", "a", "b"], ["x", "x", "y"]])
+    >>> plane.encode(b)                # both buckets share signature (2, 1)
+    ((0, 2),)
+    >>> plane.signature(0)
+    (2, 1)
+    >>> plane.decode(plane.encode(b))
+    (((2, 1), 2),)
+    """
+
+    __slots__ = ("_ids", "_signatures")
+
+    def __init__(self) -> None:
+        self._ids: dict[tuple[int, ...], int] = {}
+        self._signatures: list[tuple[int, ...]] = []
+
+    def __len__(self) -> int:
+        """Number of distinct signatures interned so far."""
+        return len(self._signatures)
+
+    def __contains__(self, signature) -> bool:
+        return tuple(signature) in self._ids
+
+    def intern(self, signature: Sequence[int]) -> int:
+        """The dense id for ``signature`` (assigned on first sight)."""
+        sig = tuple(signature)
+        sig_id = self._ids.get(sig)
+        if sig_id is None:
+            sig_id = len(self._signatures)
+            self._ids[sig] = sig_id
+            self._signatures.append(sig)
+        return sig_id
+
+    def signature(self, sig_id: int) -> tuple[int, ...]:
+        """The signature interned under ``sig_id``."""
+        return self._signatures[sig_id]
+
+    def encode(self, bucketization: Bucketization) -> PlaneKey:
+        """``bucketization`` as a compact id-multiset (sorted by id)."""
+        return tuple(
+            sorted(
+                (self.intern(signature), count)
+                for signature, count in bucketization.signature_items()
+            )
+        )
+
+    def encode_counts(self, counts) -> PlaneKey:
+        """Like :meth:`encode`, from raw ``(signature, count)`` pairs or a
+        mapping — the re-interning half of a decode round-trip."""
+        items = counts.items() if hasattr(counts, "items") else counts
+        return tuple(
+            sorted((self.intern(signature), count) for signature, count in items)
+        )
+
+    def decode(self, key: PlaneKey) -> RawMultiset:
+        """A plane key back as portable ``((signature, count), ...)`` pairs."""
+        return tuple(
+            (self._signatures[sig_id], count) for sig_id, count in key
+        )
+
+
+@dataclass(frozen=True)
+class CachePolicy:
+    """Bounds and behavior of the engine's shared disclosure cache.
+
+    Attributes
+    ----------
+    max_entries:
+        Entry-count limit for the whole-bucketization cache. ``None`` keeps
+        the legacy unbounded behavior; with a limit, the least recently used
+        unpinned entries are evicted (counted in ``EngineStats.evictions``)
+        so a long-running service's memory stays bounded.
+    pin_sweeps:
+        When True, entries inserted by the engine's lattice-search predicate
+        (:meth:`~repro.engine.engine.DisclosureEngine.node_predicate`) are
+        pinned for the engine's lifetime — a bounded cache serving both a
+        sweep and ad-hoc traffic will evict the traffic, not the sweep.
+        Pinned entries are only dropped by ``unpin_all()`` + later eviction.
+    """
+
+    max_entries: int | None = None
+    pin_sweeps: bool = False
+
+    def __post_init__(self) -> None:
+        if self.max_entries is not None and self.max_entries <= 0:
+            raise ValueError(
+                f"max_entries must be positive or None, got {self.max_entries}"
+            )
+
+
+# ---------------------------------------------------------------------------
+# Parallel batch execution
+# ---------------------------------------------------------------------------
+def evaluate_raw_multisets(
+    model, raw_multisets: Sequence[RawMultiset], ks: Sequence[int], exact: bool
+) -> list[dict[int, object]]:
+    """Worker entry point: one disclosure series per raw signature multiset.
+
+    Runs in a worker process with a fresh
+    :class:`~repro.engine.base.EngineContext`. Each multiset is rebuilt into
+    a synthetic, evaluation-equivalent bucketization; the model's own batch
+    path then produces the series. Only signature-decomposable models are
+    dispatched here, so the rebuilt bucketization yields bit-for-bit the
+    serial answer (same canonical signature order, same arithmetic).
+    """
+    from repro.engine.base import EngineContext  # worker-side; avoid cycle
+
+    context = EngineContext(exact=exact)
+    return [
+        model.series(
+            Bucketization.from_signature_counts(raw), ks, context=context
+        )
+        for raw in raw_multisets
+    ]
+
+
+def _strided_chunks(items: list, stride: int) -> list[list]:
+    """Split ``items`` into ``stride`` round-robin chunks (balanced sizes,
+    deterministic reassembly via the same striding)."""
+    return [items[i::stride] for i in range(stride)]
+
+
+def parallel_series(
+    model,
+    raw_multisets: Sequence[RawMultiset],
+    ks: Iterable[int],
+    *,
+    exact: bool,
+    workers: int,
+    chunks_per_worker: int = 4,
+) -> list[dict[int, object]]:
+    """Evaluate many raw signature multisets over a process pool.
+
+    Results come back in input order regardless of worker completion order
+    (chunks are merged by their deterministic stride positions). Any pool
+    failure — unpicklable plugin models, fork restrictions, a broken pool —
+    propagates to the caller, which is expected to fall back to the serial
+    path; a failure inside ``model.series`` itself also surfaces there, where
+    the serial retry reproduces it with a clean traceback.
+    """
+    from concurrent.futures import ProcessPoolExecutor
+
+    multisets = list(raw_multisets)
+    ks = sorted(set(ks))
+    if not multisets:
+        return []
+    workers = max(1, min(int(workers), len(multisets)))
+    if workers == 1:
+        return evaluate_raw_multisets(model, multisets, ks, exact)
+    stride = min(len(multisets), workers * chunks_per_worker)
+    chunks = _strided_chunks(multisets, stride)
+    results: list = [None] * len(multisets)
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        futures = [
+            pool.submit(evaluate_raw_multisets, model, chunk, ks, exact)
+            for chunk in chunks
+        ]
+        for index, future in enumerate(futures):
+            results[index::stride] = future.result()
+    return results

@@ -72,8 +72,11 @@ def run_figure5(
 
     Both series come from one batched
     :meth:`~repro.engine.engine.DisclosureEngine.compare` call, so the two
-    adversaries share the engine's per-signature DP work and cache; pass a
-    shared ``engine`` to extend that sharing across figures and nodes.
+    adversaries share the engine's signature plane (one interned id-multiset
+    keys both models' cache entries) and per-signature DP work; pass a
+    shared ``engine`` — possibly with a bounded
+    :class:`~repro.engine.plane.CachePolicy` or ``workers > 1`` — to extend
+    that sharing across figures and nodes.
 
     Examples
     --------

@@ -37,14 +37,41 @@ __all__ = [
 
 
 def node_safety_predicate(
-    table, lattice: GeneralizationLattice, checker: Callable
+    table,
+    lattice: GeneralizationLattice,
+    checker: Callable,
+    *,
+    node_memo: dict | None = None,
+    signature_memo: dict | None = None,
+    bucketizations: dict | None = None,
 ) -> Callable[[Node], bool]:
     """Lift a bucketization-level safety check to lattice nodes.
 
     ``checker`` is anything callable on a bucketization — typically a
     :class:`~repro.core.safety.SafetyChecker` (which carries its adversary
-    model and shares the engine's signature-multiset cache across nodes), but
+    model and shares the engine's signature-plane cache across nodes), but
     a bare lambda works too.
+
+    Parameters
+    ----------
+    node_memo:
+        Optional ``node -> bool`` dict: re-checked nodes skip bucketizing
+        entirely. Pass one dict across several searches on the same table
+        and threshold to share their work.
+    bucketizations:
+        Optional prebuilt ``node -> bucketization`` dict (e.g. from a
+        parallel prewarm); entries are *consumed* (popped) on first use so
+        peak memory shrinks as the sweep progresses, and missing nodes fall
+        back to :func:`~repro.generalization.apply.bucketize_at`.
+    signature_memo:
+        Optional ``signature items -> bool`` dict: nodes whose
+        bucketizations induce the same signature multiset resolve with one
+        ``checker`` call. Only sound when the checker's answer depends on
+        the bucketization solely through its signatures — true for every
+        signature-decomposable adversary model (the engine's
+        :meth:`~repro.engine.engine.DisclosureEngine.node_predicate` turns
+        this on exactly then) and for size-only predicates like
+        k-anonymity; the caller vouches for anything custom.
 
     Examples
     --------
@@ -55,7 +82,26 @@ def node_safety_predicate(
     from repro.generalization.apply import bucketize_at
 
     def is_safe(node: Node) -> bool:
-        return bool(checker(bucketize_at(table, lattice, node)))
+        if node_memo is not None:
+            cached = node_memo.get(node)
+            if cached is not None:
+                return cached
+        bucketization = (
+            bucketizations.pop(node, None) if bucketizations is not None else None
+        )
+        if bucketization is None:
+            bucketization = bucketize_at(table, lattice, node)
+        if signature_memo is not None:
+            signature_key = bucketization.signature_items()
+            result = signature_memo.get(signature_key)
+            if result is None:
+                result = bool(checker(bucketization))
+                signature_memo[signature_key] = result
+        else:
+            result = bool(checker(bucketization))
+        if node_memo is not None:
+            node_memo[node] = result
+        return result
 
     return is_safe
 

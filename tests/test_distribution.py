@@ -1,0 +1,133 @@
+"""Wong et al.'s distribution-based adversary (`distribution` plugin).
+
+Checks the closed form, its documented properties (k=0 baseline,
+monotonicity under bucket merging, growth in k, exact arithmetic), and the
+plugin's reach: registry, engine caching on the signature plane, compare(),
+witnesses, suppression, and the CLI's ``--adversary`` choices.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bucketization import Bucketization
+from repro.cli import build_parser
+from repro.engine import (
+    DisclosureEngine,
+    DistributionAdversary,
+    available_adversaries,
+    get_adversary,
+)
+from repro.engine.models_distribution import DistributionWitness
+
+small_bucketizations = st.lists(
+    st.lists(st.sampled_from("abcde"), min_size=1, max_size=6),
+    min_size=1,
+    max_size=4,
+).map(Bucketization.from_value_lists)
+
+
+class TestClosedForm:
+    def test_hand_computed_example(self):
+        # Bucket [a, a, b, c]: n=4, top=2. r = k+1.
+        b = Bucketization.from_value_lists([["a", "a", "b", "c"]])
+        engine = DisclosureEngine(exact=True)
+        assert engine.evaluate(b, 0, model="distribution") == Fraction(1, 2)
+        # k=2 -> r=3: 3*2 / (3*2 + 2) = 3/4.
+        assert engine.evaluate(b, 2, model="distribution") == Fraction(3, 4)
+
+    def test_k0_equals_zero_knowledge_baseline(self):
+        engine = DisclosureEngine()
+        for values in (["a", "a", "b"], ["x", "y", "z", "z", "z"]):
+            b = Bucketization.from_value_lists([values])
+            assert engine.evaluate(b, 0, model="distribution") == engine.evaluate(
+                b, 0, model="implication"
+            )
+
+    @given(small_bucketizations, st.integers(min_value=0, max_value=5))
+    @settings(max_examples=40, deadline=None)
+    def test_bounded_and_nondecreasing_in_k(self, bucketization, k):
+        engine = DisclosureEngine()
+        value = engine.evaluate(bucketization, k, model="distribution")
+        assert 0 < value <= 1
+        nxt = engine.evaluate(bucketization, k + 1, model="distribution")
+        assert nxt >= value
+
+    @given(small_bucketizations, st.integers(min_value=0, max_value=4))
+    @settings(max_examples=30, deadline=None)
+    def test_monotone_under_bucket_merging(self, bucketization, k):
+        """Theorem-14-style monotonicity: merging buckets never increases
+        the worst case, so lattice pruning stays sound."""
+        if len(bucketization) < 2:
+            return
+        engine = DisclosureEngine(exact=True)
+        merged = bucketization.merge_buckets(range(len(bucketization)))
+        fine = engine.evaluate(bucketization, k, model="distribution")
+        coarse = engine.evaluate(merged, k, model="distribution")
+        assert coarse <= fine
+
+    def test_fixed_tilt_parameter(self):
+        b = Bucketization.from_value_lists([["a", "a", "b", "c"]])
+        engine = DisclosureEngine(exact=True)
+        fixed = DistributionAdversary(tilt=3)
+        # Tilt fixed at 3 regardless of k.
+        assert engine.evaluate(b, 0, model=fixed) == Fraction(3, 4)
+        assert engine.evaluate(b, 7, model=fixed) == Fraction(3, 4)
+        with pytest.raises(ValueError):
+            DistributionAdversary(tilt=0.5)
+
+    def test_params_key_distinguishes_tilts(self):
+        engine = DisclosureEngine()
+        b = Bucketization.from_value_lists([["a", "a", "b"]])
+        default = engine.evaluate(b, 3, model="distribution")
+        fixed = engine.evaluate(b, 3, model=DistributionAdversary(tilt=1))
+        assert fixed == pytest.approx(2 / 3)
+        assert default > fixed  # separate cache entries, separate answers
+
+
+class TestPluginReach:
+    def test_registered(self):
+        assert "distribution" in available_adversaries()
+        model = get_adversary("distribution")
+        assert model.signature_decomposable()
+        assert model.monotone
+
+    def test_compare_includes_distribution(self):
+        b = Bucketization.from_value_lists([["a", "a", "b", "c", "d"]])
+        engine = DisclosureEngine()
+        result = engine.compare(
+            b, [0, 1, 2], models=("implication", "distribution")
+        )
+        assert set(result) == {"implication", "distribution"}
+
+    def test_witness_matches_disclosure(self):
+        b = Bucketization.from_value_lists(
+            [["a", "a", "b"], ["x", "x", "x", "y"]]
+        )
+        engine = DisclosureEngine()
+        witness = engine.witness(b, 2, model="distribution")
+        assert isinstance(witness, DistributionWitness)
+        assert witness.disclosure == engine.evaluate(b, 2, model="distribution")
+        assert witness.bucket_index == 1  # the (3,1) bucket dominates
+        assert witness.target_value == "x"
+        assert witness.tilt == 3.0
+
+    def test_suppression_accepts_distribution(self):
+        from repro.bucketization import suppress_to_safety
+
+        b = Bucketization.from_value_lists([["a", "a", "a", "b"]])
+        result = suppress_to_safety(b, c=0.8, k=1, model="distribution")
+        engine = DisclosureEngine()
+        assert result.bucketization is not None
+        assert engine.evaluate(result.bucketization, 1, model="distribution") < 0.8
+
+    def test_cli_adversary_choice(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            ["search", "--adversary", "distribution", "--c", "0.9"]
+        )
+        assert args.adversary == "distribution"

@@ -1,0 +1,441 @@
+"""The signature plane, the bounded cache, and parallel batch evaluation.
+
+Four layers of guarantees:
+
+1. **Plane semantics**: interning is stable, encode/decode round-trips, and
+   a synthetically rebuilt bucketization is evaluation-equivalent to the
+   original for every signature-decomposable model (property-based).
+2. **Parallel == serial**: ``evaluate_many`` over a process pool returns
+   bit-for-bit what the serial path returns, in float and exact modes, with
+   warm-back populating the shared cache; non-decomposable models fall back
+   to the serial path.
+3. **Cache policy**: the LRU bound holds, evictions are counted, pinned
+   entries survive eviction, and a bounded Figure-6 sweep stays within its
+   limit while reporting evictions.
+4. **Persistence**: save/load round-trips entries across engines (plane ids
+   re-interned), and arithmetic-mode mismatches are rejected.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bucketization import Bucket, Bucketization
+from repro.engine import (
+    CachePolicy,
+    DisclosureEngine,
+    SamplingAdversary,
+    SignaturePlane,
+    get_adversary,
+)
+from repro.experiments.fig6 import run_figure6
+from repro.experiments.runner import default_adult_table
+
+small_bucketizations = st.lists(
+    st.lists(st.sampled_from("abcde"), min_size=1, max_size=6),
+    min_size=1,
+    max_size=4,
+).map(Bucketization.from_value_lists)
+
+#: Models whose answers are functions of the signature multiset alone.
+DECOMPOSABLE = ("implication", "negation", "distribution")
+
+
+def _random_bucketizations(count: int, seed: int = 11) -> list[Bucketization]:
+    rng = random.Random(seed)
+    result = []
+    for _ in range(count):
+        value_lists = [
+            [rng.choice("abcdefg") for _ in range(rng.randint(2, 8))]
+            for _ in range(rng.randint(1, 5))
+        ]
+        result.append(Bucketization.from_value_lists(value_lists))
+    return result
+
+
+# ---------------------------------------------------------------------------
+# 1. Plane semantics
+# ---------------------------------------------------------------------------
+class TestSignaturePlane:
+    def test_intern_is_stable_and_dense(self):
+        plane = SignaturePlane()
+        assert plane.intern((2, 1)) == 0
+        assert plane.intern((3,)) == 1
+        assert plane.intern((2, 1)) == 0  # same signature, same id
+        assert plane.signature(1) == (3,)
+        assert len(plane) == 2
+        assert (2, 1) in plane and (9,) not in plane
+
+    def test_encode_counts_multiplicity(self):
+        plane = SignaturePlane()
+        b = Bucketization.from_value_lists([["a", "a", "b"], ["x", "x", "y"]])
+        assert plane.encode(b) == ((0, 2),)
+        assert plane.decode(plane.encode(b)) == (((2, 1), 2),)
+
+    @given(small_bucketizations)
+    @settings(max_examples=40, deadline=None)
+    def test_encode_decode_round_trip(self, bucketization):
+        plane = SignaturePlane()
+        key = plane.encode(bucketization)
+        assert plane.encode_counts(plane.decode(key)) == key
+        # A different plane re-interns to (possibly) different ids but the
+        # decoded raw multiset is identical.
+        other = SignaturePlane()
+        other.intern((99,))  # shift id assignment
+        assert other.decode(other.encode(bucketization)) == plane.decode(key)
+
+    @given(small_bucketizations)
+    @settings(max_examples=25, deadline=None)
+    def test_synthetic_rebuild_is_evaluation_equivalent(self, bucketization):
+        rebuilt = Bucketization.from_signature_counts(
+            dict(bucketization.signature_items())
+        )
+        assert rebuilt.signature_items() == bucketization.signature_items()
+        ks = [0, 1, 2]
+        for exact in (False, True):
+            engine = DisclosureEngine(exact=exact)
+            fresh = DisclosureEngine(exact=exact)
+            for model in DECOMPOSABLE:
+                assert engine.series(
+                    bucketization, ks, model=model
+                ) == fresh.series(rebuilt, ks, model=model)
+
+    def test_bucket_from_signature_validates(self):
+        assert Bucket.from_signature((3, 2, 2)).signature == (3, 2, 2)
+        with pytest.raises(ValueError):
+            Bucket.from_signature((1, 2))
+
+    def test_from_signature_counts_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            Bucketization.from_signature_counts({(2, 1): 0})
+
+
+# ---------------------------------------------------------------------------
+# 2. Parallel == serial
+# ---------------------------------------------------------------------------
+class TestParallelEvaluateMany:
+    def test_parallel_equals_serial_bit_for_bit(self):
+        """The property behind BENCH_parallel: on a pool of random
+        bucketizations, the parallel path returns exactly the serial result
+        for every decomposable model, float and exact."""
+        bucketizations = _random_bucketizations(10)
+        ks = [0, 1, 2, 3]
+        for exact in (False, True):
+            for model in DECOMPOSABLE:
+                serial = DisclosureEngine(exact=exact).evaluate_many(
+                    bucketizations, ks, model=model, workers=1
+                )
+                parallel_engine = DisclosureEngine(exact=exact, workers=2)
+                parallel = parallel_engine.evaluate_many(
+                    bucketizations, ks, model=model
+                )
+                assert parallel == serial, (model, exact)
+                assert parallel_engine.stats.parallel_tasks > 0
+
+    def test_warm_back_populates_shared_cache(self):
+        bucketizations = _random_bucketizations(6, seed=3)
+        ks = [1, 2]
+        engine = DisclosureEngine(workers=2)
+        engine.evaluate_many(bucketizations, ks)
+        # Everything the assembly looked up arrived via warm-back.
+        assert engine.stats.misses == 0
+        hits = engine.stats.cache_hits
+        engine.evaluate_many(bucketizations, ks, workers=1)
+        assert engine.stats.misses == 0
+        assert engine.stats.cache_hits > hits
+
+    def test_non_decomposable_model_falls_back_to_serial(self):
+        bucketizations = _random_bucketizations(4, seed=5)
+        model = SamplingAdversary(samples=200, seed=1)
+        assert not model.signature_decomposable()
+        engine = DisclosureEngine(workers=2)
+        parallel = engine.evaluate_many(bucketizations, [1], model=model)
+        assert engine.stats.parallel_tasks == 0  # never hit the pool
+        serial = DisclosureEngine().evaluate_many(
+            bucketizations, [1], model=model, workers=1
+        )
+        assert parallel == serial
+
+    def test_tight_cache_limit_still_uses_pool_results(self):
+        """A max_entries smaller than the batch must not force serial
+        recomputation: the assembly serves the pool's own results even after
+        warm-back entries were evicted."""
+        bucketizations = _random_bucketizations(12, seed=41)
+        ks = [2, 3]
+        serial = DisclosureEngine().evaluate_many(
+            bucketizations, ks, workers=1
+        )
+        engine = DisclosureEngine(
+            policy=CachePolicy(max_entries=3), workers=2
+        )
+        result = engine.evaluate_many(bucketizations, ks)
+        assert result == serial
+        assert engine.cache_size() <= 3
+        assert engine.stats.parallel_tasks > 0
+        # Every lookup was answered from the pool's shared results, not
+        # recomputed serially after eviction.
+        assert engine.stats.misses == 0
+
+    def test_workers_one_never_uses_pool(self):
+        engine = DisclosureEngine(workers=1)
+        engine.evaluate_many(_random_bucketizations(4, seed=9), [1, 2])
+        assert engine.stats.parallel_tasks == 0
+
+    def test_unpicklable_plugin_degrades_to_serial(self):
+        """A model defined in a local scope cannot cross process boundaries;
+        evaluate_many must still answer (serially)."""
+        implication = get_adversary("implication")
+
+        class LocalModel(type(implication)):  # unpicklable: local class
+            name = "implication"  # reuse registered name; not re-registered
+
+        model = LocalModel()
+        bucketizations = _random_bucketizations(4, seed=2)
+        engine = DisclosureEngine(workers=2)
+        result = engine.evaluate_many(bucketizations, [1], model=model)
+        serial = DisclosureEngine().evaluate_many(
+            bucketizations, [1], workers=1
+        )
+        assert result == serial
+
+
+# ---------------------------------------------------------------------------
+# 3. Cache policy: LRU bound, eviction stats, pinning
+# ---------------------------------------------------------------------------
+class TestCachePolicy:
+    def test_invalid_limit_rejected(self):
+        with pytest.raises(ValueError):
+            CachePolicy(max_entries=0)
+
+    def test_lru_bound_and_eviction_stats(self):
+        bucketizations = _random_bucketizations(8, seed=13)
+        engine = DisclosureEngine(policy=CachePolicy(max_entries=3))
+        for b in bucketizations:
+            engine.evaluate(b, 2)
+        assert engine.cache_size() <= 3
+        assert engine.stats.evictions > 0
+        assert (
+            engine.stats.evictions
+            == engine.stats.misses - engine.cache_size()
+        )
+
+    def test_lru_evicts_least_recently_used(self):
+        b1, b2, b3 = (
+            Bucketization.from_value_lists([["a"] * n + ["b"]])
+            for n in (1, 2, 3)
+        )
+        engine = DisclosureEngine(policy=CachePolicy(max_entries=2))
+        engine.evaluate(b1, 1)
+        engine.evaluate(b2, 1)
+        engine.evaluate(b1, 1)  # refresh b1: b2 is now LRU
+        engine.evaluate(b3, 1)  # evicts b2
+        misses = engine.stats.misses
+        engine.evaluate(b1, 1)  # still cached
+        assert engine.stats.misses == misses
+        engine.evaluate(b2, 1)  # was evicted: recomputed
+        assert engine.stats.misses == misses + 1
+
+    def test_pinned_entries_survive_eviction(self):
+        bucketizations = _random_bucketizations(8, seed=17)
+        engine = DisclosureEngine(policy=CachePolicy(max_entries=2))
+        keep = bucketizations[0]
+        with engine.pinned():
+            engine.evaluate(keep, 1)
+        assert engine.pinned_count() == 1
+        for b in bucketizations[1:]:
+            engine.evaluate(b, 1)
+        misses = engine.stats.misses
+        engine.evaluate(keep, 1)  # pinned: still a hit despite churn
+        assert engine.stats.misses == misses
+        engine.unpin_all()
+        assert engine.pinned_count() == 0
+
+    def test_pin_sweeps_policy_pins_lattice_entries(self):
+        table = default_adult_table(200)
+        from repro.data.adult import ADULT_SCHEMA
+        from repro.data.hierarchies import adult_hierarchies
+        from repro.generalization.lattice import GeneralizationLattice
+
+        lattice = GeneralizationLattice(
+            adult_hierarchies(), ADULT_SCHEMA.quasi_identifiers
+        )
+        engine = DisclosureEngine(
+            policy=CachePolicy(max_entries=100, pin_sweeps=True)
+        )
+        engine.find_minimal_safe_nodes(table, lattice, 0.9, 2)
+        assert engine.pinned_count() > 0
+
+    def test_pin_sweeps_covers_parallel_prewarm(self):
+        """The parallel prewarm inside find_minimal_safe_nodes must pin its
+        warm-back entries too, so the sweep's cache fill survives churn."""
+        table = default_adult_table(200)
+        from repro.data.adult import ADULT_SCHEMA
+        from repro.data.hierarchies import adult_hierarchies
+        from repro.generalization.lattice import GeneralizationLattice
+
+        lattice = GeneralizationLattice(
+            adult_hierarchies(), ADULT_SCHEMA.quasi_identifiers
+        )
+        engine = DisclosureEngine(
+            policy=CachePolicy(max_entries=100, pin_sweeps=True), workers=2
+        )
+        result = engine.find_minimal_safe_nodes(table, lattice, 0.9, 2)
+        pinned = engine.pinned_count()
+        assert pinned > 0
+        # Churn with unpinned traffic: the sweep's entries must all survive.
+        for b in _random_bucketizations(120, seed=31):
+            engine.evaluate(b, 2)
+        misses = engine.stats.misses
+        rerun = engine.find_minimal_safe_nodes(
+            table, lattice, 0.9, 2, workers=1
+        )
+        assert rerun == result
+        assert engine.stats.misses == misses  # pure cache hits
+
+    def test_bounded_fig6_sweep_respects_limit_and_reports_evictions(self):
+        """The acceptance scenario: a full Figure-6 sweep under an entry
+        limit finishes within bound, with evictions > 0 in EngineStats."""
+        table = default_adult_table(250)
+        limit = 25
+        engine = DisclosureEngine(policy=CachePolicy(max_entries=limit))
+        result = run_figure6(table, ks=(1, 3), engine=engine)
+        assert len(result.nodes) == 72
+        assert engine.cache_size() <= limit
+        assert engine.stats.evictions > 0
+        # And the bounded sweep computed the same numbers as an unbounded one.
+        unbounded = run_figure6(table, ks=(1, 3))
+        assert result.nodes == unbounded.nodes
+
+
+# ---------------------------------------------------------------------------
+# 4. Persistence
+# ---------------------------------------------------------------------------
+class TestCachePersistence:
+    def test_round_trip_across_engines(self, tmp_path):
+        bucketizations = _random_bucketizations(5, seed=23)
+        source = DisclosureEngine()
+        expected = source.evaluate_many(
+            bucketizations, [1, 2], model="implication", workers=1
+        )
+        source.evaluate_many(bucketizations, [1], model="negation", workers=1)
+        path = tmp_path / "cache.pkl"
+        saved = source.save_cache(path)
+        assert saved == source.cache_size()
+
+        fresh = DisclosureEngine()
+        loaded = fresh.load_cache(path)
+        assert loaded == saved
+        # Every lookup is now a hit, and values are identical.
+        result = fresh.evaluate_many(
+            bucketizations, [1, 2], model="implication", workers=1
+        )
+        assert result == expected
+        assert fresh.stats.misses == 0
+
+    def test_load_respects_cache_policy(self, tmp_path):
+        bucketizations = _random_bucketizations(6, seed=29)
+        source = DisclosureEngine()
+        source.evaluate_many(bucketizations, [1, 2], workers=1)
+        path = tmp_path / "cache.pkl"
+        source.save_cache(path)
+        bounded = DisclosureEngine(policy=CachePolicy(max_entries=4))
+        bounded.load_cache(path)
+        assert bounded.cache_size() <= 4
+        assert bounded.stats.evictions > 0
+
+    def test_exact_mode_mismatch_rejected(self, tmp_path):
+        b = Bucketization.from_value_lists([["a", "a", "b"]])
+        source = DisclosureEngine(exact=True)
+        source.evaluate(b, 1)
+        path = tmp_path / "cache.pkl"
+        source.save_cache(path)
+        with pytest.raises(ValueError, match="exact"):
+            DisclosureEngine(exact=False).load_cache(path)
+
+    def test_format_version_checked(self, tmp_path):
+        import pickle
+
+        path = tmp_path / "cache.pkl"
+        with open(path, "wb") as handle:
+            pickle.dump({"format": 999, "exact": False, "entries": []}, handle)
+        with pytest.raises(ValueError, match="format"):
+            DisclosureEngine().load_cache(path)
+
+
+# ---------------------------------------------------------------------------
+# Consumers on the plane
+# ---------------------------------------------------------------------------
+class TestPlaneConsumers:
+    def test_node_predicate_shares_signature_duplicates(self):
+        """Two lattice nodes inducing the same signature multiset cost one
+        threshold resolution (the predicate's signature memo)."""
+        table = default_adult_table(150)
+        from repro.data.adult import ADULT_SCHEMA
+        from repro.data.hierarchies import adult_hierarchies
+        from repro.generalization.lattice import GeneralizationLattice
+
+        lattice = GeneralizationLattice(
+            adult_hierarchies(), ADULT_SCHEMA.quasi_identifiers
+        )
+        engine = DisclosureEngine()
+        predicate = engine.node_predicate(table, lattice, 0.9, 2)
+        results = {node: predicate(node) for node in lattice.nodes()}
+        # Consistency with direct evaluation.
+        from repro.generalization.apply import bucketize_at
+
+        threshold = engine.threshold(0.9)
+        for node, safe in results.items():
+            value = engine.evaluate(bucketize_at(table, lattice, node), 2)
+            assert safe == (value < threshold)
+
+    def test_parallel_search_prewarm_matches_serial(self):
+        table = default_adult_table(150)
+        from repro.data.adult import ADULT_SCHEMA
+        from repro.data.hierarchies import adult_hierarchies
+        from repro.generalization.lattice import GeneralizationLattice
+
+        lattice = GeneralizationLattice(
+            adult_hierarchies(), ADULT_SCHEMA.quasi_identifiers
+        )
+        serial = DisclosureEngine().find_minimal_safe_nodes(
+            table, lattice, 0.8, 2
+        )
+        parallel_engine = DisclosureEngine(workers=2)
+        parallel = parallel_engine.find_minimal_safe_nodes(
+            table, lattice, 0.8, 2, workers=2
+        )
+        assert parallel == serial
+        assert parallel_engine.stats.parallel_tasks > 0
+
+    def test_search_prewarm_skipped_for_non_decomposable_models(self):
+        """--workers on a non-decomposable model must keep the ordinary
+        pruned serial sweep, not serially evaluate every node."""
+        table = default_adult_table(100)
+        from repro.data.adult import ADULT_SCHEMA
+        from repro.data.hierarchies import adult_hierarchies
+        from repro.generalization.lattice import GeneralizationLattice
+        from repro.generalization.search import SearchStats
+
+        lattice = GeneralizationLattice(
+            adult_hierarchies(), ADULT_SCHEMA.quasi_identifiers
+        )
+        model = SamplingAdversary(samples=100, seed=0)
+        engine = DisclosureEngine(workers=2)
+        stats = SearchStats()
+        engine.find_minimal_safe_nodes(
+            table, lattice, 0.95, 1, model=model, stats=stats, workers=2
+        )
+        assert engine.stats.parallel_tasks == 0  # pool never used
+        # Pruning intact: the sweep did not evaluate the whole lattice.
+        assert engine.stats.evaluations < lattice.size
+
+    def test_fig6_parallel_matches_serial(self):
+        table = default_adult_table(150)
+        serial = run_figure6(table, ks=(1, 3))
+        engine = DisclosureEngine(workers=2)
+        parallel = run_figure6(table, ks=(1, 3), engine=engine, workers=2)
+        assert parallel.nodes == serial.nodes
