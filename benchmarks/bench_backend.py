@@ -1,0 +1,186 @@
+"""Execution backends head-to-head: cold start vs. steady state, with JSON.
+
+The persistent backend exists for workloads that issue *many* batches on one
+engine — MINIMIZE lattice search, Figure-6 style sweeps, a long-running
+service answering small queries. Its two claims:
+
+- **steady state beats the per-call pool**: after the first batch, workers
+  are already running and their plane mirrors are warm, so a batch ships
+  only tiny id-multisets instead of paying fork + full signature shipping;
+- **the delta protocol ships each signature at most once per worker**: the
+  backend's ``ship_log`` records per-batch ship sizes, and batches whose
+  signatures are already mirrored ship zero.
+
+The workload is a sequence of batches that reuse one signature universe in
+fresh combinations — every batch has new cache keys (it must actually fan
+out) but, after the first, no new signatures. All three backends are
+asserted bit-for-bit identical; ``BENCH_backend.json`` records cold/steady
+latency per backend and the persistent ship sizes. ``BENCH_TINY=1`` shrinks
+the workload for CI smoke; the steady-state speedup assertion only applies
+at full size on >= 2 usable cores (like ``bench_parallel``).
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+
+from reporting import tiny_mode, write_bench_json
+
+from repro.bucketization import Bucketization
+from repro.engine import DisclosureEngine
+
+WORKERS = 4
+
+
+def _cores_available() -> int:
+    if hasattr(os, "sched_getaffinity"):
+        return len(os.sched_getaffinity(0))
+    return os.cpu_count() or 1
+
+
+def _workload() -> tuple[list[list[Bucketization]], tuple[int, ...]]:
+    """Batches drawing fresh multiset combinations from one signature pool.
+
+    Every batch's plane keys are new (so each batch truly dispatches to the
+    backend) but the signature universe is fixed, so for the persistent
+    backend only batch 0 ships signatures — the delta protocol's best case,
+    and the service steady state the backend is for.
+    """
+    tiny = tiny_mode()
+    batches = 4 if tiny else 6
+    tasks_per_batch = 5 if tiny else 24
+    buckets_per_task = 4 if tiny else 20
+    ks = (3,) if tiny else (30,)
+    rng = random.Random(20070419)
+    # One pool of signatures, realized as value lists. Sized so batch 0
+    # partitions the whole pool: after it, the persistent mirrors hold
+    # every signature and later batches must ship zero.
+    universe = []
+    for i in range(tasks_per_batch * buckets_per_task):
+        domain = [f"v{i}_{x}" for x in range(rng.randint(5, 9))]
+        size = rng.randint(10, 18) if tiny else rng.randint(40, 64)
+        universe.append([rng.choice(domain) for _ in range(size)])
+    first = list(universe)
+    rng.shuffle(first)
+    all_batches = [
+        [
+            Bucketization.from_value_lists(
+                first[i * buckets_per_task:(i + 1) * buckets_per_task]
+            )
+            for i in range(tasks_per_batch)
+        ]
+    ]
+    seen: set = set()
+    for _ in range(batches - 1):
+        batch = []
+        for _ in range(tasks_per_batch):
+            while True:
+                lists = rng.sample(universe, buckets_per_task)
+                key = frozenset(id(vl) for vl in lists)
+                if key not in seen:
+                    seen.add(key)
+                    break
+            batch.append(Bucketization.from_value_lists(lists))
+        all_batches.append(batch)
+    return all_batches, ks
+
+
+def _timed_batches(engine, batches, ks):
+    results, timings = [], []
+    for batch in batches:
+        start = time.perf_counter()
+        results.append(engine.evaluate_many(batch, ks))
+        timings.append(time.perf_counter() - start)
+    return results, timings
+
+
+def test_backend_cold_vs_steady_state(benchmark):
+    batches, ks = _workload()
+    cores = _cores_available()
+
+    per_backend: dict[str, dict] = {}
+    all_results: dict[str, list] = {}
+    for backend in ("serial", "pool", "persistent"):
+        with DisclosureEngine(workers=WORKERS, backend=backend) as engine:
+            if backend == "persistent":
+                results, timings = benchmark.pedantic(
+                    _timed_batches,
+                    args=(engine, batches, ks),
+                    rounds=1,
+                    iterations=1,
+                )
+            else:
+                results, timings = _timed_batches(engine, batches, ks)
+            all_results[backend] = results
+            record = {
+                "cold_s": round(timings[0], 4),
+                "steady_s": round(
+                    sum(timings[1:]) / (len(timings) - 1), 4
+                ),
+                "per_batch_s": [round(t, 4) for t in timings],
+            }
+            if backend == "persistent":
+                ship_log = engine.backend.ship_log
+                record["ship_sizes"] = [
+                    entry["shipped_signatures"] for entry in ship_log
+                ]
+                record["unique_signatures"] = len(engine.plane)
+                record["max_workers_used"] = max(
+                    entry["workers_used"] for entry in ship_log
+                )
+            per_backend[backend] = record
+
+    # Headline correctness: all three backends agree bit-for-bit.
+    identical = (
+        all_results["serial"] == all_results["pool"] == all_results["persistent"]
+    )
+    assert identical
+
+    # The delta protocol: each signature crosses to each worker at most
+    # once, and steady-state batches (same signature universe) ship nothing.
+    persistent = per_backend["persistent"]
+    total_shipped = sum(persistent["ship_sizes"])
+    ship_bound = (
+        persistent["unique_signatures"] * persistent["max_workers_used"]
+    )
+    assert total_shipped <= ship_bound
+    assert all(size == 0 for size in persistent["ship_sizes"][1:])
+
+    steady_speedup_vs_pool = (
+        per_backend["pool"]["steady_s"] / per_backend["persistent"]["steady_s"]
+        if per_backend["persistent"]["steady_s"] > 0
+        else float("inf")
+    )
+    benchmark.extra_info["steady_speedup_vs_pool"] = round(
+        steady_speedup_vs_pool, 3
+    )
+    benchmark.extra_info["cores_available"] = cores
+
+    write_bench_json(
+        "backend",
+        {
+            "workers": WORKERS,
+            "cores_available": cores,
+            "batches": len(batches),
+            "tasks_per_batch": len(batches[0]),
+            "ks": list(ks),
+            "backends": per_backend,
+            "identical_results": identical,
+            "ship_once_per_worker": total_shipped <= ship_bound,
+            "steady_speedup_vs_pool": round(steady_speedup_vs_pool, 3),
+        },
+    )
+
+    # Steady state must beat the per-call pool where parallelism is real:
+    # full-size workload, >= 2 usable cores (a fork per batch is pure
+    # overhead the persistent workers do not pay).
+    if not tiny_mode() and cores >= 2:
+        assert steady_speedup_vs_pool > 1.05, (
+            f"persistent steady state too slow vs pool: "
+            f"{steady_speedup_vs_pool:.2f}x "
+            f"(pool {per_backend['pool']['steady_s']:.3f}s/batch, "
+            f"persistent {per_backend['persistent']['steady_s']:.3f}s/batch, "
+            f"{cores} cores)"
+        )

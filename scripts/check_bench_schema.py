@@ -6,7 +6,8 @@ then this checker, so schema drift (a renamed or dropped key, a version
 bump without a matching update here) fails the build instead of silently
 breaking the cross-PR perf trajectory.
 
-Usage: python scripts/check_bench_schema.py BENCH_engine.json BENCH_parallel.json
+Usage: python scripts/check_bench_schema.py BENCH_engine.json \
+    BENCH_parallel.json BENCH_backend.json
 """
 
 from __future__ import annotations
@@ -45,6 +46,27 @@ REQUIRED = {
         "parallel_tasks",
         "cache_hit_rate",
     },
+    "backend": ENVELOPE
+    | {
+        "workers",
+        "cores_available",
+        "batches",
+        "tasks_per_batch",
+        "ks",
+        "backends",
+        "identical_results",
+        "ship_once_per_worker",
+        "steady_speedup_vs_pool",
+    },
+}
+
+#: Per-backend keys required inside the "backend" record's ``backends`` map.
+BACKEND_NAMES = {"serial", "pool", "persistent"}
+BACKEND_KEYS = {"cold_s", "steady_s", "per_batch_s"}
+PERSISTENT_KEYS = BACKEND_KEYS | {
+    "ship_sizes",
+    "unique_signatures",
+    "max_workers_used",
 }
 
 
@@ -69,6 +91,38 @@ def check(path: str) -> list[str]:
         errors.append(f"{path}: missing keys {missing}")
     if name == "parallel" and record.get("identical_results") is not True:
         errors.append(f"{path}: parallel results did not match serial")
+    if name == "backend":
+        errors.extend(_check_backend(path, record))
+    return errors
+
+
+def _check_backend(path: str, record: dict) -> list[str]:
+    """The backend record's invariants: every backend reported with its
+    latency keys, the persistent delta-protocol evidence present, and the
+    two headline booleans actually true."""
+    errors: list[str] = []
+    backends = record.get("backends")
+    if not isinstance(backends, dict):
+        return [f"{path}: 'backends' must be an object"]
+    missing_backends = sorted(BACKEND_NAMES - set(backends))
+    if missing_backends:
+        errors.append(f"{path}: missing backends {missing_backends}")
+    for backend_name, entry in backends.items():
+        required = (
+            PERSISTENT_KEYS if backend_name == "persistent" else BACKEND_KEYS
+        )
+        missing = sorted(required - set(entry))
+        if missing:
+            errors.append(
+                f"{path}: backends.{backend_name} missing keys {missing}"
+            )
+    if record.get("identical_results") is not True:
+        errors.append(f"{path}: backend results did not match serial")
+    if record.get("ship_once_per_worker") is not True:
+        errors.append(
+            f"{path}: delta protocol shipped a signature more than once "
+            f"per worker"
+        )
     return errors
 
 

@@ -27,9 +27,10 @@ analysis commands (``disclosure``, ``search``, ``breach``, ``witness``)
 accept ``--adversary`` with any model name from the engine registry
 (:func:`repro.engine.base.available_adversaries`). ``disclosure``,
 ``search``, ``fig5`` and ``fig6`` additionally take the engine knobs
-``--workers`` (process-pool size for batch evaluation) and ``--cache-limit``
-(LRU bound on the shared cache); ``disclosure --cache-stats`` prints the
-cache's hit/miss/eviction counters.
+``--workers`` (worker count for batch evaluation), ``--backend``
+(``serial`` / ``pool`` / ``persistent`` execution backend) and
+``--cache-limit`` (LRU bound on the shared cache); ``disclosure
+--cache-stats`` prints the cache's hit/parallel-hit/miss/eviction counters.
 """
 
 from __future__ import annotations
@@ -42,7 +43,12 @@ from repro.core.negation import NegationWitness
 from repro.core.safety import SafetyChecker
 from repro.core.sampling import sample_probability
 from repro.core.witness import WorstCaseWitness
-from repro.engine import CachePolicy, DisclosureEngine, available_adversaries
+from repro.engine import (
+    CachePolicy,
+    DisclosureEngine,
+    available_adversaries,
+    available_backends,
+)
 from repro.knowledge.parser import parse_atom, parse_conjunction
 from repro.data.adult import ADULT_SCHEMA, ADULT_SIZE
 from repro.data.hierarchies import adult_hierarchies
@@ -124,20 +130,39 @@ def _add_engine_options(parser: argparse.ArgumentParser) -> None:
         metavar="N",
         help="bound the engine's shared cache to N entries (LRU eviction)",
     )
+    parser.add_argument(
+        "--backend",
+        choices=available_backends(),
+        default="pool",
+        help=(
+            "execution backend for batch evaluation: 'serial' never spawns "
+            "processes, 'pool' starts a fresh process pool per batch, "
+            "'persistent' keeps long-lived workers that receive only "
+            "newly seen signatures per batch (default pool)"
+        ),
+    )
 
 
 def _build_engine(args: argparse.Namespace) -> DisclosureEngine:
-    """One engine per command, configured from the shared engine flags."""
+    """One engine per command, configured from the shared engine flags.
+
+    Commands use the engine as a context manager so a persistent backend's
+    worker processes are shut down before exit.
+    """
     policy = CachePolicy(max_entries=getattr(args, "cache_limit", None))
-    return DisclosureEngine(policy=policy, workers=getattr(args, "workers", 1))
+    return DisclosureEngine(
+        policy=policy,
+        workers=getattr(args, "workers", 1),
+        backend=getattr(args, "backend", "pool"),
+    )
 
 
 def _print_cache_stats(engine: DisclosureEngine) -> None:
     stats = engine.stats
     print(
         f"cache: {engine.cache_size()} entries, {stats.cache_hits} hits / "
-        f"{stats.misses} misses (hit rate {stats.hit_rate:.2%}), "
-        f"{stats.evictions} evictions"
+        f"{stats.parallel_hits} parallel hits / {stats.misses} misses "
+        f"(hit rate {stats.hit_rate:.2%}), {stats.evictions} evictions"
     )
 
 
@@ -280,7 +305,8 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 
 def _cmd_fig5(args: argparse.Namespace) -> int:
-    result = run_figure5(_load_table(args), node=args.node, engine=_build_engine(args))
+    with _build_engine(args) as engine:
+        result = run_figure5(_load_table(args), node=args.node, engine=engine)
     print(render_figure5(result))
     if args.out:
         with open(args.out, "w") as handle:
@@ -290,9 +316,10 @@ def _cmd_fig5(args: argparse.Namespace) -> int:
 
 
 def _cmd_fig6(args: argparse.Namespace) -> int:
-    result = run_figure6(
-        _load_table(args), engine=_build_engine(args), workers=args.workers
-    )
+    with _build_engine(args) as engine:
+        result = run_figure6(
+            _load_table(args), engine=engine, workers=args.workers
+        )
     print(render_figure6(result, per_node=args.per_node))
     if args.out:
         with open(args.out, "w") as handle:
@@ -304,31 +331,35 @@ def _cmd_fig6(args: argparse.Namespace) -> int:
 def _cmd_disclosure(args: argparse.Namespace) -> int:
     table = _load_table(args)
     bucketization = bucketize_at(table, _adult_lattice(), args.node)
-    engine = _build_engine(args)
-    print(f"node {tuple(args.node)}: {len(bucketization)} buckets")
-    if args.adversary is None:
-        comparison = engine.compare(
-            bucketization, [args.k], models=("implication", "negation")
-        )
-        implication = comparison["implication"][args.k]
-        negation = comparison["negation"][args.k]
-        print(f"max disclosure, {args.k} implications : {implication:.6f}")
-        print(f"max disclosure, {args.k} negations    : {negation:.6f}")
-    else:
-        value = engine.evaluate(bucketization, args.k, model=args.adversary)
-        print(
-            f"max disclosure, {args.adversary} adversary, k={args.k} : "
-            f"{float(value):.6f}"
-        )
-    if args.cache_stats:
-        _print_cache_stats(engine)
+    with _build_engine(args) as engine:
+        print(f"node {tuple(args.node)}: {len(bucketization)} buckets")
+        if args.adversary is None:
+            comparison = engine.compare(
+                bucketization, [args.k], models=("implication", "negation")
+            )
+            implication = comparison["implication"][args.k]
+            negation = comparison["negation"][args.k]
+            print(f"max disclosure, {args.k} implications : {implication:.6f}")
+            print(f"max disclosure, {args.k} negations    : {negation:.6f}")
+        else:
+            value = engine.evaluate(bucketization, args.k, model=args.adversary)
+            print(
+                f"max disclosure, {args.adversary} adversary, k={args.k} : "
+                f"{float(value):.6f}"
+            )
+        if args.cache_stats:
+            _print_cache_stats(engine)
     return 0
 
 
 def _cmd_search(args: argparse.Namespace) -> int:
     table = _load_table(args)
     lattice = _adult_lattice()
-    engine = _build_engine(args)
+    with _build_engine(args) as engine:
+        return _run_search(args, table, lattice, engine)
+
+
+def _run_search(args, table, lattice, engine: DisclosureEngine) -> int:
     checker = SafetyChecker(args.c, args.k, model=args.adversary, engine=engine)
     if not checker.model.monotone:
         print(

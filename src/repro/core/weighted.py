@@ -125,6 +125,17 @@ def weighted_implication_bounds(
       every cost up to the largest can only increase the objective).
 
     With uniform weights ``w``, both bounds equal ``w * max_disclosure``.
+
+    Raises
+    ------
+    ValueError
+        If the bounds genuinely invert (``lower > upper`` beyond float
+        rounding). Mathematically ``lower <= upper`` always holds, so an
+        inversion means one of the two computations is wrong for this
+        input — silently reordering the pair (as this function once did)
+        would hand the caller a confident-looking bracket that brackets
+        nothing. Rounding-scale inversions (uniform weights computed along
+        two float paths) are clamped to ``upper`` instead.
     """
     _validate_weights(weights)
     lower = weighted_negation_disclosure(bucketization, k, weights)
@@ -135,8 +146,16 @@ def weighted_implication_bounds(
     }
     w_max = max(_weight(weights, value) for value in values)
     upper = w_max * max_disclosure(bucketization, k)
-    # Floating point can leave lower epsilon-above upper for uniform weights.
-    return min(lower, upper), max(lower, upper)
+    if lower > upper:
+        tolerance = 1e-9 * max(abs(lower), abs(upper), 1.0)
+        if lower - upper > tolerance:
+            raise ValueError(
+                f"weighted implication bounds inverted: lower {lower!r} > "
+                f"upper {upper!r} beyond float tolerance — the negation "
+                f"closed form and the scaled unweighted maximum disagree"
+            )
+        lower = upper
+    return lower, upper
 
 
 def _weighted_risk(

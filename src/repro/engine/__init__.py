@@ -8,6 +8,10 @@ language; this subsystem makes that parameter a first-class runtime object.
   the single cache key and unit of work), :class:`CachePolicy` (LRU bound,
   sweep pinning), and the deterministic process-pool executor behind
   parallel batch evaluation.
+- :mod:`repro.engine.backend` — the :class:`ExecutionBackend` abstraction
+  (``serial`` in-process, ``pool`` per-call process pool, ``persistent``
+  long-lived workers with incremental signature shipping) behind every
+  parallel batch.
 - :mod:`repro.engine.base` — the :class:`AdversaryModel` protocol, the
   string-keyed registry, and the :class:`EngineContext` shared state.
 - :mod:`repro.engine.models` — the five built-in models (``implication``,
@@ -29,6 +33,15 @@ a one-file plugin: subclass :class:`AdversaryModel`, decorate with
 :func:`register_adversary`, and it is available everywhere by name.
 """
 
+from repro.engine.backend import (
+    BackendError,
+    ExecutionBackend,
+    PersistentBackend,
+    PoolBackend,
+    SerialBackend,
+    available_backends,
+    create_backend,
+)
 from repro.engine.base import (
     AdversaryModel,
     EngineContext,
@@ -57,6 +70,13 @@ __all__ = [
     "EngineStats",
     "SignaturePlane",
     "CachePolicy",
+    "BackendError",
+    "ExecutionBackend",
+    "SerialBackend",
+    "PoolBackend",
+    "PersistentBackend",
+    "create_backend",
+    "available_backends",
     "register_adversary",
     "get_adversary",
     "available_adversaries",

@@ -16,9 +16,11 @@ The engine owns three things no single legacy function had:
    evaluates many ``k`` at the cost the model can manage;
    :meth:`DisclosureEngine.evaluate_many` runs a series over many
    bucketizations — serially through the cache, or chunked by *unique*
-   plane key over a process pool (``workers > 1``) with deterministic merge
-   order and warm-back, so parallel results populate the shared cache and
-   are bit-for-bit identical to the serial path;
+   plane key over an :class:`~repro.engine.backend.ExecutionBackend`
+   (``workers > 1``: a per-call process pool or persistent workers with
+   incremental signature shipping) with deterministic merge order and
+   warm-back, so parallel results populate the shared cache and are
+   bit-for-bit identical to the serial path;
    :meth:`DisclosureEngine.compare` runs many *models* over one
    bucketization — Figure 5's solid-vs-dotted lines in one call.
 3. **Uniform mode and witness handling.** The engine fixes exact/float
@@ -44,8 +46,9 @@ from fractions import Fraction
 from typing import Any
 
 from repro.bucketization.bucketization import Bucketization
+from repro.engine.backend import ExecutionBackend, create_backend
 from repro.engine.base import AdversaryModel, EngineContext, get_adversary
-from repro.engine.plane import CachePolicy, SignaturePlane, parallel_series
+from repro.engine.plane import CachePolicy, SignaturePlane
 from repro.errors import SearchError
 
 __all__ = ["EngineStats", "DisclosureEngine"]
@@ -78,27 +81,35 @@ class EngineStats:
     evaluations:
         Number of ``(bucketization, k, model)`` lookups requested.
     cache_hits:
-        How many of those were answered from the shared cache.
+        How many of those were answered from the shared cache — entries that
+        existed *before* the lookup's own batch ran.
+    parallel_hits:
+        Lookups answered directly from a parallel batch's own results during
+        assembly (the values came from worker processes this very call, not
+        from prior cache state). Counted separately so a cold cache with
+        ``workers > 1`` honestly reports a zero ``hit_rate``.
     evictions:
         Entries dropped by the LRU bound (0 when ``max_entries`` is unset).
     parallel_tasks:
         Unique plane keys whose series were computed by worker processes
-        (their per-``k`` results arrive via cache warm-back, so the
-        subsequent lookups count as hits).
+        (their per-``k`` results reach callers via ``parallel_hits``
+        assembly and cache warm-back).
     """
 
     evaluations: int = 0
     cache_hits: int = 0
+    parallel_hits: int = 0
     evictions: int = 0
     parallel_tasks: int = 0
 
     @property
     def misses(self) -> int:
-        return self.evaluations - self.cache_hits
+        return self.evaluations - self.cache_hits - self.parallel_hits
 
     @property
     def hit_rate(self) -> float:
-        """Fraction of lookups served from cache (0.0 when none yet)."""
+        """Fraction of lookups served from *pre-existing* cache entries
+        (0.0 when none yet; parallel-batch assembly does not count)."""
         return self.cache_hits / self.evaluations if self.evaluations else 0.0
 
     def as_dict(self) -> dict[str, object]:
@@ -106,6 +117,7 @@ class EngineStats:
         return {
             "evaluations": self.evaluations,
             "cache_hits": self.cache_hits,
+            "parallel_hits": self.parallel_hits,
             "misses": self.misses,
             "hit_rate": round(self.hit_rate, 6),
             "evictions": self.evictions,
@@ -130,6 +142,18 @@ class DisclosureEngine:
         Default process-pool size for :meth:`evaluate_many` and the engine's
         lattice-sweep prewarm (1 = serial; the per-call ``workers`` argument
         overrides it).
+    backend:
+        How batches fan out: a name from
+        :func:`~repro.engine.backend.available_backends` (``"serial"``,
+        ``"pool"``, ``"persistent"``) or an
+        :class:`~repro.engine.backend.ExecutionBackend` instance. The
+        default ``"pool"`` is the legacy per-call process pool; with
+        ``"serial"`` the engine never spawns regardless of ``workers``;
+        ``"persistent"`` keeps long-lived workers with incremental
+        signature shipping. Long-lived backends hold real processes —
+        call :meth:`close` (or use the engine as a context manager) when
+        done; the engine closes whichever backend it holds, including a
+        caller-provided instance.
 
     Examples
     --------
@@ -150,10 +174,12 @@ class DisclosureEngine:
         exact: bool = False,
         policy: CachePolicy | None = None,
         workers: int = 1,
+        backend: str | ExecutionBackend = "pool",
     ) -> None:
         self.exact = exact
         self.policy = policy if policy is not None else CachePolicy()
         self.workers = max(1, int(workers))
+        self.backend = create_backend(backend)
         self.plane = SignaturePlane()
         self.context = EngineContext(exact=exact, plane=self.plane)
         self.stats = EngineStats()
@@ -161,6 +187,22 @@ class DisclosureEngine:
         self._pinned: set[tuple] = set()
         self._pin_depth = 0
         self._instances: dict[str, AdversaryModel] = {}
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release the execution backend's long-lived resources (worker
+        processes for ``persistent``; a no-op for ``serial``/``pool``).
+        The engine itself stays usable — a closed persistent backend
+        respawns its workers on the next parallel batch."""
+        self.backend.close()
+
+    def __enter__(self) -> DisclosureEngine:
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # Model resolution and cache plumbing
@@ -219,10 +261,10 @@ class DisclosureEngine:
                 self._pinned.add(key)
         return value
 
-    def _cache_put(self, key, value) -> None:
+    def _cache_put(self, key, value, *, pin: bool = True) -> None:
         self._cache[key] = value
         self._cache.move_to_end(key)
-        if self._pin_depth > 0:
+        if pin and self._pin_depth > 0:
             self._pinned.add(key)
         limit = self.policy.max_entries
         if limit is None:
@@ -293,8 +335,11 @@ class DisclosureEngine:
         """Load entries saved by :meth:`save_cache`, re-interning plane keys.
 
         Existing entries win on collision. The cache policy applies (loading
-        more than ``max_entries`` evicts). Returns the number of entries
-        actually inserted.
+        more than ``max_entries`` evicts). Loaded entries are *never* pinned
+        — restoring a cache inside a :meth:`pinned` scope (or under
+        ``pin_sweeps``) must not make the whole file permanent; a sweep that
+        later reads a loaded entry claims it then, as usual. Returns the
+        number of entries actually inserted.
 
         .. warning::
             The file is deserialized with :mod:`pickle`, which executes code
@@ -327,7 +372,7 @@ class DisclosureEngine:
                 bucket_key = self.plane.encode_counts(bucket_key)
             key = (name, params, k, (tag, bucket_key))
             if key not in self._cache:
-                self._cache_put(key, value)
+                self._cache_put(key, value, pin=False)
                 loaded += 1
         return loaded
 
@@ -408,16 +453,17 @@ class DisclosureEngine:
         engine's cache and solver — the batched form a lattice sweep or an
         incremental republication wants.
 
-        With ``workers > 1`` (default: the engine's ``workers``) and a
-        signature-decomposable model, the *unique uncached* plane keys are
-        evaluated over a process pool — each distinct signature multiset is
-        computed exactly once — and warm-backed into the shared cache before
-        the per-bucketization assembly, which then runs entirely on cache
-        hits. Results are bit-for-bit identical to the serial path
-        (deterministic chunking and merge order; same canonical signature
-        order inside each worker). Serial fallback: ``workers <= 1``,
+        With ``workers > 1`` (default: the engine's ``workers``), a parallel
+        execution backend, and a signature-decomposable model, the *unique
+        uncached* plane keys are evaluated by the engine's
+        :class:`~repro.engine.backend.ExecutionBackend` — each distinct
+        signature multiset is computed exactly once — and warm-backed into
+        the shared cache before the per-bucketization assembly. Results are
+        bit-for-bit identical to the serial path (deterministic chunking and
+        merge order; same canonical signature order inside each worker).
+        Serial fallback: ``workers <= 1``, the ``serial`` backend,
         non-decomposable models (their answers depend on more than the
-        plane ships), or an unavailable/broken pool.
+        plane ships), or an unavailable/broken backend.
         """
         bs = list(bucketizations)
         ks = sorted(set(ks))
@@ -426,6 +472,7 @@ class DisclosureEngine:
         warmed: dict[tuple, dict[int, object]] = {}
         if (
             workers > 1
+            and self.backend.parallel
             and len(bs) > 1
             and ks
             and m.signature_decomposable()
@@ -433,10 +480,12 @@ class DisclosureEngine:
             warmed = self._parallel_warm(bs, ks, m, workers)
         if not warmed:
             return [self.series(b, ks, model=m) for b in bs]
-        # Assemble from the pool's own results where available (not only via
+        # Assemble from the batch's own results where available (not only via
         # the cache warm-back: a tight CachePolicy may already have evicted
-        # them, and recomputing serially would waste the pool's work). Stats
-        # count these lookups as hits — the values came from shared state.
+        # them, and recomputing serially would waste the workers' effort).
+        # These lookups count as parallel_hits, not cache_hits: the values
+        # were produced by this very call, so a cold cache keeps an honest
+        # zero hit_rate.
         results = []
         for b in bs:
             series = warmed.get(self.plane.encode(b))
@@ -444,7 +493,7 @@ class DisclosureEngine:
                 results.append(self.series(b, ks, model=m))
                 continue
             self.stats.evaluations += len(ks)
-            self.stats.cache_hits += len(ks)
+            self.stats.parallel_hits += len(ks)
             results.append({k: series[k] for k in ks})
         return results
 
@@ -455,11 +504,11 @@ class DisclosureEngine:
         m: AdversaryModel,
         workers: int,
     ) -> dict[tuple, dict[int, object]]:
-        """Compute the unique uncached plane keys in a process pool.
+        """Compute the unique uncached plane keys on the execution backend.
 
         Returns ``{plane key: series}`` for the computed multisets (empty on
-        any pool failure — the serial path then takes over, recomputing and
-        re-raising any genuine model error cleanly) and warm-backs the
+        any backend failure — the serial path then takes over, recomputing
+        and re-raising any genuine model error cleanly) and warm-backs the
         results into the shared cache so later calls hit."""
         name, params = m.name, m.params_key()
         pending: dict[tuple, None] = {}
@@ -472,14 +521,18 @@ class DisclosureEngine:
                 pending[plane_key] = None
         if len(pending) < 2:
             return {}  # nothing (or one series) to fan out; serial is cheaper
-        raw = [self.plane.decode(plane_key) for plane_key in pending]
         try:
-            all_series = parallel_series(
-                m, raw, ks, exact=self.exact, workers=workers
+            all_series = self.backend.run(
+                m,
+                self.plane,
+                list(pending),
+                ks,
+                exact=self.exact,
+                workers=workers,
             )
         except Exception:
-            # Pool unavailable (unpicklable plugin, fork restrictions,
-            # broken pool) — degrade silently to the serial path.
+            # Backend unavailable (unpicklable plugin, fork restrictions,
+            # workers crashed twice) — degrade silently to the serial path.
             return {}
         warmed: dict[tuple, dict[int, object]] = {}
         for plane_key, series in zip(pending, all_series):
@@ -489,7 +542,7 @@ class DisclosureEngine:
                 key = (name, params, k, tagged)
                 if key not in self._cache:
                     self._cache_put(key, value)
-        self.stats.parallel_tasks += len(raw)
+        self.stats.parallel_tasks += len(pending)
         return warmed
 
     def compare(
@@ -664,8 +717,9 @@ class DisclosureEngine:
         """All minimal (c,k)-safe lattice nodes under ``model`` (the paper's
         modified-Incognito sweep, with this engine's cache behind it).
 
-        With ``workers > 1`` and a signature-decomposable model, every
-        node's disclosure is prewarmed in parallel over the process pool
+        With ``workers > 1``, a parallel backend, and a
+        signature-decomposable model, every node's disclosure is prewarmed
+        in parallel on the execution backend
         before the sweep, which then runs on pure cache hits; the prewarm's
         bucketizations are handed to the predicate so no node is bucketized
         twice. (The prewarm trades the sweep's monotonicity pruning for
@@ -679,7 +733,7 @@ class DisclosureEngine:
         m = self.model(model)
         workers = self.workers if workers is None else max(1, int(workers))
         node_bucketizations: dict | None = None
-        if workers > 1 and m.signature_decomposable():
+        if workers > 1 and self.backend.parallel and m.signature_decomposable():
             from repro.generalization.apply import bucketize_at
 
             node_bucketizations = {

@@ -94,6 +94,17 @@ class SignaturePlane:
         """The signature interned under ``sig_id``."""
         return self._signatures[sig_id]
 
+    def signatures_since(self, start: int) -> tuple[tuple[int, ...], ...]:
+        """The signatures interned at ids ``start, start+1, ...`` — the delta
+        a persistent worker's plane mirror needs to catch up to this plane.
+
+        Ids are dense and assigned in first-seen order, so a mirror that has
+        replayed the first ``start`` signatures agrees with this plane on
+        every id below ``start``; appending this delta (in order) extends the
+        agreement to ``len(self)``.
+        """
+        return tuple(self._signatures[start:])
+
     def encode(self, bucketization: Bucketization) -> PlaneKey:
         """``bucketization`` as a compact id-multiset (sorted by id)."""
         return tuple(

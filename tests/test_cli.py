@@ -147,6 +147,39 @@ class TestCommands:
                 ["disclosure", "--adversary", "telepathy"]
             )
 
+    def test_backend_flag_parsed_with_pool_default(self):
+        args = build_parser().parse_args(["fig6", "--workers", "2"])
+        assert args.backend == "pool"
+        args = build_parser().parse_args(
+            ["search", "--backend", "persistent", "--workers", "2"]
+        )
+        assert args.backend == "persistent"
+
+    def test_backend_rejects_unknown(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig6", "--backend", "threads"])
+
+    @pytest.mark.parametrize("backend", ["serial", "pool", "persistent"])
+    def test_disclosure_runs_on_every_backend(self, backend, capsys):
+        code = main(
+            ["disclosure", "--rows", "300", "--k", "2",
+             "--backend", backend, "--workers", "2", "--cache-stats"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "max disclosure" in out
+        assert "parallel hits" in out  # the honest-stats counter is printed
+
+    def test_fig6_persistent_backend_matches_pool(self, capsys):
+        code = main(["fig6", "--rows", "200", "--workers", "2",
+                     "--backend", "persistent"])
+        assert code == 0
+        persistent_out = capsys.readouterr().out
+        code = main(["fig6", "--rows", "200", "--workers", "2",
+                     "--backend", "pool"])
+        assert code == 0
+        assert capsys.readouterr().out == persistent_out
+
     def test_search_adversary_negation(self, capsys):
         code = main(
             ["search", "--rows", "500", "--c", "0.9", "--k", "1",

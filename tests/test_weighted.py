@@ -109,6 +109,39 @@ class TestBounds:
         lower, upper = weighted_implication_bounds(clinic, 2, WEIGHTS)
         assert lower <= upper
 
+    def test_rounding_scale_inversion_clamped(self, clinic, monkeypatch):
+        """An epsilon-scale lower > upper (uniform weights computed along two
+        float paths) is clamped to a degenerate bracket, not reordered."""
+        import repro.core.weighted as weighted
+
+        uniform = {v: 1.0 for v in ("flu", "cold", "hiv")}
+        true_upper = weighted.max_disclosure(clinic, 2)
+        monkeypatch.setattr(
+            weighted, "max_disclosure", lambda b, k: true_upper * (1 - 1e-14)
+        )
+        real_lower = weighted_negation_disclosure(clinic, 2, uniform)
+        monkeypatch.setattr(
+            weighted,
+            "weighted_negation_disclosure",
+            lambda b, k, w: true_upper,
+        )
+        lower, upper = weighted_implication_bounds(clinic, 2, uniform)
+        assert lower == upper  # clamped to the (correct) upper value
+        assert upper == pytest.approx(true_upper)
+        assert real_lower <= true_upper  # sanity: the real numbers do bracket
+
+    def test_genuine_inversion_raises_instead_of_swapping(
+        self, clinic, monkeypatch
+    ):
+        """A real lower > upper gap means one side is wrong; the old
+        unconditional min/max swap silently produced a bracket that brackets
+        nothing. It must raise."""
+        import repro.core.weighted as weighted
+
+        monkeypatch.setattr(weighted, "max_disclosure", lambda b, k: 0.1)
+        with pytest.raises(ValueError, match="inverted"):
+            weighted_implication_bounds(clinic, 2, WEIGHTS)
+
 
 class TestExactOracle:
     def test_weights_change_the_argmax(self):
