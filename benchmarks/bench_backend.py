@@ -22,22 +22,15 @@ at full size on >= 2 usable cores (like ``bench_parallel``).
 
 from __future__ import annotations
 
-import os
 import random
 import time
 
-from reporting import tiny_mode, write_bench_json
+from reporting import cores_available, tiny_mode, write_bench_json
 
 from repro.bucketization import Bucketization
 from repro.engine import DisclosureEngine
 
 WORKERS = 4
-
-
-def _cores_available() -> int:
-    if hasattr(os, "sched_getaffinity"):
-        return len(os.sched_getaffinity(0))
-    return os.cpu_count() or 1
 
 
 def _workload() -> tuple[list[list[Bucketization]], tuple[int, ...]]:
@@ -98,7 +91,7 @@ def _timed_batches(engine, batches, ks):
 
 def test_backend_cold_vs_steady_state(benchmark):
     batches, ks = _workload()
-    cores = _cores_available()
+    cores = cores_available()
 
     per_backend: dict[str, dict] = {}
     all_results: dict[str, list] = {}

@@ -25,18 +25,12 @@ import os
 import random
 import time
 
-from reporting import tiny_mode, write_bench_json
+from reporting import cores_available, tiny_mode, write_bench_json
 
 from repro.bucketization import Bucketization
 from repro.engine import DisclosureEngine
 
 WORKERS = 4
-
-
-def _cores_available() -> int:
-    if hasattr(os, "sched_getaffinity"):
-        return len(os.sched_getaffinity(0))
-    return os.cpu_count() or 1
 
 
 def _workload() -> tuple[list[Bucketization], tuple[int, ...]]:
@@ -87,7 +81,7 @@ def test_parallel_evaluate_many_speedup(benchmark):
     new_lookups = len(bucketizations) * len(ks)
     assert parallel_engine.stats.cache_hits - hits_before == new_lookups
 
-    cores = _cores_available()
+    cores = cores_available()
     speedup = serial_s / parallel_s if parallel_s > 0 else float("inf")
     benchmark.extra_info["speedup_vs_serial"] = round(speedup, 3)
     benchmark.extra_info["cores_available"] = cores

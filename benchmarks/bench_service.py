@@ -1,0 +1,155 @@
+"""The serving layer under load: latency, throughput, coalescing, with JSON.
+
+Three claims the service makes over direct engine calls, measured against
+an in-process :class:`~repro.service.server.BackgroundService`:
+
+- **warm requests are cheap**: after the first (cold: engine + HTTP stack
+  + cache fill) request, repeats of the same question are answered from
+  the shared cache — ``warm_ms`` should sit far under ``cold_ms``;
+- **batching beats request-per-question**: one ``/disclosure`` batch body
+  over M bucketizations vs. M sequential single requests
+  (``batch_speedup``), since the batch pays one HTTP exchange and one
+  engine call on the signature plane;
+- **concurrent singles coalesce**: clients firing the same question
+  concurrently are served from one engine batch — ``/stats`` records the
+  coalesced batches, and the answers stay bit-identical to a direct
+  :class:`~repro.engine.engine.DisclosureEngine`.
+
+``BENCH_service.json`` records all three (schema-checked in CI via
+``scripts/check_bench_schema.py``; ``BENCH_TINY=1`` shrinks the workload).
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+
+from reporting import tiny_mode, write_bench_json
+
+from repro.bucketization import Bucketization
+from repro.engine import DisclosureEngine
+from repro.service import BackgroundService, ServiceClient
+
+K = 3
+CONCURRENT_CLIENTS = 8
+
+
+def _workload() -> list[Bucketization]:
+    """Distinct bucketizations over one small value universe (shared
+    signatures — the shape a republishing service sees)."""
+    tiny = tiny_mode()
+    count = 8 if tiny else 48
+    rng = random.Random(20070419)
+    out = []
+    for _ in range(count):
+        buckets = [
+            [rng.choice("abcdefgh") for _ in range(rng.randint(4, 10))]
+            for _ in range(rng.randint(2, 5))
+        ]
+        out.append(Bucketization.from_value_lists(buckets))
+    return out
+
+
+def _sequential_singles(client: ServiceClient, bs, k: int) -> list:
+    return [client.disclosure(b, k) for b in bs]
+
+
+def test_service_latency_throughput_coalescing(benchmark):
+    bs = _workload()
+    repeats = 20 if tiny_mode() else 200
+
+    with BackgroundService(backend="serial", batch_window=0.0) as bg:
+        client = bg.client()
+
+        # Cold: the very first question this service has ever seen.
+        start = time.perf_counter()
+        cold_value = client.disclosure(bs[0], K)
+        cold_s = time.perf_counter() - start
+
+        # Warm: the same question repeatedly (pure cache + HTTP cost).
+        def warm_round() -> list:
+            return [client.disclosure(bs[0], K) for _ in range(repeats)]
+
+        start = time.perf_counter()
+        warm_values = benchmark.pedantic(warm_round, rounds=1, iterations=1)
+        warm_elapsed = time.perf_counter() - start
+        warm_s = warm_elapsed / repeats
+        requests_per_s = repeats / warm_elapsed if warm_elapsed > 0 else 0.0
+        assert set(warm_values) == {cold_value}
+
+        # Request-per-question vs. one batch body over fresh questions.
+        start = time.perf_counter()
+        sequential_values = _sequential_singles(client, bs, K + 1)
+        sequential_s = time.perf_counter() - start
+        start = time.perf_counter()
+        batch_series = client.disclosure_batch(bs, [K + 2])
+        batch_s = time.perf_counter() - start
+        batch_values = [series[K + 2] for series in batch_series]
+        batch_speedup = sequential_s / batch_s if batch_s > 0 else float("inf")
+
+    # Concurrent identical singles against a coalescing window: the
+    # service must serve everyone from (at most a couple of) engine
+    # batches, bit-identically.
+    with BackgroundService(backend="serial", batch_window=0.2) as bg:
+        host, port = bg.host, bg.port
+        barrier = threading.Barrier(CONCURRENT_CLIENTS)
+        concurrent_values: list = [None] * CONCURRENT_CLIENTS
+
+        def hit(index: int) -> None:
+            barrier.wait(timeout=60)
+            concurrent_values[index] = ServiceClient(host, port).disclosure(
+                bs[0], K
+            )
+
+        threads = [
+            threading.Thread(target=hit, args=(i,))
+            for i in range(CONCURRENT_CLIENTS)
+        ]
+        start = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+        concurrent_s = time.perf_counter() - start
+        service_stats = bg.client().stats()["service"]
+
+    # Ground truth: a direct engine on the same questions.
+    engine = DisclosureEngine()
+    identical = (
+        cold_value == engine.evaluate(bs[0], K)
+        and sequential_values == [engine.evaluate(b, K + 1) for b in bs]
+        and batch_values == [engine.evaluate(b, K + 2) for b in bs]
+        and concurrent_values == [engine.evaluate(bs[0], K)] * CONCURRENT_CLIENTS
+    )
+    assert identical
+
+    coalesced_batches = service_stats["coalesced_batches"]
+    assert coalesced_batches >= 1, "no concurrent singles were coalesced"
+    assert service_stats["single_requests"] == CONCURRENT_CLIENTS
+
+    benchmark.extra_info["requests_per_s"] = round(requests_per_s, 1)
+    benchmark.extra_info["batch_speedup"] = round(batch_speedup, 3)
+
+    write_bench_json(
+        "service",
+        {
+            "backend": "serial",
+            "workers": 1,
+            "k": K,
+            "questions": len(bs),
+            "warm_repeats": repeats,
+            "cold_ms": round(cold_s * 1000, 3),
+            "warm_ms": round(warm_s * 1000, 3),
+            "requests_per_s": round(requests_per_s, 1),
+            "sequential_s": round(sequential_s, 4),
+            "batch_s": round(batch_s, 4),
+            "batch_speedup": round(batch_speedup, 3),
+            "concurrent_clients": CONCURRENT_CLIENTS,
+            "concurrent_s": round(concurrent_s, 4),
+            "coalesced_batches": coalesced_batches,
+            "coalesced_singles": service_stats["coalesced_singles"],
+            "max_coalesced": service_stats["max_coalesced"],
+            "identical_results": identical,
+        },
+    )

@@ -16,7 +16,7 @@ import os
 import platform
 from pathlib import Path
 
-__all__ = ["SCHEMA_VERSION", "tiny_mode", "write_bench_json"]
+__all__ = ["SCHEMA_VERSION", "tiny_mode", "cores_available", "write_bench_json"]
 
 #: Bumped whenever a BENCH_*.json record's required keys change.
 SCHEMA_VERSION = 1
@@ -25,6 +25,14 @@ SCHEMA_VERSION = 1
 def tiny_mode() -> bool:
     """Whether to shrink workloads to CI-smoke sizes (``BENCH_TINY=1``)."""
     return os.environ.get("BENCH_TINY") == "1"
+
+
+def cores_available() -> int:
+    """Usable cores (affinity-aware) — gates the speedup assertions that
+    only hold where parallelism is real."""
+    if hasattr(os, "sched_getaffinity"):
+        return len(os.sched_getaffinity(0))
+    return os.cpu_count() or 1
 
 
 def write_bench_json(name: str, payload: dict) -> Path:

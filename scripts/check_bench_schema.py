@@ -7,7 +7,7 @@ bump without a matching update here) fails the build instead of silently
 breaking the cross-PR perf trajectory.
 
 Usage: python scripts/check_bench_schema.py BENCH_engine.json \
-    BENCH_parallel.json BENCH_backend.json
+    BENCH_parallel.json BENCH_backend.json BENCH_service.json
 """
 
 from __future__ import annotations
@@ -58,6 +58,26 @@ REQUIRED = {
         "ship_once_per_worker",
         "steady_speedup_vs_pool",
     },
+    "service": ENVELOPE
+    | {
+        "backend",
+        "workers",
+        "k",
+        "questions",
+        "warm_repeats",
+        "cold_ms",
+        "warm_ms",
+        "requests_per_s",
+        "sequential_s",
+        "batch_s",
+        "batch_speedup",
+        "concurrent_clients",
+        "concurrent_s",
+        "coalesced_batches",
+        "coalesced_singles",
+        "max_coalesced",
+        "identical_results",
+    },
 }
 
 #: Per-backend keys required inside the "backend" record's ``backends`` map.
@@ -93,6 +113,23 @@ def check(path: str) -> list[str]:
         errors.append(f"{path}: parallel results did not match serial")
     if name == "backend":
         errors.extend(_check_backend(path, record))
+    if name == "service":
+        errors.extend(_check_service(path, record))
+    return errors
+
+
+def _check_service(path: str, record: dict) -> list[str]:
+    """The service record's invariants: served values bit-identical to the
+    direct engine, and concurrent singles actually coalesced."""
+    errors: list[str] = []
+    if record.get("identical_results") is not True:
+        errors.append(f"{path}: service answers diverged from the engine")
+    batches = record.get("coalesced_batches")
+    if not isinstance(batches, int) or batches < 1:
+        errors.append(
+            f"{path}: no coalesced batches recorded "
+            f"(coalesced_batches={batches!r})"
+        )
     return errors
 
 
@@ -108,6 +145,11 @@ def _check_backend(path: str, record: dict) -> list[str]:
     if missing_backends:
         errors.append(f"{path}: missing backends {missing_backends}")
     for backend_name, entry in backends.items():
+        if not isinstance(entry, dict):
+            errors.append(
+                f"{path}: backends.{backend_name} must be an object"
+            )
+            continue
         required = (
             PERSISTENT_KEYS if backend_name == "persistent" else BACKEND_KEYS
         )

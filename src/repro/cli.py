@@ -19,6 +19,11 @@ Subcommands
     Monte Carlo estimate of Pr(atom | B and formula) for a *given* formula
     (the #P-hard quantity of Theorem 8), with the formula written in the
     text syntax of :mod:`repro.knowledge.parser`.
+``serve``
+    Run the JSON-over-HTTP disclosure service
+    (:class:`repro.service.server.DisclosureService`): long-lived engines in
+    both arithmetic modes, request coalescing, cache persistence across
+    restarts, graceful SIGTERM shutdown.
 
 Every command accepts ``--rows``/``--seed`` to control the synthetic dataset
 or ``--csv`` to use a file produced by ``generate`` (or the real Adult data
@@ -282,6 +287,44 @@ def build_parser() -> argparse.ArgumentParser:
     p_est.add_argument("--samples", type=int, default=20000)
     p_est.add_argument("--sample-seed", type=int, default=0)
 
+    p_serve = sub.add_parser(
+        "serve", help="run the JSON-over-HTTP disclosure service"
+    )
+    p_serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default 127.0.0.1)"
+    )
+    p_serve.add_argument(
+        "--port",
+        type=int,
+        default=8707,
+        help="bind port; 0 picks an ephemeral port (default 8707)",
+    )
+    p_serve.add_argument(
+        "--cache-file",
+        default=None,
+        metavar="PREFIX",
+        help=(
+            "persist engine caches across restarts: loads "
+            "PREFIX.float.pkl / PREFIX.exact.pkl on boot (when present) "
+            "and writes them back on shutdown"
+        ),
+    )
+    p_serve.add_argument(
+        "--batch-window",
+        type=float,
+        default=0.002,
+        metavar="SECONDS",
+        help=(
+            "how long the coalescer waits after the first pending single "
+            "request before batching (default 0.002)"
+        ),
+    )
+    _add_engine_options(p_serve)
+    # A service is the persistent backend's home workload — but the backend
+    # only engages when workers > 1 (the engine's serial path wins
+    # otherwise), so serve's defaults enable both together.
+    p_serve.set_defaults(backend="persistent", workers=2)
+
     return parser
 
 
@@ -508,6 +551,61 @@ def _cmd_estimate(args: argparse.Namespace) -> int:
     return 0
 
 
+async def _serve_until_signalled(args: argparse.Namespace) -> int:
+    import signal
+
+    from repro.service.server import DisclosureService
+
+    service = DisclosureService(
+        host=args.host,
+        port=args.port,
+        backend=args.backend,
+        workers=args.workers,
+        cache_limit=args.cache_limit,
+        cache_path=args.cache_file,
+        batch_window=args.batch_window,
+    )
+    await service.start()
+    # The port line goes out first (and flushed) so wrappers binding
+    # --port 0 can read the ephemeral port back.
+    print(f"serving on http://{service.host}:{service.port}", flush=True)
+    loaded = service.loaded_entries
+    print(
+        f"cache: loaded {loaded['float']} float / {loaded['exact']} exact "
+        f"entries; backend={args.backend}, workers={args.workers}",
+        flush=True,
+    )
+    import asyncio
+
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            loop.add_signal_handler(signum, stop.set)
+        except (NotImplementedError, RuntimeError):  # non-Unix event loops
+            signal.signal(signum, lambda *_: stop.set())
+    await stop.wait()
+    print("shutting down...", flush=True)
+    await service.stop()
+    saved = service.saved_entries
+    if args.cache_file is not None:
+        print(
+            f"cache: saved {saved['float']} float / {saved['exact']} exact "
+            f"entries to {args.cache_file}.*.pkl",
+            flush=True,
+        )
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    try:
+        return asyncio.run(_serve_until_signalled(args))
+    except KeyboardInterrupt:  # Ctrl-C before the handler was installed
+        return 0
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "fig5": _cmd_fig5,
@@ -517,6 +615,7 @@ _COMMANDS = {
     "witness": _cmd_witness,
     "breach": _cmd_breach,
     "estimate": _cmd_estimate,
+    "serve": _cmd_serve,
 }
 
 

@@ -1,0 +1,55 @@
+"""The serving layer: the engine's request/response workload as a process.
+
+PR 3 built the pieces a long-running service needs — a bounded LRU cache
+with :meth:`~repro.engine.engine.DisclosureEngine.save_cache` /
+``load_cache`` persistence, and execution backends whose lifecycle
+(``PersistentBackend(idle_timeout=...)``, ``engine.close()``) matches a
+server's. This package is that server:
+
+- :mod:`repro.service.wire` — the JSON wire format (lossless in both
+  arithmetic modes: floats as JSON numbers, Fractions as ``"num/den"``).
+- :mod:`repro.service.server` — :class:`DisclosureService`, a stdlib-only
+  asyncio HTTP server with request coalescing (concurrent singles become
+  one ``evaluate_many`` batch on the signature plane), graceful
+  load-cache/save-cache lifecycle, and :class:`BackgroundService` for
+  in-process embedding.
+- :mod:`repro.service.client` — :class:`ServiceClient`, the blocking
+  stdlib client whose answers are bit-identical to direct engine calls.
+
+Start one with ``repro serve`` (see the CLI) or embed it::
+
+    from repro.service import BackgroundService
+
+    with BackgroundService(backend="persistent", workers=4) as bg:
+        client = bg.client()
+        client.disclosure(bucketization, k=3, model="negation")
+"""
+
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.server import (
+    BackgroundService,
+    DisclosureService,
+    ServiceStats,
+)
+from repro.service.wire import (
+    bucket_lists,
+    bucketization_from_payload,
+    decode_series,
+    decode_value,
+    encode_series,
+    encode_value,
+)
+
+__all__ = [
+    "DisclosureService",
+    "BackgroundService",
+    "ServiceStats",
+    "ServiceClient",
+    "ServiceError",
+    "encode_value",
+    "decode_value",
+    "encode_series",
+    "decode_series",
+    "bucket_lists",
+    "bucketization_from_payload",
+]

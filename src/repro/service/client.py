@@ -1,0 +1,213 @@
+"""A thin stdlib client for the disclosure service.
+
+:class:`ServiceClient` speaks the wire format of
+:mod:`repro.service.wire` over :mod:`http.client` — no dependencies, one
+connection per request (the server closes connections after each
+response). Values come back **bit-identical** to direct
+:class:`~repro.engine.engine.DisclosureEngine` calls: floats survive the
+JSON round trip exactly and exact-mode Fractions travel as ``"num/den"``
+strings, so tests can assert ``client.disclosure(...) ==
+engine.evaluate(...)`` with plain equality.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from collections.abc import Sequence
+from fractions import Fraction
+from typing import Any
+
+from repro.errors import ReproError
+from repro.service.wire import bucket_lists, decode_series, decode_value
+
+__all__ = ["ServiceError", "ServiceClient"]
+
+
+class ServiceError(ReproError):
+    """A non-200 service response (the HTTP status is on :attr:`status`)."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message
+
+
+class ServiceClient:
+    """Blocking JSON client used by the tests, the benchmark, and scripts.
+
+    ``bucketization`` arguments accept either a
+    :class:`~repro.bucketization.bucketization.Bucketization` or raw
+    per-bucket value lists (the wire shape).
+    """
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 8707, *, timeout: float = 60.0
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+    def request(
+        self, method: str, path: str, payload: dict | None = None
+    ) -> dict[str, Any]:
+        """One HTTP exchange; raises :class:`ServiceError` on non-200."""
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            body = json.dumps(payload) if payload is not None else None
+            connection.request(
+                method,
+                path,
+                body=body,
+                headers={"Content-Type": "application/json"},
+            )
+            response = connection.getresponse()
+            raw = response.read()
+            status = response.status
+        finally:
+            connection.close()
+        try:
+            data = json.loads(raw) if raw else {}
+        except json.JSONDecodeError as exc:
+            raise ServiceError(status, f"non-JSON response: {exc}") from None
+        if status != 200:
+            raise ServiceError(
+                status, data.get("error", "unknown error") if isinstance(data, dict) else str(data)
+            )
+        return data
+
+    # ------------------------------------------------------------------
+    # Endpoints
+    # ------------------------------------------------------------------
+    def disclosure(
+        self,
+        bucketization,
+        k: int,
+        *,
+        model: str = "implication",
+        exact: bool = False,
+    ) -> float | Fraction:
+        """Single worst-case disclosure (coalesced server-side)."""
+        answer = self.request(
+            "POST",
+            "/disclosure",
+            {
+                "buckets": bucket_lists(bucketization),
+                "k": k,
+                "model": model,
+                "exact": exact,
+            },
+        )
+        return decode_value(answer["value"])
+
+    def witness(
+        self,
+        bucketization,
+        k: int,
+        *,
+        model: str = "implication",
+        exact: bool = False,
+    ) -> dict[str, Any]:
+        """Single evaluation plus the serialized worst-case witness."""
+        answer = self.request(
+            "POST",
+            "/disclosure",
+            {
+                "buckets": bucket_lists(bucketization),
+                "k": k,
+                "model": model,
+                "exact": exact,
+                "witness": True,
+            },
+        )
+        answer["value"] = decode_value(answer["value"])
+        answer["witness"]["disclosure"] = decode_value(
+            answer["witness"]["disclosure"]
+        )
+        return answer
+
+    def disclosure_batch(
+        self,
+        bucketizations: Sequence,
+        ks: Sequence[int],
+        *,
+        model: str = "implication",
+        exact: bool = False,
+    ) -> list[dict[int, float | Fraction]]:
+        """One series per bucketization — the wire form of
+        :meth:`~repro.engine.engine.DisclosureEngine.evaluate_many`."""
+        answer = self.request(
+            "POST",
+            "/disclosure",
+            {
+                "bucketizations": [bucket_lists(b) for b in bucketizations],
+                "ks": list(ks),
+                "model": model,
+                "exact": exact,
+            },
+        )
+        return [decode_series(series) for series in answer["series"]]
+
+    def safety(
+        self,
+        bucketization,
+        c: float,
+        k: int,
+        *,
+        model: str = "implication",
+        exact: bool = False,
+    ) -> dict[str, Any]:
+        """(c, k)-safety verdict plus the underlying disclosure value."""
+        answer = self.request(
+            "POST",
+            "/safety",
+            {
+                "buckets": bucket_lists(bucketization),
+                "c": c,
+                "k": k,
+                "model": model,
+                "exact": exact,
+            },
+        )
+        answer["value"] = decode_value(answer["value"])
+        return answer
+
+    def compare(
+        self,
+        bucketization,
+        ks: Sequence[int],
+        *,
+        models: Sequence[str] = ("implication", "negation"),
+        exact: bool = False,
+    ) -> dict[str, dict[int, float | Fraction]]:
+        """Cross-model comparison (Figure 5 as a service call)."""
+        answer = self.request(
+            "POST",
+            "/compare",
+            {
+                "buckets": bucket_lists(bucketization),
+                "ks": list(ks),
+                "models": list(models),
+                "exact": exact,
+            },
+        )
+        return {
+            name: decode_series(series)
+            for name, series in answer["series"].items()
+        }
+
+    def models(self) -> list[dict[str, Any]]:
+        """Registry introspection: every registered adversary's contract."""
+        return self.request("GET", "/models")["models"]
+
+    def stats(self) -> dict[str, Any]:
+        """Service counters + per-engine stats and backend telemetry."""
+        return self.request("GET", "/stats")
+
+    def health(self) -> dict[str, Any]:
+        return self.request("GET", "/healthz")

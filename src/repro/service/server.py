@@ -1,0 +1,766 @@
+"""The disclosure service: a stdlib-only asyncio HTTP layer over the engine.
+
+:class:`DisclosureService` wraps two long-lived
+:class:`~repro.engine.engine.DisclosureEngine` instances — one per
+arithmetic mode — behind a small JSON-over-HTTP API, and adds the one thing
+a serving layer can do that a library call cannot: **request coalescing**.
+Concurrent single ``/disclosure`` requests are drained into groups of
+``(mode, model, k)`` and evaluated as one
+:meth:`~repro.engine.engine.DisclosureEngine.evaluate_many` call on the
+signature plane, so N clients asking about the same (or same-shaped)
+anonymization cost one computation, and a parallel execution backend sees
+real batches instead of single lookups.
+
+The HTTP layer is deliberately minimal and dependency-free: an
+:func:`asyncio.start_server` socket server speaking just enough HTTP/1.1
+(request line, headers, ``Content-Length`` body, one request per
+connection) for JSON clients and ``curl``. Endpoints:
+
+=====================  ====  ==================================================
+path                   verb  body / answer
+=====================  ====  ==================================================
+``/disclosure``        POST  single ``{buckets, k, model?, exact?, witness?}``
+                             or batch ``{bucketizations, ks, model?, exact?}``
+``/safety``            POST  ``{buckets, c, k, model?, exact?}`` -> safe + value
+``/compare``           POST  ``{buckets, ks, models?, exact?}`` -> per-model
+                             series (Figure 5 as an endpoint)
+``/models``            GET   registry introspection (every registered
+                             adversary and its contract flags)
+``/stats``             GET   service counters + per-engine
+                             :class:`~repro.engine.engine.EngineStats`,
+                             cache/plane sizes, backend telemetry
+``/healthz``           GET   liveness
+=====================  ====  ==================================================
+
+Lifecycle matches the engine's: :meth:`DisclosureService.start` loads any
+persisted cache (``load_cache``), :meth:`DisclosureService.stop` drains,
+saves the caches and closes the engines — ``repro serve`` ties those to
+process SIGTERM/SIGINT. :class:`BackgroundService` runs the whole thing on
+a daemon thread for tests and benchmarks.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import json
+import threading
+import time
+from collections import Counter
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+from typing import Any
+
+from repro.bucketization.bucketization import Bucketization
+from repro.engine.backend import PersistentBackend
+from repro.engine.base import available_adversaries, get_adversary
+from repro.engine.engine import DisclosureEngine
+from repro.engine.plane import CachePolicy
+from repro.errors import ReproError
+from repro.service.wire import (
+    bucketization_from_payload,
+    encode_series,
+    encode_value,
+)
+
+__all__ = ["ServiceStats", "DisclosureService", "BackgroundService"]
+
+#: Largest accepted request body (a bucketization of ~a million values).
+MAX_BODY_BYTES = 32 * 1024 * 1024
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+#: The two engine modes a service always carries.
+_MODES = ("float", "exact")
+
+
+class _BadRequest(Exception):
+    """Internal: request validation failed (the message becomes the 400 body)."""
+
+
+class _Unavailable(Exception):
+    """Internal: the service is shutting down (becomes a 503 body)."""
+
+
+def _require(payload: dict, field: str, kind, *, optional=False, default=None):
+    """One field of a JSON body, type-checked (bool is not an int here)."""
+    if field not in payload:
+        if optional:
+            return default
+        raise _BadRequest(f"missing required field {field!r}")
+    value = payload[field]
+    if kind is int and isinstance(value, bool):
+        raise _BadRequest(f"field {field!r} must be an integer")
+    if not isinstance(value, kind):
+        raise _BadRequest(
+            f"field {field!r} must be {getattr(kind, '__name__', kind)}"
+        )
+    return value
+
+
+def _require_ks(payload: dict) -> list[int]:
+    ks = _require(payload, "ks", list)
+    if not ks or not all(
+        isinstance(k, int) and not isinstance(k, bool) for k in ks
+    ):
+        raise _BadRequest("'ks' must be a non-empty list of integers")
+    return ks
+
+
+def _witness_payload(witness: Any) -> dict[str, Any]:
+    """Serialize any model's witness object: the uniform ``disclosure``
+    attribute, plus the dataclass fields as JSON scalars (stringified when
+    they are richer objects, e.g. implication formulas)."""
+    payload: dict[str, Any] = {
+        "type": type(witness).__name__,
+        "disclosure": encode_value(witness.disclosure),
+        "description": str(witness),
+    }
+    if dataclasses.is_dataclass(witness):
+        for field in dataclasses.fields(witness):
+            if field.name == "disclosure":
+                continue
+            value = getattr(witness, field.name)
+            if isinstance(value, (str, int, float, bool)) or value is None:
+                payload[field.name] = value
+            elif isinstance(value, (list, tuple, frozenset, set)):
+                payload[field.name] = [str(item) for item in value]
+            else:
+                payload[field.name] = str(value)
+    return payload
+
+
+class ServiceStats:
+    """The serving-layer counters behind ``/stats`` (engine counters live on
+    each engine's own :class:`~repro.engine.engine.EngineStats`).
+
+    ``coalesced_batches`` counts engine calls that served **more than one**
+    concurrent single request; ``coalesced_singles`` counts the singles so
+    served — together they are the observable behind the coalescing claim
+    tested end-to-end and benchmarked in ``benchmarks/bench_service.py``.
+    """
+
+    def __init__(self) -> None:
+        self.started = time.monotonic()
+        self.requests_total = 0
+        self.by_endpoint: Counter[str] = Counter()
+        self.by_status: Counter[int] = Counter()
+        self.single_requests = 0
+        self.batch_requests = 0
+        self.coalesced_batches = 0
+        self.coalesced_singles = 0
+        self.max_coalesced = 0
+
+    def note_coalesced(self, group_size: int) -> None:
+        if group_size > 1:
+            self.coalesced_batches += 1
+            self.coalesced_singles += group_size
+        self.max_coalesced = max(self.max_coalesced, group_size)
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "uptime_s": round(time.monotonic() - self.started, 3),
+            "requests_total": self.requests_total,
+            "by_endpoint": dict(self.by_endpoint),
+            "by_status": {str(k): v for k, v in self.by_status.items()},
+            "single_requests": self.single_requests,
+            "batch_requests": self.batch_requests,
+            "coalesced_batches": self.coalesced_batches,
+            "coalesced_singles": self.coalesced_singles,
+            "max_coalesced": self.max_coalesced,
+        }
+
+
+class _Pending:
+    """One enqueued single evaluation awaiting a coalesced batch."""
+
+    __slots__ = ("bucketization", "future")
+
+    def __init__(self, bucketization: Bucketization, future) -> None:
+        self.bucketization = bucketization
+        self.future = future
+
+
+class DisclosureService:
+    """A long-lived disclosure server over two mode-fixed engines.
+
+    Parameters
+    ----------
+    host, port:
+        Bind address; ``port=0`` picks an ephemeral port (read it back from
+        :attr:`port` after :meth:`start` — the pattern tests and
+        ``repro serve --port 0`` use).
+    backend, workers, cache_limit:
+        Engine construction knobs, exactly as the CLI flags: each mode's
+        engine gets its own execution backend built from the ``backend``
+        name and a :class:`~repro.engine.plane.CachePolicy` bounded by
+        ``cache_limit``.
+    cache_path:
+        Optional path *prefix* for cache persistence. Boot loads
+        ``<prefix>.float.pkl`` / ``<prefix>.exact.pkl`` when present
+        (counts in :attr:`loaded_entries`); :meth:`stop` writes both back.
+    batch_window:
+        Seconds the coalescer waits after the first pending single request
+        before draining the queue — the knob trading a little latency for
+        batch size. 0 drains immediately (still coalescing whatever piled
+        up while the engine thread was busy).
+    request_timeout:
+        Seconds a connection may take to deliver a complete request before
+        it is dropped (slow-loris guard; ``None`` disables — only for
+        trusted loopback use).
+
+    Notes
+    -----
+    With ``backend="persistent"`` the worker processes fork lazily on the
+    first coalesced batch, i.e. from a process that already runs the event
+    loop and engine threads. The worker target only touches modules this
+    package has already imported, so the usual fork-under-threads import
+    deadlock does not apply to our own code — but a plugin model whose
+    evaluation forks further, or an embedding application holding its own
+    locks across threads, should prefer ``backend="serial"``/``"pool"`` or
+    pass a pre-built backend with a ``spawn`` multiprocessing context.
+    """
+
+    def __init__(
+        self,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        backend: str = "serial",
+        workers: int = 1,
+        cache_limit: int | None = None,
+        cache_path: str | Path | None = None,
+        batch_window: float = 0.002,
+        request_timeout: float | None = 30.0,
+    ) -> None:
+        if batch_window < 0:
+            raise ValueError(f"batch_window must be >= 0, got {batch_window}")
+        if request_timeout is not None and request_timeout <= 0:
+            raise ValueError(
+                f"request_timeout must be positive or None, got "
+                f"{request_timeout}"
+            )
+        self.request_timeout = request_timeout
+        self.host = host
+        self._requested_port = port
+        self.batch_window = batch_window
+        self.cache_path = Path(cache_path) if cache_path is not None else None
+        self.engines: dict[str, DisclosureEngine] = {
+            mode: DisclosureEngine(
+                exact=(mode == "exact"),
+                policy=CachePolicy(max_entries=cache_limit),
+                workers=workers,
+                backend=backend,
+            )
+            for mode in _MODES
+        }
+        self.stats = ServiceStats()
+        self.loaded_entries: dict[str, int] = dict.fromkeys(_MODES, 0)
+        self.saved_entries: dict[str, int] = dict.fromkeys(_MODES, 0)
+        # All engine work runs on ONE executor thread: the engines are not
+        # thread-safe, and the serialization is what piles concurrent
+        # singles into the pending queue for the coalescer to drain.
+        self._executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-engine"
+        )
+        self._pending: dict[tuple[str, str, int], list[_Pending]] = {}
+        self._kick: asyncio.Event | None = None
+        self._dispatcher: asyncio.Task | None = None
+        self._server: asyncio.AbstractServer | None = None
+        self._stopping = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def port(self) -> int:
+        """The actually bound port (valid after :meth:`start`)."""
+        if self._server is None:
+            return self._requested_port
+        return self._server.sockets[0].getsockname()[1]
+
+    def _mode_cache_file(self, mode: str) -> Path:
+        assert self.cache_path is not None
+        return self.cache_path.with_name(
+            f"{self.cache_path.name}.{mode}.pkl"
+        )
+
+    async def start(self) -> None:
+        """Load persisted caches, start the coalescer and the socket server."""
+        if self.cache_path is not None:
+            for mode, engine in self.engines.items():
+                path = self._mode_cache_file(mode)
+                if path.exists():
+                    self.loaded_entries[mode] = engine.load_cache(path)
+        self._kick = asyncio.Event()
+        self._dispatcher = asyncio.create_task(
+            self._dispatch_loop(), name="repro-coalescer"
+        )
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self._requested_port
+        )
+
+    async def stop(self) -> None:
+        """Graceful shutdown: stop accepting, fail queued work with 503,
+        persist both caches, close the engines."""
+        self._stopping = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if self._dispatcher is not None:
+            self._dispatcher.cancel()
+            try:
+                await self._dispatcher
+            except asyncio.CancelledError:
+                pass
+        for items in self._pending.values():
+            for pending in items:
+                if not pending.future.done():
+                    pending.future.set_exception(
+                        _Unavailable("service is shutting down")
+                    )
+        self._pending.clear()
+        if self.cache_path is not None:
+            for mode, engine in self.engines.items():
+                self.saved_entries[mode] = engine.save_cache(
+                    self._mode_cache_file(mode)
+                )
+        for engine in self.engines.values():
+            engine.close()
+        self._executor.shutdown(wait=True)
+
+    # ------------------------------------------------------------------
+    # The coalescer
+    # ------------------------------------------------------------------
+    async def _enqueue_single(
+        self, mode: str, model: str, k: int, bucketization: Bucketization
+    ):
+        """Queue one single evaluation and await its coalesced result."""
+        loop = asyncio.get_running_loop()
+        future = loop.create_future()
+        key = (mode, model, k)
+        self._pending.setdefault(key, []).append(
+            _Pending(bucketization, future)
+        )
+        assert self._kick is not None
+        self._kick.set()
+        return await future
+
+    async def _dispatch_loop(self) -> None:
+        """Drain pending singles into per-``(mode, model, k)`` engine batches.
+
+        While a batch runs on the engine thread, newly arriving singles keep
+        queueing; the loop re-drains until the queue is empty, so under load
+        batches form organically even with ``batch_window = 0``.
+        """
+        assert self._kick is not None
+        loop = asyncio.get_running_loop()
+        while True:
+            await self._kick.wait()
+            self._kick.clear()
+            if self.batch_window > 0:
+                await asyncio.sleep(self.batch_window)
+            while self._pending:
+                groups, self._pending = self._pending, {}
+                try:
+                    for (mode, model, k), items in groups.items():
+                        engine = self.engines[mode]
+                        bs = [p.bucketization for p in items]
+                        try:
+                            if len(bs) == 1:
+                                values = [
+                                    await loop.run_in_executor(
+                                        self._executor,
+                                        lambda: engine.evaluate(
+                                            bs[0], k, model=model
+                                        ),
+                                    )
+                                ]
+                            else:
+                                series = await loop.run_in_executor(
+                                    self._executor,
+                                    lambda: engine.evaluate_many(
+                                        bs, [k], model=model
+                                    ),
+                                )
+                                values = [s[k] for s in series]
+                        except Exception as exc:
+                            for pending in items:
+                                if not pending.future.done():
+                                    pending.future.set_exception(exc)
+                            continue
+                        self.stats.note_coalesced(len(items))
+                        for pending, value in zip(items, values):
+                            if not pending.future.done():
+                                pending.future.set_result(value)
+                except asyncio.CancelledError:
+                    # stop() cancelled us mid-drain: the drained groups are
+                    # no longer in self._pending, so fail their unresolved
+                    # futures here or their handlers would hang forever.
+                    for items in groups.values():
+                        for pending in items:
+                            if not pending.future.done():
+                                pending.future.set_exception(
+                                    _Unavailable("service is shutting down")
+                                )
+                    raise
+
+    # ------------------------------------------------------------------
+    # HTTP plumbing
+    # ------------------------------------------------------------------
+    async def _handle_connection(self, reader, writer) -> None:
+        status, payload = 500, {"error": "internal error"}
+        endpoint = None
+        try:
+            read = self._read_request(reader)
+            if self.request_timeout is not None:
+                read = asyncio.wait_for(read, timeout=self.request_timeout)
+            request = await read
+            if request is None:
+                writer.close()
+                return
+            method, path, body = request
+            endpoint = path
+            status, payload = await self._route(method, path, body)
+        except _BadRequest as exc:
+            status, payload = 400, {"error": str(exc)}
+        except _Unavailable as exc:
+            status, payload = 503, {"error": str(exc)}
+        except asyncio.TimeoutError:
+            status, payload = 400, {"error": "request read timed out"}
+        except (ReproError, ValueError) as exc:
+            status, payload = 400, {"error": str(exc)}
+        except (ConnectionError, asyncio.IncompleteReadError):
+            writer.close()
+            return
+        except Exception as exc:  # never leak a traceback to the socket
+            status, payload = 500, {"error": f"{type(exc).__name__}: {exc}"}
+        self.stats.requests_total += 1
+        if endpoint is not None and status != 404:
+            # Unknown paths are counted by status only: a public socket
+            # must not let probes grow the by-endpoint counter unboundedly.
+            self.stats.by_endpoint[endpoint] += 1
+        self.stats.by_status[status] += 1
+        await self._write_response(writer, status, payload)
+
+    async def _read_request(self, reader):
+        """Minimal HTTP/1.1: request line, headers, Content-Length body."""
+        try:
+            request_line = await reader.readline()
+        except (ConnectionError, asyncio.LimitOverrunError):
+            return None
+        if not request_line:
+            return None
+        parts = request_line.decode("latin-1").split()
+        if len(parts) < 2:
+            raise _BadRequest("malformed request line")
+        method, path = parts[0].upper(), parts[1].split("?", 1)[0]
+        headers: dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        try:
+            length = int(headers.get("content-length", "0"))
+        except ValueError:
+            raise _BadRequest("invalid Content-Length") from None
+        if length < 0 or length > MAX_BODY_BYTES:
+            raise _BadRequest(f"body too large (limit {MAX_BODY_BYTES} bytes)")
+        body = await reader.readexactly(length) if length else b""
+        return method, path, body
+
+    async def _write_response(self, writer, status: int, payload) -> None:
+        body = json.dumps(payload).encode()
+        head = (
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: close\r\n\r\n"
+        ).encode("latin-1")
+        try:
+            writer.write(head + body)
+            await writer.drain()
+            writer.close()
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+    # ------------------------------------------------------------------
+    # Routing and endpoints
+    # ------------------------------------------------------------------
+    async def _route(self, method: str, path: str, body: bytes):
+        routes = {
+            "/disclosure": ("POST", self._ep_disclosure),
+            "/safety": ("POST", self._ep_safety),
+            "/compare": ("POST", self._ep_compare),
+            "/models": ("GET", self._ep_models),
+            "/stats": ("GET", self._ep_stats),
+            "/healthz": ("GET", self._ep_healthz),
+        }
+        route = routes.get(path)
+        if route is None:
+            return 404, {"error": f"unknown path {path!r}"}
+        verb, handler = route
+        if method != verb:
+            return 405, {"error": f"{path} only accepts {verb}"}
+        if self._stopping:
+            return 503, {"error": "service is shutting down"}
+        if verb == "POST":
+            try:
+                payload = json.loads(body.decode("utf-8")) if body else None
+            except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+                raise _BadRequest(f"invalid JSON body: {exc}") from None
+            if not isinstance(payload, dict):
+                raise _BadRequest("request body must be a JSON object")
+            return await handler(payload)
+        return await handler()
+
+    def _mode_and_engine(self, payload: dict) -> tuple[str, DisclosureEngine]:
+        exact = _require(payload, "exact", bool, optional=True, default=False)
+        mode = "exact" if exact else "float"
+        return mode, self.engines[mode]
+
+    def _model_name(self, payload: dict, field: str = "model") -> str:
+        name = _require(payload, field, str, optional=True, default="implication")
+        if name not in available_adversaries():
+            raise _BadRequest(
+                f"unknown adversary model {name!r}; registered: "
+                f"{', '.join(available_adversaries())}"
+            )
+        return name
+
+    async def _ep_disclosure(self, payload: dict):
+        if "bucketizations" in payload:
+            return await self._ep_disclosure_batch(payload)
+        mode, engine = self._mode_and_engine(payload)
+        model = self._model_name(payload)
+        k = _require(payload, "k", int)
+        if k < 0:
+            raise _BadRequest(f"k must be non-negative, got {k}")
+        bucketization = bucketization_from_payload(
+            _require(payload, "buckets", list)
+        )
+        want_witness = _require(
+            payload, "witness", bool, optional=True, default=False
+        )
+        self.stats.single_requests += 1
+        value = await self._enqueue_single(mode, model, k, bucketization)
+        answer: dict[str, Any] = {
+            "model": model,
+            "k": k,
+            "exact": mode == "exact",
+            "value": encode_value(value),
+        }
+        if want_witness:
+            loop = asyncio.get_running_loop()
+            try:
+                witness = await loop.run_in_executor(
+                    self._executor,
+                    lambda: engine.witness(bucketization, k, model=model),
+                )
+            except NotImplementedError as exc:
+                raise _BadRequest(str(exc)) from None
+            answer["witness"] = _witness_payload(witness)
+        return 200, answer
+
+    async def _ep_disclosure_batch(self, payload: dict):
+        mode, engine = self._mode_and_engine(payload)
+        model = self._model_name(payload)
+        ks = _require_ks(payload)
+        raw = _require(payload, "bucketizations", list)
+        if not raw:
+            raise _BadRequest("'bucketizations' must be a non-empty list")
+        bs = [bucketization_from_payload(buckets) for buckets in raw]
+        self.stats.batch_requests += 1
+        loop = asyncio.get_running_loop()
+        series = await loop.run_in_executor(
+            self._executor,
+            lambda: engine.evaluate_many(bs, ks, model=model),
+        )
+        return 200, {
+            "model": model,
+            "ks": sorted(set(ks)),
+            "exact": mode == "exact",
+            "series": [encode_series(s) for s in series],
+        }
+
+    async def _ep_safety(self, payload: dict):
+        mode, engine = self._mode_and_engine(payload)
+        model = self._model_name(payload)
+        k = _require(payload, "k", int)
+        c = _require(payload, "c", (int, float))
+        if isinstance(c, bool):
+            raise _BadRequest("field 'c' must be a number")
+        bucketization = bucketization_from_payload(
+            _require(payload, "buckets", list)
+        )
+        # threshold() validates c against the model's scale before any
+        # engine work (bad thresholds are a 400, not a computation).
+        threshold = engine.threshold(c, model=model)
+        value = await self._enqueue_single(mode, model, k, bucketization)
+        return 200, {
+            "model": model,
+            "k": k,
+            "c": c,
+            "exact": mode == "exact",
+            "safe": bool(value < threshold),
+            "value": encode_value(value),
+        }
+
+    async def _ep_compare(self, payload: dict):
+        mode, engine = self._mode_and_engine(payload)
+        ks = _require_ks(payload)
+        models = payload.get("models", ["implication", "negation"])
+        if not isinstance(models, list) or not models:
+            raise _BadRequest("'models' must be a non-empty list of names")
+        names = [
+            self._model_name({"model": name}) if isinstance(name, str)
+            else name
+            for name in models
+        ]
+        for name in names:
+            if not isinstance(name, str):
+                raise _BadRequest("'models' must be a list of model names")
+        bucketization = bucketization_from_payload(
+            _require(payload, "buckets", list)
+        )
+        loop = asyncio.get_running_loop()
+        comparison = await loop.run_in_executor(
+            self._executor,
+            lambda: engine.compare(bucketization, ks, models=names),
+        )
+        return 200, {
+            "ks": sorted(set(ks)),
+            "exact": mode == "exact",
+            "series": {
+                name: encode_series(series)
+                for name, series in comparison.items()
+            },
+        }
+
+    async def _ep_models(self):
+        models = []
+        for name in available_adversaries():
+            model = get_adversary(name)
+            models.append(
+                {
+                    "name": name,
+                    "supports_exact": model.supports_exact,
+                    "supports_witness": model.supports_witness,
+                    "unbounded_scale": model.unbounded_scale,
+                    "monotone": model.monotone,
+                    "signature_decomposable": model.signature_decomposable(),
+                    "params_key": [repr(p) for p in model.params_key()],
+                }
+            )
+        return 200, {"models": models}
+
+    async def _ep_stats(self):
+        engines = {}
+        for mode, engine in self.engines.items():
+            backend = engine.backend
+            backend_info: dict[str, Any] = {
+                "name": backend.name,
+                "parallel": backend.parallel,
+            }
+            if isinstance(backend, PersistentBackend):
+                backend_info.update(
+                    batches_run=backend.batches_run,
+                    signatures_shipped=backend.signatures_shipped,
+                    respawns=backend.respawns,
+                    workers_alive=backend.worker_count(),
+                )
+            engines[mode] = {
+                "stats": engine.stats.as_dict(),
+                "cache_entries": engine.cache_size(),
+                "pinned_entries": engine.pinned_count(),
+                "plane_signatures": len(engine.plane),
+                "loaded_entries": self.loaded_entries[mode],
+                "backend": backend_info,
+            }
+        return 200, {"service": self.stats.as_dict(), "engines": engines}
+
+    async def _ep_healthz(self):
+        return 200, {
+            "ok": True,
+            "uptime_s": round(time.monotonic() - self.stats.started, 3),
+        }
+
+
+class BackgroundService:
+    """Run a :class:`DisclosureService` on a daemon thread (tests, benches).
+
+    Usage::
+
+        with BackgroundService(backend="serial") as bg:
+            value = bg.client().disclosure(bucketization, k=3)
+
+    The context manager owns the event loop: entering starts the loop
+    thread and blocks until the server is bound (surfacing any startup
+    error), exiting requests a graceful :meth:`DisclosureService.stop`
+    and joins the thread.
+    """
+
+    def __init__(self, **service_kwargs: Any) -> None:
+        service_kwargs.setdefault("port", 0)
+        self._kwargs = service_kwargs
+        self.service: DisclosureService | None = None
+        self.host: str | None = None
+        self.port: int | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop_event: asyncio.Event | None = None
+        self._started = threading.Event()
+        self._error: BaseException | None = None
+        self._thread: threading.Thread | None = None
+
+    def __enter__(self) -> BackgroundService:
+        self._thread = threading.Thread(
+            target=self._thread_main, name="repro-service", daemon=True
+        )
+        self._thread.start()
+        if not self._started.wait(timeout=60):
+            raise RuntimeError("service failed to start within 60s")
+        if self._error is not None:
+            raise RuntimeError("service failed to start") from self._error
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        if self._loop is not None and self._stop_event is not None:
+            self._loop.call_soon_threadsafe(self._stop_event.set)
+        if self._thread is not None:
+            self._thread.join(timeout=60)
+
+    def _thread_main(self) -> None:
+        try:
+            asyncio.run(self._main())
+        except BaseException as exc:  # surfaced by __enter__ or swallowed
+            self._error = exc
+            self._started.set()
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop_event = asyncio.Event()
+        self.service = DisclosureService(**self._kwargs)
+        await self.service.start()
+        self.host, self.port = self.service.host, self.service.port
+        self._started.set()
+        await self._stop_event.wait()
+        await self.service.stop()
+
+    def client(self):
+        """A :class:`~repro.service.client.ServiceClient` bound to this
+        server (import deferred to keep server/client import-independent)."""
+        from repro.service.client import ServiceClient
+
+        assert self.host is not None and self.port is not None
+        return ServiceClient(self.host, self.port)

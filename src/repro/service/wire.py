@@ -1,0 +1,89 @@
+"""The service wire format: JSON encodings shared by server and client.
+
+Disclosure values cross the wire **losslessly** in both arithmetic modes:
+
+- float mode: JSON numbers. Python's :mod:`json` serializes floats with
+  ``repr``, which round-trips every IEEE-754 double bit-for-bit, so a value
+  read back by :func:`decode_value` compares ``==`` to the engine's answer.
+- exact mode: :class:`~fractions.Fraction` values are encoded as their
+  ``"num/den"`` string (``str(Fraction)``), which round-trips exactly.
+  Models that are inherently floating-point (``supports_exact = False``)
+  return floats even on an exact engine; those stay JSON numbers.
+
+Bucketizations travel as plain lists of per-bucket sensitive-value lists —
+the exact shape :meth:`~repro.bucketization.bucketization.Bucketization.from_value_lists`
+accepts — so any JSON client can build a request without knowing this
+package's classes.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Any
+
+from repro.bucketization.bucketization import Bucketization
+
+__all__ = [
+    "encode_value",
+    "decode_value",
+    "encode_series",
+    "decode_series",
+    "bucket_lists",
+    "bucketization_from_payload",
+]
+
+
+def encode_value(value: Any) -> float | str:
+    """One disclosure value -> JSON scalar (number, or ``"num/den"``)."""
+    if isinstance(value, Fraction):
+        return str(value)
+    return float(value)
+
+
+def decode_value(value: Any) -> float | Fraction:
+    """Inverse of :func:`encode_value` (bit-identical round trip)."""
+    if isinstance(value, str):
+        return Fraction(value)
+    return float(value)
+
+
+def encode_series(series: dict[int, Any]) -> dict[str, float | str]:
+    """A ``{k: value}`` series -> JSON object (keys become strings)."""
+    return {str(k): encode_value(v) for k, v in series.items()}
+
+
+def decode_series(series: dict[str, Any]) -> dict[int, float | Fraction]:
+    """Inverse of :func:`encode_series` (keys back to ints)."""
+    return {int(k): decode_value(v) for k, v in series.items()}
+
+
+def bucket_lists(bucketization: Bucketization | Any) -> list[list[Any]]:
+    """A bucketization (or already-raw value lists) as the wire shape."""
+    if isinstance(bucketization, Bucketization):
+        return [list(b.sensitive_values) for b in bucketization.buckets]
+    return [list(values) for values in bucketization]
+
+
+def bucketization_from_payload(buckets: Any) -> Bucketization:
+    """Validate and build a :class:`Bucketization` from request JSON.
+
+    Raises
+    ------
+    ValueError
+        On anything that is not a non-empty list of non-empty lists of JSON
+        scalars — the message is safe to return in a 400 body.
+    """
+    if not isinstance(buckets, list) or not buckets:
+        raise ValueError("'buckets' must be a non-empty list of value lists")
+    for index, values in enumerate(buckets):
+        if not isinstance(values, list) or not values:
+            raise ValueError(
+                f"bucket {index} must be a non-empty list of sensitive values"
+            )
+        for value in values:
+            if not isinstance(value, (str, int, float, bool)):
+                raise ValueError(
+                    f"bucket {index} holds a non-scalar sensitive value "
+                    f"({type(value).__name__})"
+                )
+    return Bucketization.from_value_lists(buckets)

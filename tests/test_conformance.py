@@ -1,0 +1,172 @@
+"""Registry-wide adversary conformance suite.
+
+Every test here is parametrized over **every** model in
+:func:`repro.engine.base.available_adversaries` and asserts only the shared
+:class:`~repro.engine.base.AdversaryModel` contract — gated exclusively by
+the contract flags the models themselves declare (``supports_exact``,
+``supports_witness``, ``unbounded_scale``, ``monotone``), never by model
+name. A future plugin is therefore tested for free the moment it registers:
+if it declares its flags honestly, this suite passes; if it violates the
+contract behind a flag, this suite catches it.
+
+The shared contract:
+
+- disclosure values are finite, non-negative, and (for probability-scaled
+  models) at most 1, at every attacker power;
+- the worst case is monotone non-increasing under bucket merging (the
+  Theorem 14 direction) for every model that declares ``monotone``;
+- a model offering witnesses returns objects whose uniform ``disclosure``
+  attribute matches the evaluated worst case; a model that does not offer
+  them raises :class:`NotImplementedError` (so consumers can rely on the
+  flag);
+- exact (Fraction) and float evaluation agree within float tolerance for
+  models that support exact arithmetic — and every model is consistent
+  between the two engine modes regardless;
+- cache keys are stable across a ``save_cache``/``load_cache`` round trip:
+  a fresh engine that loads the file answers from the cache without
+  recomputing.
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+
+import pytest
+
+from repro.bucketization import Bucketization
+from repro.engine import (
+    DisclosureEngine,
+    available_adversaries,
+    get_adversary,
+)
+
+#: Small enough for the oracle-based models — including on the *merged*
+#: bucketization, whose single bucket drives the world count — yet skewed
+#: and overlapping enough to be non-trivial for every registered model.
+VALUE_LISTS = (
+    ("Flu", "Flu", "Lung Cancer", "Mumps"),
+    ("Flu", "Breast Cancer", "Heart Disease"),
+)
+
+KS = (0, 1, 3)
+
+MODELS = available_adversaries()
+
+
+@pytest.fixture(scope="module")
+def bucketization() -> Bucketization:
+    return Bucketization.from_value_lists([list(v) for v in VALUE_LISTS])
+
+
+@pytest.fixture(scope="module")
+def merged(bucketization) -> Bucketization:
+    """The strictly coarser bucketization (one merged bucket)."""
+    return bucketization.merge_buckets([0, 1])
+
+
+# Module-scoped engines: the shared cache makes repeat evaluations across
+# tests free (the persistence test builds its own engines on purpose).
+@pytest.fixture(scope="module")
+def float_engine() -> DisclosureEngine:
+    return DisclosureEngine(exact=False)
+
+
+@pytest.fixture(scope="module")
+def exact_engine() -> DisclosureEngine:
+    return DisclosureEngine(exact=True)
+
+
+def test_registry_is_populated():
+    # The suite is only meaningful if the registry import side effects ran.
+    assert set(MODELS) >= {"implication", "negation"}
+
+
+@pytest.mark.parametrize("name", MODELS)
+class TestAdversaryConformance:
+    def test_disclosure_bounded(self, name, bucketization, float_engine):
+        engine = float_engine
+        model = engine.model(name)
+        for k in KS:
+            value = engine.evaluate(bucketization, k, model=name)
+            value = float(value)
+            assert math.isfinite(value)
+            assert value >= 0.0
+            if not model.unbounded_scale:
+                assert value <= 1.0 + 1e-12
+
+    def test_monotone_under_bucket_merging(
+        self, name, bucketization, merged, float_engine
+    ):
+        engine = float_engine
+        model = engine.model(name)
+        if not model.monotone:
+            pytest.skip(f"{name} declares monotone=False (estimator noise)")
+        for k in KS:
+            fine = float(engine.evaluate(bucketization, k, model=name))
+            coarse = float(engine.evaluate(merged, k, model=name))
+            assert coarse <= fine + 1e-9, (
+                f"{name}: merging buckets increased disclosure at k={k} "
+                f"({fine} -> {coarse})"
+            )
+
+    def test_witness_contract(self, name, bucketization, float_engine):
+        engine = float_engine
+        model = engine.model(name)
+        k = 2
+        if not model.supports_witness:
+            with pytest.raises(NotImplementedError):
+                engine.witness(bucketization, k, model=name)
+            return
+        witness = engine.witness(bucketization, k, model=name)
+        value = engine.evaluate(bucketization, k, model=name)
+        assert hasattr(witness, "disclosure")
+        assert float(witness.disclosure) == pytest.approx(
+            float(value), abs=1e-9
+        )
+
+    def test_float_exact_agreement(
+        self, name, bucketization, float_engine, exact_engine
+    ):
+        model = float_engine.model(name)
+        for k in KS:
+            float_value = float_engine.evaluate(bucketization, k, model=name)
+            exact_value = exact_engine.evaluate(bucketization, k, model=name)
+            assert isinstance(float_value, (int, float))
+            if model.supports_exact:
+                assert isinstance(exact_value, (Fraction, int))
+            # Either way the two modes must describe the same worst case.
+            assert float(exact_value) == pytest.approx(
+                float(float_value), abs=1e-9
+            )
+
+    def test_cache_key_stable_across_persistence(
+        self, name, bucketization, tmp_path
+    ):
+        writer = DisclosureEngine()
+        values = {
+            k: writer.evaluate(bucketization, k, model=name) for k in KS
+        }
+        path = tmp_path / f"{name}.cache.pkl"
+        assert writer.save_cache(path) >= len(KS)
+
+        reader = DisclosureEngine()
+        assert reader.load_cache(path) >= len(KS)
+        before = reader.stats.cache_hits
+        for k in KS:
+            assert reader.evaluate(bucketization, k, model=name) == values[k]
+        # Every lookup must have been answered from the loaded cache: the
+        # persisted key (plane- or raw-tagged) equals the freshly computed
+        # one in a different engine with a different signature plane.
+        assert reader.stats.cache_hits == before + len(KS)
+
+
+@pytest.mark.parametrize("name", MODELS)
+def test_engine_registry_instances_are_reused(name):
+    """`engine.model(name)` must return one instance per name so default
+    parameterizations share cache identity (part of the cache-key
+    contract)."""
+    engine = DisclosureEngine()
+    assert engine.model(name) is engine.model(name)
+    assert engine.model(name).name == name
+    assert get_adversary(name).params_key() == engine.model(name).params_key()

@@ -1,0 +1,160 @@
+"""Golden-file regression tests for the paper experiments.
+
+Tiny fig5/fig6 runs in **exact** arithmetic against checked-in expected
+JSON: every disclosure number is a Fraction serialized as ``"num/den"``, so
+the comparison is platform-independent and bit-exact — an experiment or
+engine refactor that shifts any paper number fails these tests instead of
+silently changing the figures.
+
+Regenerating (after an *intentional* change): run
+
+    GOLDEN_REGEN=1 python -m pytest tests/test_golden.py
+
+and commit the rewritten files under ``tests/golden/`` with an explanation
+of why the numbers moved.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from fractions import Fraction
+from pathlib import Path
+
+import pytest
+
+from repro.data.adult import generate_adult
+from repro.engine import DisclosureEngine
+from repro.experiments.fig5 import run_figure5
+from repro.experiments.fig6 import run_figure6
+
+GOLDEN_DIR = Path(__file__).resolve().parent / "golden"
+
+#: Tiny but non-degenerate: enough rows that the paper node has several
+#: buckets with mixed signatures, small enough to run in well under a second.
+FIG5_ROWS, FIG5_SEED = 300, 7
+FIG6_ROWS, FIG6_SEED = 250, 7
+FIG6_KS = (1, 3)
+
+
+def _fraction(value) -> str:
+    """Canonical exact serialization (Fractions and ints only — a float
+    here would mean the exact engine leaked arithmetic, itself a bug)."""
+    assert isinstance(value, (Fraction, int)), f"non-exact value {value!r}"
+    return str(Fraction(value))
+
+
+def _fig5_payload() -> dict:
+    table = generate_adult(FIG5_ROWS, seed=FIG5_SEED)
+    result = run_figure5(table, engine=DisclosureEngine(exact=True))
+    return {
+        "rows": FIG5_ROWS,
+        "seed": FIG5_SEED,
+        "node": list(result.node),
+        "num_buckets": result.num_buckets,
+        "series": [
+            {
+                "k": row.k,
+                "implication": _fraction(row.implication),
+                "negation": _fraction(row.negation),
+            }
+            for row in result.rows
+        ],
+    }
+
+
+def _fig6_payload() -> dict:
+    table = generate_adult(FIG6_ROWS, seed=FIG6_SEED)
+    result = run_figure6(
+        table, ks=FIG6_KS, engine=DisclosureEngine(exact=True)
+    )
+    return {
+        "rows": FIG6_ROWS,
+        "seed": FIG6_SEED,
+        "ks": list(result.ks),
+        "model": result.model,
+        "nodes": [
+            {
+                "node": list(record.node),
+                "num_buckets": record.num_buckets,
+                # Entropy is a float (math.log); it is compared with a
+                # tolerance, unlike the exact disclosure strings.
+                "min_entropy": record.min_entropy,
+                "disclosure": {
+                    str(k): _fraction(v)
+                    for k, v in sorted(record.disclosure.items())
+                },
+            }
+            for record in result.nodes
+        ],
+    }
+
+
+PAYLOADS = {
+    "fig5_exact.json": _fig5_payload,
+    "fig6_exact.json": _fig6_payload,
+}
+
+
+def _load_or_regen(name: str) -> tuple[dict, dict]:
+    """(expected-from-disk, actual-from-code); regenerates on demand."""
+    actual = PAYLOADS[name]()
+    path = GOLDEN_DIR / name
+    if os.environ.get("GOLDEN_REGEN") == "1":
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        path.write_text(json.dumps(actual, indent=2, sort_keys=True) + "\n")
+    if not path.exists():
+        pytest.fail(
+            f"golden file {path} missing; run GOLDEN_REGEN=1 pytest "
+            f"tests/test_golden.py and commit it"
+        )
+    return json.loads(path.read_text()), actual
+
+
+def test_fig5_matches_golden():
+    expected, actual = _load_or_regen("fig5_exact.json")
+    assert actual["node"] == expected["node"]
+    assert actual["num_buckets"] == expected["num_buckets"]
+    assert len(actual["series"]) == len(expected["series"])
+    for got, want in zip(actual["series"], expected["series"]):
+        assert got == want, (
+            f"fig5 k={want['k']} shifted: expected "
+            f"implication={want['implication']} negation={want['negation']}, "
+            f"got implication={got['implication']} negation={got['negation']}"
+        )
+
+
+def test_fig6_matches_golden():
+    expected, actual = _load_or_regen("fig6_exact.json")
+    assert actual["ks"] == expected["ks"]
+    assert actual["model"] == expected["model"]
+    assert len(actual["nodes"]) == len(expected["nodes"])
+    for got, want in zip(actual["nodes"], expected["nodes"]):
+        assert got["node"] == want["node"]
+        assert got["num_buckets"] == want["num_buckets"], (
+            f"node {want['node']} bucket count shifted"
+        )
+        # Disclosure is exact arithmetic: compare the Fraction strings.
+        assert got["disclosure"] == want["disclosure"], (
+            f"node {want['node']} disclosure shifted: "
+            f"expected {want['disclosure']}, got {got['disclosure']}"
+        )
+        # Entropy passes through libm; equal within float tolerance.
+        assert got["min_entropy"] == pytest.approx(
+            want["min_entropy"], abs=1e-9
+        ), f"node {want['node']} min-entropy shifted"
+
+
+def test_fig5_exact_agrees_with_float_run():
+    """The float figure is the exact figure rounded — the two paths must
+    describe the same numbers (guards against mode-dependent drift)."""
+    table = generate_adult(FIG5_ROWS, seed=FIG5_SEED)
+    exact = run_figure5(table, engine=DisclosureEngine(exact=True))
+    floaty = run_figure5(table, engine=DisclosureEngine(exact=False))
+    for exact_row, float_row in zip(exact.rows, floaty.rows):
+        assert float(exact_row.implication) == pytest.approx(
+            float_row.implication, abs=1e-9
+        )
+        assert float(exact_row.negation) == pytest.approx(
+            float_row.negation, abs=1e-9
+        )

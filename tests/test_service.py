@@ -1,0 +1,475 @@
+"""End-to-end tests for the disclosure service layer.
+
+Covers the acceptance criteria of the serving layer:
+
+- full process lifecycle: ``repro serve`` boots, loads its cache, serves,
+  and on SIGTERM saves the cache and exits 0 — and a restarted service
+  answers from the reloaded cache;
+- N concurrent clients receive **bit-identical** answers to direct
+  :class:`~repro.engine.engine.DisclosureEngine` calls, in both float and
+  exact arithmetic;
+- concurrent single requests are coalesced into one engine batch
+  (observable through ``/stats``);
+- malformed requests surface as 4xx JSON errors, never 500s or hangs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import re
+import signal
+import subprocess
+import sys
+import threading
+from fractions import Fraction
+from http.client import HTTPConnection
+from pathlib import Path
+
+import pytest
+
+from repro.bucketization import Bucketization
+from repro.engine import DisclosureEngine, available_adversaries
+from repro.service import BackgroundService, ServiceClient, ServiceError
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+@pytest.fixture(scope="module")
+def figure3_like() -> Bucketization:
+    return Bucketization.from_value_lists(
+        [
+            ["Flu", "Flu", "Lung Cancer", "Lung Cancer", "Mumps"],
+            ["Flu", "Flu", "Breast Cancer", "Ovarian Cancer", "Heart Disease"],
+        ]
+    )
+
+
+@pytest.fixture(scope="module")
+def service():
+    """One shared background service for the read-mostly endpoint tests."""
+    with BackgroundService(backend="serial", batch_window=0.0) as bg:
+        yield bg
+
+
+@pytest.fixture(scope="module")
+def client(service) -> ServiceClient:
+    return service.client()
+
+
+# ---------------------------------------------------------------------------
+# Endpoints against direct engine calls
+# ---------------------------------------------------------------------------
+class TestEndpoints:
+    def test_health(self, client):
+        assert client.health()["ok"] is True
+
+    def test_models_lists_whole_registry(self, client):
+        models = client.models()
+        assert [m["name"] for m in models] == list(available_adversaries())
+        for record in models:
+            assert {
+                "name",
+                "supports_exact",
+                "supports_witness",
+                "unbounded_scale",
+                "monotone",
+                "signature_decomposable",
+            } <= set(record)
+
+    @pytest.mark.parametrize("exact", [False, True])
+    def test_single_disclosure_bit_identical(self, client, figure3_like, exact):
+        engine = DisclosureEngine(exact=exact)
+        for model in ("implication", "negation", "distribution"):
+            for k in (0, 1, 3):
+                served = client.disclosure(
+                    figure3_like, k, model=model, exact=exact
+                )
+                direct = engine.evaluate(figure3_like, k, model=model)
+                assert served == direct
+                if exact:
+                    assert isinstance(served, Fraction)
+
+    def test_batch_matches_evaluate_many(self, client, figure3_like):
+        merged = figure3_like.merge_buckets([0, 1])
+        ks = [1, 2, 4]
+        served = client.disclosure_batch(
+            [figure3_like, merged], ks, exact=True
+        )
+        direct = DisclosureEngine(exact=True).evaluate_many(
+            [figure3_like, merged], ks
+        )
+        assert served == direct
+
+    def test_safety_matches_engine(self, client, figure3_like):
+        engine = DisclosureEngine()
+        answer = client.safety(figure3_like, 0.9, 1)
+        assert answer["safe"] == engine.is_safe(figure3_like, 0.9, 1)
+        assert answer["value"] == engine.evaluate(figure3_like, 1)
+
+    def test_compare_matches_engine(self, client, figure3_like):
+        ks = [0, 1, 2]
+        served = client.compare(
+            figure3_like, ks, models=("implication", "negation")
+        )
+        direct = DisclosureEngine().compare(
+            figure3_like, ks, models=("implication", "negation")
+        )
+        assert set(served) == set(direct)
+        for name in direct:
+            assert served[name] == direct[name]
+
+    def test_witness_disclosure_matches_value(self, client, figure3_like):
+        answer = client.witness(figure3_like, 2, model="negation")
+        assert answer["witness"]["type"] == "NegationWitness"
+        assert answer["witness"]["disclosure"] == answer["value"]
+
+    def test_witness_unsupported_model_is_400(self, client, figure3_like):
+        with pytest.raises(ServiceError) as excinfo:
+            client.witness(figure3_like, 2, model="weighted")
+        assert excinfo.value.status == 400
+
+    def test_stats_shape(self, client, figure3_like):
+        client.disclosure(figure3_like, 1)  # ensure non-zero counters
+        stats = client.stats()
+        assert {"service", "engines"} <= set(stats)
+        assert stats["service"]["requests_total"] >= 1
+        for mode in ("float", "exact"):
+            record = stats["engines"][mode]
+            assert {
+                "stats",
+                "cache_entries",
+                "pinned_entries",
+                "plane_signatures",
+                "loaded_entries",
+                "backend",
+            } <= set(record)
+            assert record["backend"]["name"] == "serial"
+        assert stats["engines"]["float"]["stats"]["evaluations"] >= 1
+
+
+# ---------------------------------------------------------------------------
+# Concurrency: bit-identical answers and coalescing
+# ---------------------------------------------------------------------------
+def _random_bucketizations(count: int, seed: int) -> list[Bucketization]:
+    rng = random.Random(seed)
+    out = []
+    for _ in range(count):
+        buckets = [
+            [rng.choice("abcdef") for _ in range(rng.randint(3, 9))]
+            for _ in range(rng.randint(1, 4))
+        ]
+        out.append(Bucketization.from_value_lists(buckets))
+    return out
+
+
+class TestConcurrency:
+    CLIENTS = 8
+
+    @pytest.mark.parametrize("exact", [False, True])
+    def test_concurrent_clients_bit_identical_to_engine(self, exact):
+        bs = _random_bucketizations(self.CLIENTS, seed=42 + exact)
+        models = ["implication", "negation", "distribution", "weighted"]
+        ks = [0, 1, 2, 3]
+        jobs = [
+            (bs[i], models[i % len(models)], ks[i % len(ks)])
+            for i in range(self.CLIENTS)
+        ]
+        results: list = [None] * len(jobs)
+        errors: list = []
+        with BackgroundService(backend="serial", batch_window=0.01) as bg:
+            host, port = bg.host, bg.port
+
+            def hit(index: int) -> None:
+                try:
+                    b, model, k = jobs[index]
+                    results[index] = ServiceClient(host, port).disclosure(
+                        b, k, model=model, exact=exact
+                    )
+                except BaseException as exc:  # surfaces in the main thread
+                    errors.append(exc)
+
+            threads = [
+                threading.Thread(target=hit, args=(i,)) for i in range(len(jobs))
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=120)
+        assert not errors
+        engine = DisclosureEngine(exact=exact)
+        for (b, model, k), served in zip(jobs, results):
+            assert served == engine.evaluate(b, k, model=model), (
+                f"served value diverged for {model} k={k}"
+            )
+
+    def test_concurrent_singles_coalesce_into_one_batch(self):
+        bs = _random_bucketizations(self.CLIENTS, seed=7)
+        with BackgroundService(backend="serial", batch_window=0.25) as bg:
+            host, port = bg.host, bg.port
+            barrier = threading.Barrier(self.CLIENTS)
+
+            def hit(index: int) -> None:
+                barrier.wait(timeout=60)
+                ServiceClient(host, port).disclosure(bs[index], 2)
+
+            threads = [
+                threading.Thread(target=hit, args=(i,))
+                for i in range(self.CLIENTS)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=120)
+            stats = bg.client().stats()["service"]
+        assert stats["single_requests"] == self.CLIENTS
+        # All singles arrived within the batch window, so at least one real
+        # coalesced batch formed (and no request was dropped).
+        assert stats["coalesced_batches"] >= 1
+        assert stats["max_coalesced"] >= 2
+        assert (
+            stats["coalesced_singles"] + stats["single_requests"]
+            >= self.CLIENTS
+        )
+
+    def test_coalesced_identical_requests_compute_once(self, figure3_like):
+        """N concurrent identical singles: one unique plane key, so the
+        engine evaluates once and everyone gets the same bits."""
+        n = 6
+        with BackgroundService(backend="serial", batch_window=0.25) as bg:
+            host, port = bg.host, bg.port
+            barrier = threading.Barrier(n)
+            values: list = [None] * n
+
+            def hit(index: int) -> None:
+                barrier.wait(timeout=60)
+                values[index] = ServiceClient(host, port).disclosure(
+                    figure3_like, 3
+                )
+
+            threads = [
+                threading.Thread(target=hit, args=(i,)) for i in range(n)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=120)
+            engine_stats = bg.client().stats()["engines"]["float"]["stats"]
+        direct = DisclosureEngine().evaluate(figure3_like, 3)
+        assert values == [direct] * n
+        # evaluate_many counts one evaluation per requested series entry,
+        # but the unique-key dedup means the model ran at most twice (once
+        # for any pre-window solo dispatch, once for the coalesced rest).
+        assert engine_stats["misses"] <= 2
+
+
+# ---------------------------------------------------------------------------
+# Malformed requests: 4xx paths
+# ---------------------------------------------------------------------------
+def _raw_request(
+    host: str, port: int, method: str, path: str, body: bytes | None = None
+) -> tuple[int, dict]:
+    connection = HTTPConnection(host, port, timeout=30)
+    try:
+        connection.request(
+            method, path, body=body, headers={"Content-Type": "application/json"}
+        )
+        response = connection.getresponse()
+        payload = json.loads(response.read() or b"{}")
+        return response.status, payload
+    finally:
+        connection.close()
+
+
+class TestMalformedRequests:
+    def test_unknown_path_is_404(self, service):
+        status, payload = _raw_request(service.host, service.port, "GET", "/nope")
+        assert status == 404
+        assert "error" in payload
+
+    def test_wrong_method_is_405(self, service):
+        status, payload = _raw_request(
+            service.host, service.port, "GET", "/disclosure"
+        )
+        assert status == 405
+        assert "error" in payload
+
+    def test_invalid_json_is_400(self, service):
+        status, payload = _raw_request(
+            service.host, service.port, "POST", "/disclosure", b"{not json"
+        )
+        assert status == 400
+        assert "error" in payload
+
+    def test_non_object_body_is_400(self, service):
+        status, _ = _raw_request(
+            service.host, service.port, "POST", "/disclosure", b"[1, 2, 3]"
+        )
+        assert status == 400
+
+    @pytest.mark.parametrize(
+        "body",
+        [
+            {},  # missing everything
+            {"buckets": [["a"]], "k": "three"},  # k wrong type
+            {"buckets": [["a"]], "k": -1},  # negative power
+            {"buckets": [["a"]], "k": True},  # bool is not an int
+            {"buckets": [], "k": 1},  # empty bucketization
+            {"buckets": [[]], "k": 1},  # empty bucket
+            {"buckets": [[{"v": 1}]], "k": 1},  # non-scalar value
+            {"buckets": [["a"]], "k": 1, "model": "martian"},  # unknown model
+            {"buckets": [["a"]], "k": 1, "exact": "yes"},  # exact wrong type
+            {"bucketizations": [[["a"]]], "ks": []},  # batch with empty ks
+            {"bucketizations": [], "ks": [1]},  # empty batch
+        ],
+    )
+    def test_bad_disclosure_bodies_are_400(self, service, body):
+        status, payload = _raw_request(
+            service.host,
+            service.port,
+            "POST",
+            "/disclosure",
+            json.dumps(body).encode(),
+        )
+        assert status == 400
+        assert "error" in payload
+
+    @pytest.mark.parametrize(
+        "body",
+        [
+            {"buckets": [["a", "b"]], "k": 1, "c": 0.0},  # c out of range
+            {"buckets": [["a", "b"]], "k": 1, "c": 1.5},  # c above bound
+            {"buckets": [["a", "b"]], "k": 1},  # missing c
+        ],
+    )
+    def test_bad_safety_bodies_are_400(self, service, body):
+        status, _ = _raw_request(
+            service.host,
+            service.port,
+            "POST",
+            "/safety",
+            json.dumps(body).encode(),
+        )
+        assert status == 400
+
+    def test_bad_compare_models_is_400(self, service):
+        status, _ = _raw_request(
+            service.host,
+            service.port,
+            "POST",
+            "/compare",
+            json.dumps(
+                {"buckets": [["a", "b"]], "ks": [1], "models": ["martian"]}
+            ).encode(),
+        )
+        assert status == 400
+
+    def test_errors_do_not_poison_the_service(self, service, figure3_like):
+        client = service.client()
+        with pytest.raises(ServiceError):
+            client.disclosure(figure3_like, -1)
+        # The engine thread and coalescer survive a failed request.
+        assert client.disclosure(figure3_like, 1) == DisclosureEngine().evaluate(
+            figure3_like, 1
+        )
+
+
+# ---------------------------------------------------------------------------
+# Process lifecycle: repro serve + SIGTERM + cache persistence
+# ---------------------------------------------------------------------------
+def _boot_serve(prefix: Path) -> tuple[subprocess.Popen, int, str]:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    process = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.cli",
+            "serve",
+            "--port",
+            "0",
+            "--backend",
+            "serial",
+            "--cache-file",
+            str(prefix),
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        env=env,
+        cwd=REPO_ROOT,
+    )
+    try:
+        port_line = process.stdout.readline()
+        cache_line = process.stdout.readline()
+        match = re.search(r"http://[^:]+:(\d+)", port_line)
+        assert match, f"no port in {port_line!r}"
+        return process, int(match.group(1)), cache_line
+    except BaseException:
+        process.kill()
+        raise
+
+
+@pytest.mark.skipif(
+    not hasattr(signal, "SIGTERM"), reason="needs POSIX signals"
+)
+def test_serve_lifecycle_sigterm_persists_cache(tmp_path, figure3_like):
+    prefix = tmp_path / "svc-cache"
+
+    # Boot 1: empty cache, serve a couple of requests, SIGTERM.
+    process, port, cache_line = _boot_serve(prefix)
+    try:
+        assert "loaded 0 float / 0 exact" in cache_line
+        client = ServiceClient("127.0.0.1", port)
+        float_value = client.disclosure(figure3_like, 2)
+        exact_value = client.disclosure(figure3_like, 2, exact=True)
+        assert float_value == DisclosureEngine().evaluate(figure3_like, 2)
+        assert exact_value == DisclosureEngine(exact=True).evaluate(
+            figure3_like, 2
+        )
+    finally:
+        process.send_signal(signal.SIGTERM)
+        out, err = process.communicate(timeout=60)
+    assert process.returncode == 0, err
+    assert "saved" in out
+    assert (tmp_path / "svc-cache.float.pkl").exists()
+    assert (tmp_path / "svc-cache.exact.pkl").exists()
+
+    # Boot 2: the saved caches load, and the same question is a cache hit.
+    process, port, cache_line = _boot_serve(prefix)
+    try:
+        assert re.search(r"loaded [1-9]\d* float / [1-9]\d* exact", cache_line)
+        client = ServiceClient("127.0.0.1", port)
+        stats = client.stats()
+        assert stats["engines"]["float"]["loaded_entries"] >= 1
+        assert stats["engines"]["exact"]["loaded_entries"] >= 1
+        before = stats["engines"]["float"]["stats"]["cache_hits"]
+        assert client.disclosure(figure3_like, 2) == float_value
+        after = client.stats()["engines"]["float"]["stats"]["cache_hits"]
+        assert after == before + 1  # answered from the reloaded cache
+    finally:
+        process.send_signal(signal.SIGTERM)
+        _, err = process.communicate(timeout=60)
+    assert process.returncode == 0, err
+
+
+def test_background_service_cache_roundtrip(tmp_path, figure3_like):
+    """The in-process lifecycle: stop saves, a fresh service loads."""
+    prefix = tmp_path / "bg-cache"
+    with BackgroundService(
+        backend="serial", batch_window=0.0, cache_path=prefix
+    ) as bg:
+        first = bg.client().disclosure(figure3_like, 3, model="negation")
+    assert (tmp_path / "bg-cache.float.pkl").exists()
+    with BackgroundService(
+        backend="serial", batch_window=0.0, cache_path=prefix
+    ) as bg:
+        client = bg.client()
+        stats = client.stats()
+        assert stats["engines"]["float"]["loaded_entries"] >= 1
+        assert client.disclosure(figure3_like, 3, model="negation") == first
+        after = client.stats()["engines"]["float"]["stats"]
+        assert after["cache_hits"] >= 1
