@@ -1,11 +1,16 @@
-"""The serving layer under load: latency, throughput, coalescing, with JSON.
+"""The serving tier under load: latency, throughput, coalescing, sharding.
 
-Three claims the service makes over direct engine calls, measured against
-an in-process :class:`~repro.service.server.BackgroundService`:
+Five claims the serving layer makes over direct engine calls, measured
+against in-process :class:`~repro.service.server.BackgroundService` /
+:class:`~repro.service.router.BackgroundRouter` deployments:
 
 - **warm requests are cheap**: after the first (cold: engine + HTTP stack
   + cache fill) request, repeats of the same question are answered from
   the shared cache — ``warm_ms`` should sit far under ``cold_ms``;
+- **keep-alive beats request-per-connection**: the PR-4 protocol paid a
+  TCP handshake per request and documented that as its throughput cap;
+  the pooled keep-alive client sends the same questions over one reused
+  connection (``keepalive.speedup``);
 - **batching beats request-per-question**: one ``/disclosure`` batch body
   over M bucketizations vs. M sequential single requests
   (``batch_speedup``), since the batch pays one HTTP exchange and one
@@ -13,9 +18,14 @@ an in-process :class:`~repro.service.server.BackgroundService`:
 - **concurrent singles coalesce**: clients firing the same question
   concurrently are served from one engine batch — ``/stats`` records the
   coalesced batches, and the answers stay bit-identical to a direct
-  :class:`~repro.engine.engine.DisclosureEngine`.
+  :class:`~repro.engine.engine.DisclosureEngine`;
+- **sharding preserves the bits**: a 3-shard plane-key-routed deployment
+  answers a concurrent workload identically to the single service and to
+  the direct engine (``sharded.identical_results``; the req/s sections
+  track the topology cost/win across PRs — on a 1-core CI box the extra
+  processes are overhead, which is why no speedup is asserted).
 
-``BENCH_service.json`` records all three (schema-checked in CI via
+``BENCH_service.json`` records all five (schema-checked in CI via
 ``scripts/check_bench_schema.py``; ``BENCH_TINY=1`` shrinks the workload).
 """
 
@@ -29,10 +39,13 @@ from reporting import tiny_mode, write_bench_json
 
 from repro.bucketization import Bucketization
 from repro.engine import DisclosureEngine
-from repro.service import BackgroundService, ServiceClient
+from repro.service import BackgroundRouter, BackgroundService, ServiceClient
 
 K = 3
 CONCURRENT_CLIENTS = 8
+SHARDS = 3
+#: Client threads for the sharded-vs-single comparison.
+HAMMER_THREADS = 4
 
 
 def _workload() -> list[Bucketization]:
@@ -55,6 +68,36 @@ def _sequential_singles(client: ServiceClient, bs, k: int) -> list:
     return [client.disclosure(b, k) for b in bs]
 
 
+def _hammer(host: str, port: int, bs, k: int, passes: int) -> tuple[float, list]:
+    """``HAMMER_THREADS`` pooled clients each sweep the question list
+    ``passes`` times; returns (wall seconds, every thread's answers)."""
+    results: list = [None] * HAMMER_THREADS
+    barrier = threading.Barrier(HAMMER_THREADS + 1)
+
+    def worker(index: int) -> None:
+        client = ServiceClient(host, port, pool_size=2)
+        barrier.wait(timeout=60)
+        answers = []
+        for _ in range(passes):
+            for b in bs:
+                answers.append(client.disclosure(b, k))
+        results[index] = answers
+        client.close()
+
+    threads = [
+        threading.Thread(target=worker, args=(i,))
+        for i in range(HAMMER_THREADS)
+    ]
+    for thread in threads:
+        thread.start()
+    barrier.wait(timeout=60)
+    start = time.perf_counter()
+    for thread in threads:
+        thread.join(timeout=300)
+    elapsed = time.perf_counter() - start
+    return elapsed, results
+
+
 def test_service_latency_throughput_coalescing(benchmark):
     bs = _workload()
     repeats = 20 if tiny_mode() else 200
@@ -67,7 +110,8 @@ def test_service_latency_throughput_coalescing(benchmark):
         cold_value = client.disclosure(bs[0], K)
         cold_s = time.perf_counter() - start
 
-        # Warm: the same question repeatedly (pure cache + HTTP cost).
+        # Warm: the same question repeatedly (pure cache + HTTP cost),
+        # through the pooled keep-alive client — the default path.
         def warm_round() -> list:
             return [client.disclosure(bs[0], K) for _ in range(repeats)]
 
@@ -77,6 +121,36 @@ def test_service_latency_throughput_coalescing(benchmark):
         warm_s = warm_elapsed / repeats
         requests_per_s = repeats / warm_elapsed if warm_elapsed > 0 else 0.0
         assert set(warm_values) == {cold_value}
+
+        # Keep-alive vs. one-connection-per-request on the same warm
+        # question: same server, same cache hits, only the transport
+        # differs — the delta is pure TCP setup/teardown.
+        keepalive_client = ServiceClient(bg.host, bg.port, pool_size=2)
+        per_connection_client = ServiceClient(
+            bg.host, bg.port, keep_alive=False
+        )
+        start = time.perf_counter()
+        for _ in range(repeats):
+            keepalive_client.disclosure(bs[0], K)
+        keepalive_elapsed = time.perf_counter() - start
+        start = time.perf_counter()
+        for _ in range(repeats):
+            per_connection_client.disclosure(bs[0], K)
+        per_connection_elapsed = time.perf_counter() - start
+        keepalive_client.close()
+        keepalive_rps = (
+            repeats / keepalive_elapsed if keepalive_elapsed > 0 else 0.0
+        )
+        per_connection_rps = (
+            repeats / per_connection_elapsed
+            if per_connection_elapsed > 0
+            else 0.0
+        )
+        keepalive_speedup = (
+            per_connection_elapsed / keepalive_elapsed
+            if keepalive_elapsed > 0
+            else float("inf")
+        )
 
         # Request-per-question vs. one batch body over fresh questions.
         start = time.perf_counter()
@@ -114,15 +188,42 @@ def test_service_latency_throughput_coalescing(benchmark):
         concurrent_s = time.perf_counter() - start
         service_stats = bg.client().stats()["service"]
 
+    # Sharded vs. single under the same concurrent pooled-client hammer:
+    # HAMMER_THREADS clients sweep the fresh question list (k = K+3).
+    hammer_passes = 2 if tiny_mode() else 4
+    hammer_requests = HAMMER_THREADS * hammer_passes * len(bs)
+    with BackgroundService(backend="serial", batch_window=0.0) as bg:
+        single_elapsed, single_answers = _hammer(
+            bg.host, bg.port, bs, K + 3, hammer_passes
+        )
+    with BackgroundRouter(
+        shards=SHARDS, backend="serial", batch_window=0.0
+    ) as bg:
+        sharded_elapsed, sharded_answers = _hammer(
+            bg.host, bg.port, bs, K + 3, hammer_passes
+        )
+        router_stats = bg.client().stats()["router"]
+    single_rps = (
+        hammer_requests / single_elapsed if single_elapsed > 0 else 0.0
+    )
+    sharded_rps = (
+        hammer_requests / sharded_elapsed if sharded_elapsed > 0 else 0.0
+    )
+
     # Ground truth: a direct engine on the same questions.
     engine = DisclosureEngine()
+    expected_sweep = [engine.evaluate(b, K + 3) for b in bs] * hammer_passes
     identical = (
         cold_value == engine.evaluate(bs[0], K)
         and sequential_values == [engine.evaluate(b, K + 1) for b in bs]
         and batch_values == [engine.evaluate(b, K + 2) for b in bs]
         and concurrent_values == [engine.evaluate(bs[0], K)] * CONCURRENT_CLIENTS
     )
+    sharded_identical = all(
+        answers == expected_sweep for answers in sharded_answers
+    ) and all(answers == expected_sweep for answers in single_answers)
     assert identical
+    assert sharded_identical
 
     coalesced_batches = service_stats["coalesced_batches"]
     assert coalesced_batches >= 1, "no concurrent singles were coalesced"
@@ -130,6 +231,8 @@ def test_service_latency_throughput_coalescing(benchmark):
 
     benchmark.extra_info["requests_per_s"] = round(requests_per_s, 1)
     benchmark.extra_info["batch_speedup"] = round(batch_speedup, 3)
+    benchmark.extra_info["keepalive_speedup"] = round(keepalive_speedup, 3)
+    benchmark.extra_info["sharded_requests_per_s"] = round(sharded_rps, 1)
 
     write_bench_json(
         "service",
@@ -151,5 +254,21 @@ def test_service_latency_throughput_coalescing(benchmark):
             "coalesced_singles": service_stats["coalesced_singles"],
             "max_coalesced": service_stats["max_coalesced"],
             "identical_results": identical,
+            "keepalive": {
+                "warm_repeats": repeats,
+                "requests_per_s": round(keepalive_rps, 1),
+                "per_connection_requests_per_s": round(per_connection_rps, 1),
+                "speedup": round(keepalive_speedup, 3),
+            },
+            "sharded": {
+                "shards": SHARDS,
+                "clients": HAMMER_THREADS,
+                "requests": hammer_requests,
+                "requests_per_s": round(sharded_rps, 1),
+                "single_requests_per_s": round(single_rps, 1),
+                "split_batches": router_stats["split_batches"],
+                "restarts": router_stats["restarts"],
+                "identical_results": sharded_identical,
+            },
         },
     )

@@ -1,13 +1,28 @@
 #!/usr/bin/env python
-"""Validate BENCH_*.json benchmark artifacts against their schema.
+"""Validate BENCH_*.json benchmark artifacts — schema and cross-run drift.
 
 CI's bench-smoke job runs the JSON-emitting benchmarks at tiny sizes and
 then this checker, so schema drift (a renamed or dropped key, a version
 bump without a matching update here) fails the build instead of silently
 breaking the cross-PR perf trajectory.
 
-Usage: python scripts/check_bench_schema.py BENCH_engine.json \
-    BENCH_parallel.json BENCH_backend.json BENCH_service.json
+Two modes:
+
+``check`` (the default)
+    Validate each artifact against its required key set and invariants::
+
+        python scripts/check_bench_schema.py BENCH_engine.json \\
+            BENCH_parallel.json BENCH_backend.json BENCH_service.json
+
+``--compare BASELINE.json FRESH.json``
+    The CI regression gate: validate FRESH as above, then require that
+    every key (recursively, through nested sections) present in the
+    committed BASELINE is still present in FRESH — a dropped section is a
+    build failure, because it silently truncates the perf trajectory.
+    Timing-valued fields (``*_s``, ``*_ms``, ``*requests_per_s``,
+    ``*speedup``) are compared **tolerantly** (an order-of-magnitude
+    band, machines differ) and skipped entirely when either record was
+    produced under ``BENCH_TINY`` — tiny workloads measure nothing.
 """
 
 from __future__ import annotations
@@ -16,6 +31,11 @@ import json
 import sys
 
 SCHEMA_VERSION = 1
+
+#: Ratio beyond which a (non-tiny) timing comparison fails. Deliberately
+#: generous: this gate exists to catch pathological regressions and unit
+#: mixups (ms recorded as s), not 20% noise between machines.
+TIMING_TOLERANCE = 10.0
 
 #: Required keys per benchmark name (the shared envelope plus specifics).
 ENVELOPE = {"benchmark", "schema_version", "python", "tiny"}
@@ -77,6 +97,8 @@ REQUIRED = {
         "coalesced_singles",
         "max_coalesced",
         "identical_results",
+        "keepalive",
+        "sharded",
     },
 }
 
@@ -89,12 +111,34 @@ PERSISTENT_KEYS = BACKEND_KEYS | {
     "max_workers_used",
 }
 
+#: Keys required inside the service record's nested sections.
+KEEPALIVE_KEYS = {
+    "warm_repeats",
+    "requests_per_s",
+    "per_connection_requests_per_s",
+    "speedup",
+}
+SHARDED_KEYS = {
+    "shards",
+    "clients",
+    "requests",
+    "requests_per_s",
+    "single_requests_per_s",
+    "split_batches",
+    "restarts",
+    "identical_results",
+}
+
+
+def _load(path: str):
+    with open(path) as handle:
+        return json.load(handle)
+
 
 def check(path: str) -> list[str]:
     errors: list[str] = []
     try:
-        with open(path) as handle:
-            record = json.load(handle)
+        record = _load(path)
     except (OSError, json.JSONDecodeError) as exc:
         return [f"{path}: unreadable ({exc})"]
     name = record.get("benchmark")
@@ -120,7 +164,9 @@ def check(path: str) -> list[str]:
 
 def _check_service(path: str, record: dict) -> list[str]:
     """The service record's invariants: served values bit-identical to the
-    direct engine, and concurrent singles actually coalesced."""
+    direct engine (single, batch, keep-alive and sharded topologies),
+    concurrent singles actually coalesced, and the keep-alive/sharded
+    req/s sections present and complete."""
     errors: list[str] = []
     if record.get("identical_results") is not True:
         errors.append(f"{path}: service answers diverged from the engine")
@@ -129,6 +175,22 @@ def _check_service(path: str, record: dict) -> list[str]:
         errors.append(
             f"{path}: no coalesced batches recorded "
             f"(coalesced_batches={batches!r})"
+        )
+    for section, required in (
+        ("keepalive", KEEPALIVE_KEYS),
+        ("sharded", SHARDED_KEYS),
+    ):
+        entry = record.get(section)
+        if not isinstance(entry, dict):
+            errors.append(f"{path}: {section!r} must be an object")
+            continue
+        missing = sorted(required - set(entry))
+        if missing:
+            errors.append(f"{path}: {section} missing keys {missing}")
+    sharded = record.get("sharded")
+    if isinstance(sharded, dict) and sharded.get("identical_results") is not True:
+        errors.append(
+            f"{path}: sharded deployment diverged from the single engine"
         )
     return errors
 
@@ -168,10 +230,111 @@ def _check_backend(path: str, record: dict) -> list[str]:
     return errors
 
 
+# ---------------------------------------------------------------------------
+# --compare: the regression gate between a committed baseline and a fresh run
+# ---------------------------------------------------------------------------
+def _is_timing_key(key: str) -> bool:
+    return (
+        key.endswith("_s")
+        or key.endswith("_ms")
+        or key.endswith("requests_per_s")
+        or key.endswith("speedup")
+    )
+
+
+def _missing_keys(baseline, fresh, prefix: str = "") -> list[str]:
+    """Every key path present in ``baseline`` but absent from ``fresh``."""
+    missing: list[str] = []
+    for key, value in baseline.items():
+        path = f"{prefix}{key}"
+        if key not in fresh:
+            missing.append(path)
+        elif isinstance(value, dict) and isinstance(fresh[key], dict):
+            missing.extend(_missing_keys(value, fresh[key], f"{path}."))
+    return missing
+
+
+def _timing_drift(baseline, fresh, prefix: str = "") -> list[str]:
+    """Tolerant timing comparison over shared numeric timing fields."""
+    drifted: list[str] = []
+    for key, base_value in baseline.items():
+        path = f"{prefix}{key}"
+        fresh_value = fresh.get(key)
+        if isinstance(base_value, dict) and isinstance(fresh_value, dict):
+            drifted.extend(_timing_drift(base_value, fresh_value, f"{path}."))
+            continue
+        if not _is_timing_key(key):
+            continue
+        if not isinstance(base_value, (int, float)) or not isinstance(
+            fresh_value, (int, float)
+        ):
+            continue
+        if base_value <= 0 or fresh_value <= 0:
+            continue  # degenerate measurements carry no signal
+        ratio = fresh_value / base_value
+        if ratio > TIMING_TOLERANCE or ratio < 1.0 / TIMING_TOLERANCE:
+            drifted.append(
+                f"{path}: {fresh_value} vs baseline {base_value} "
+                f"(x{ratio:.2f}, tolerance x{TIMING_TOLERANCE:g})"
+            )
+    return drifted
+
+
+def compare(baseline_path: str, fresh_path: str) -> list[str]:
+    """The ``--compare`` mode: schema-check FRESH, then diff BASELINE->FRESH."""
+    errors = check(fresh_path)
+    try:
+        baseline = _load(baseline_path)
+    except (OSError, json.JSONDecodeError) as exc:
+        return errors + [f"{baseline_path}: unreadable baseline ({exc})"]
+    try:
+        fresh = _load(fresh_path)
+    except (OSError, json.JSONDecodeError):
+        return errors  # already reported by check()
+    if baseline.get("benchmark") != fresh.get("benchmark"):
+        errors.append(
+            f"{fresh_path}: benchmark {fresh.get('benchmark')!r} does not "
+            f"match baseline {baseline.get('benchmark')!r}"
+        )
+        return errors
+    if baseline.get("schema_version") != fresh.get("schema_version"):
+        errors.append(
+            f"{fresh_path}: schema_version {fresh.get('schema_version')!r} "
+            f"!= baseline {baseline.get('schema_version')!r}"
+        )
+    missing = _missing_keys(baseline, fresh)
+    if missing:
+        errors.append(
+            f"{fresh_path}: keys present in baseline {baseline_path} but "
+            f"missing here: {missing}"
+        )
+    if baseline.get("tiny") or fresh.get("tiny"):
+        return errors  # tiny workloads measure nothing; skip timings
+    errors.extend(
+        f"{fresh_path}: timing drift at {entry}"
+        for entry in _timing_drift(baseline, fresh)
+    )
+    return errors
+
+
 def main(argv: list[str]) -> int:
     if not argv:
         print(__doc__.strip(), file=sys.stderr)
         return 2
+    if argv[0] == "--compare":
+        if len(argv) != 3:
+            print(
+                "usage: check_bench_schema.py --compare BASELINE.json "
+                "FRESH.json",
+                file=sys.stderr,
+            )
+            return 2
+        errors = compare(argv[1], argv[2])
+        for error in errors:
+            print(f"bench-compare error: {error}", file=sys.stderr)
+        if not errors:
+            print(f"ok: {argv[2]} matches baseline {argv[1]}")
+        return 1 if errors else 0
     errors = [error for path in argv for error in check(path)]
     for error in errors:
         print(f"schema error: {error}", file=sys.stderr)

@@ -22,8 +22,12 @@ Subcommands
 ``serve``
     Run the JSON-over-HTTP disclosure service
     (:class:`repro.service.server.DisclosureService`): long-lived engines in
-    both arithmetic modes, request coalescing, cache persistence across
-    restarts, graceful SIGTERM shutdown.
+    both arithmetic modes, keep-alive connections, request coalescing, cache
+    persistence across restarts, graceful SIGTERM shutdown. With
+    ``--shards N`` (N >= 2) it instead runs the sharded tier
+    (:class:`repro.service.router.ShardRouter`): N child service processes
+    behind a plane-key hash router with restart-and-replay supervision and
+    one persisted cache file pair per shard.
 
 Every command accepts ``--rows``/``--seed`` to control the synthetic dataset
 or ``--csv`` to use a file produced by ``generate`` (or the real Adult data
@@ -319,6 +323,28 @@ def build_parser() -> argparse.ArgumentParser:
             "request before batching (default 0.002)"
         ),
     )
+    p_serve.add_argument(
+        "--shards",
+        type=_positive_int,
+        default=1,
+        metavar="N",
+        help=(
+            "run N service processes behind a plane-key hash router "
+            "(cache-affinity routing, restart-and-replay supervision, "
+            "per-shard cache files); 1 = a single in-process service "
+            "(default 1)"
+        ),
+    )
+    p_serve.add_argument(
+        "--max-connections",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help=(
+            "cap concurrently open client connections (503 beyond the cap; "
+            "default unbounded)"
+        ),
+    )
     _add_engine_options(p_serve)
     # A service is the persistent backend's home workload — but the backend
     # only engages when workers > 1 (the engine's serial path wins
@@ -552,31 +578,40 @@ def _cmd_estimate(args: argparse.Namespace) -> int:
 
 
 async def _serve_until_signalled(args: argparse.Namespace) -> int:
+    import asyncio
     import signal
 
-    from repro.service.server import DisclosureService
+    if args.shards > 1:
+        from repro.service.router import ShardRouter
 
-    service = DisclosureService(
-        host=args.host,
-        port=args.port,
-        backend=args.backend,
-        workers=args.workers,
-        cache_limit=args.cache_limit,
-        cache_path=args.cache_file,
-        batch_window=args.batch_window,
-    )
-    await service.start()
-    # The port line goes out first (and flushed) so wrappers binding
-    # --port 0 can read the ephemeral port back.
-    print(f"serving on http://{service.host}:{service.port}", flush=True)
-    loaded = service.loaded_entries
-    print(
-        f"cache: loaded {loaded['float']} float / {loaded['exact']} exact "
-        f"entries; backend={args.backend}, workers={args.workers}",
-        flush=True,
-    )
-    import asyncio
+        service = ShardRouter(
+            host=args.host,
+            port=args.port,
+            shards=args.shards,
+            backend=args.backend,
+            workers=args.workers,
+            cache_limit=args.cache_limit,
+            cache_path=args.cache_file,
+            batch_window=args.batch_window,
+            max_connections=args.max_connections,
+        )
+    else:
+        from repro.service.server import DisclosureService
 
+        service = DisclosureService(
+            host=args.host,
+            port=args.port,
+            backend=args.backend,
+            workers=args.workers,
+            cache_limit=args.cache_limit,
+            cache_path=args.cache_file,
+            batch_window=args.batch_window,
+            max_connections=args.max_connections,
+        )
+    # Handlers go in BEFORE the port line is printed: a supervisor (the
+    # shard router, a test harness) treats the port line as "booted" and
+    # may SIGTERM immediately — which must always mean a graceful,
+    # cache-saving shutdown, never the default handler.
     stop = asyncio.Event()
     loop = asyncio.get_running_loop()
     for signum in (signal.SIGTERM, signal.SIGINT):
@@ -584,11 +619,38 @@ async def _serve_until_signalled(args: argparse.Namespace) -> int:
             loop.add_signal_handler(signum, stop.set)
         except (NotImplementedError, RuntimeError):  # non-Unix event loops
             signal.signal(signum, lambda *_: stop.set())
+
+    await service.start()
+    # The port line goes out first (and flushed) so wrappers binding
+    # --port 0 can read the ephemeral port back.
+    print(f"serving on http://{service.host}:{service.port}", flush=True)
+    if args.shards > 1:
+        ports = [shard.port for shard in service.shards]
+        print(
+            f"router: {args.shards} shards on ports {ports}; "
+            f"backend={args.backend}, workers={args.workers} per shard",
+            flush=True,
+        )
+    else:
+        loaded = service.loaded_entries
+        print(
+            f"cache: loaded {loaded['float']} float / {loaded['exact']} exact "
+            f"entries; backend={args.backend}, workers={args.workers}",
+            flush=True,
+        )
+
     await stop.wait()
     print("shutting down...", flush=True)
     await service.stop()
-    saved = service.saved_entries
-    if args.cache_file is not None:
+    if args.shards > 1:
+        if args.cache_file is not None:
+            print(
+                f"cache: each shard saved to "
+                f"{args.cache_file}.shard<i>.*.pkl",
+                flush=True,
+            )
+    elif args.cache_file is not None:
+        saved = service.saved_entries
         print(
             f"cache: saved {saved['float']} float / {saved['exact']} exact "
             f"entries to {args.cache_file}.*.pkl",

@@ -4,28 +4,47 @@ PR 3 built the pieces a long-running service needs — a bounded LRU cache
 with :meth:`~repro.engine.engine.DisclosureEngine.save_cache` /
 ``load_cache`` persistence, and execution backends whose lifecycle
 (``PersistentBackend(idle_timeout=...)``, ``engine.close()``) matches a
-server's. This package is that server:
+server's. This package is that server, and its horizontal scaling tier:
 
 - :mod:`repro.service.wire` — the JSON wire format (lossless in both
-  arithmetic modes: floats as JSON numbers, Fractions as ``"num/den"``).
+  arithmetic modes: floats as JSON numbers, Fractions as ``"num/den"``;
+  non-finite floats are rejected at encode time).
+- :mod:`repro.service.httpbase` — the shared keep-alive HTTP/1.1 dialect:
+  per-connection request loops, read timeouts, connection caps.
 - :mod:`repro.service.server` — :class:`DisclosureService`, a stdlib-only
   asyncio HTTP server with request coalescing (concurrent singles become
   one ``evaluate_many`` batch on the signature plane), graceful
   load-cache/save-cache lifecycle, and :class:`BackgroundService` for
   in-process embedding.
+- :mod:`repro.service.router` — :class:`ShardRouter`, N supervised
+  service processes behind a plane-key hash router (cache-affinity
+  routing, lossless batch split/merge, restart-and-replay, aggregated
+  stats), plus :class:`BackgroundRouter`.
 - :mod:`repro.service.client` — :class:`ServiceClient`, the blocking
-  stdlib client whose answers are bit-identical to direct engine calls.
+  stdlib client with a bounded keep-alive connection pool whose answers
+  are bit-identical to direct engine calls.
 
-Start one with ``repro serve`` (see the CLI) or embed it::
+Start one with ``repro serve`` (``--shards N`` for the sharded topology)
+or embed it::
 
-    from repro.service import BackgroundService
+    from repro.service import BackgroundRouter, BackgroundService
 
     with BackgroundService(backend="persistent", workers=4) as bg:
         client = bg.client()
         client.disclosure(bucketization, k=3, model="negation")
+
+    with BackgroundRouter(shards=3) as bg:
+        bg.client().disclosure(bucketization, k=3)  # same bits, 3 processes
 """
 
 from repro.service.client import ServiceClient, ServiceError
+from repro.service.httpbase import ConnectionStats, JsonHttpServer
+from repro.service.router import (
+    BackgroundRouter,
+    RouterStats,
+    Shard,
+    ShardRouter,
+)
 from repro.service.server import (
     BackgroundService,
     DisclosureService,
@@ -44,6 +63,12 @@ __all__ = [
     "DisclosureService",
     "BackgroundService",
     "ServiceStats",
+    "ShardRouter",
+    "BackgroundRouter",
+    "RouterStats",
+    "Shard",
+    "JsonHttpServer",
+    "ConnectionStats",
     "ServiceClient",
     "ServiceError",
     "encode_value",

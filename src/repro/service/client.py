@@ -1,9 +1,16 @@
-"""A thin stdlib client for the disclosure service.
+"""A thin stdlib client for the disclosure service, with connection pooling.
 
 :class:`ServiceClient` speaks the wire format of
-:mod:`repro.service.wire` over :mod:`http.client` — no dependencies, one
-connection per request (the server closes connections after each
-response). Values come back **bit-identical** to direct
+:mod:`repro.service.wire` over :mod:`http.client` — no dependencies. Since
+the server speaks keep-alive HTTP/1.1, the client keeps a small bounded
+pool of open connections and reuses them across calls (``pool_size``
+idle connections; a thread that finds the pool empty opens a fresh one, so
+concurrent callers never block on the pool). A pooled connection that went
+stale — the server restarted, or an idle timeout closed it — is detected
+on first use and the request is transparently replayed on a fresh
+connection, so callers never see the reconnect.
+
+Values come back **bit-identical** to direct
 :class:`~repro.engine.engine.DisclosureEngine` calls: floats survive the
 JSON round trip exactly and exact-mode Fractions travel as ``"num/den"``
 strings, so tests can assert ``client.disclosure(...) ==
@@ -14,6 +21,7 @@ from __future__ import annotations
 
 import http.client
 import json
+import threading
 from collections.abc import Sequence
 from fractions import Fraction
 from typing import Any
@@ -22,6 +30,17 @@ from repro.errors import ReproError
 from repro.service.wire import bucket_lists, decode_series, decode_value
 
 __all__ = ["ServiceError", "ServiceClient"]
+
+#: Exceptions that mark a pooled connection as stale (safe to replay on a
+#: fresh connection: the request never produced a response).
+_STALE_ERRORS = (
+    http.client.BadStatusLine,
+    http.client.CannotSendRequest,
+    http.client.ResponseNotReady,
+    ConnectionError,
+    BrokenPipeError,
+    OSError,
+)
 
 
 class ServiceError(ReproError):
@@ -39,14 +58,73 @@ class ServiceClient:
     ``bucketization`` arguments accept either a
     :class:`~repro.bucketization.bucketization.Bucketization` or raw
     per-bucket value lists (the wire shape).
+
+    Parameters
+    ----------
+    pool_size:
+        Maximum idle keep-alive connections retained for reuse (0 with
+        ``keep_alive=True`` still reuses nothing — every request opens a
+        connection). Thread-safe: concurrent callers each pop a pooled
+        connection or open their own.
+    keep_alive:
+        When False, every request sends ``Connection: close`` and the
+        connection is torn down after the response — the PR-4 protocol,
+        kept for benchmarks and debugging.
     """
 
     def __init__(
-        self, host: str = "127.0.0.1", port: int = 8707, *, timeout: float = 60.0
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8707,
+        *,
+        timeout: float = 60.0,
+        pool_size: int = 4,
+        keep_alive: bool = True,
     ) -> None:
+        if pool_size < 0:
+            raise ValueError(f"pool_size must be >= 0, got {pool_size}")
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.keep_alive = keep_alive
+        self.pool_size = pool_size if keep_alive else 0
+        self._pool: list[http.client.HTTPConnection] = []
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Connection pool
+    # ------------------------------------------------------------------
+    def _acquire(self) -> tuple[http.client.HTTPConnection, bool]:
+        """A connection to use: ``(connection, was_pooled)``."""
+        with self._lock:
+            if self._pool:
+                return self._pool.pop(), True
+        return (
+            http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            ),
+            False,
+        )
+
+    def _release(self, connection: http.client.HTTPConnection) -> None:
+        with self._lock:
+            if len(self._pool) < self.pool_size:
+                self._pool.append(connection)
+                return
+        connection.close()
+
+    def close(self) -> None:
+        """Close every pooled connection (the client stays usable)."""
+        with self._lock:
+            pool, self._pool = self._pool, []
+        for connection in pool:
+            connection.close()
+
+    def __enter__(self) -> ServiceClient:
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # Transport
@@ -54,30 +132,51 @@ class ServiceClient:
     def request(
         self, method: str, path: str, payload: dict | None = None
     ) -> dict[str, Any]:
-        """One HTTP exchange; raises :class:`ServiceError` on non-200."""
-        connection = http.client.HTTPConnection(
-            self.host, self.port, timeout=self.timeout
-        )
-        try:
-            body = json.dumps(payload) if payload is not None else None
-            connection.request(
-                method,
-                path,
-                body=body,
-                headers={"Content-Type": "application/json"},
-            )
-            response = connection.getresponse()
-            raw = response.read()
-            status = response.status
-        finally:
-            connection.close()
+        """One HTTP exchange; raises :class:`ServiceError` on non-200.
+
+        Reuses a pooled keep-alive connection when one is available; a
+        stale pooled connection triggers one transparent replay on a fresh
+        connection. Errors on a *fresh* connection propagate (the server
+        really is unreachable).
+        """
+        body = json.dumps(payload) if payload is not None else None
+        headers = {
+            "Content-Type": "application/json",
+            "Connection": "keep-alive" if self.keep_alive else "close",
+        }
+        while True:
+            connection, was_pooled = self._acquire()
+            try:
+                connection.request(method, path, body=body, headers=headers)
+                response = connection.getresponse()
+                raw = response.read()
+                status = response.status
+                reusable = self.keep_alive and not response.will_close
+            except TimeoutError:
+                # The server got the request and is (still) working on it;
+                # replaying would double-execute it. Surface the timeout.
+                connection.close()
+                raise
+            except _STALE_ERRORS:
+                connection.close()
+                if was_pooled:
+                    continue  # replay once on a fresh connection
+                raise
+            if reusable:
+                self._release(connection)
+            else:
+                connection.close()
+            break
         try:
             data = json.loads(raw) if raw else {}
         except json.JSONDecodeError as exc:
             raise ServiceError(status, f"non-JSON response: {exc}") from None
         if status != 200:
             raise ServiceError(
-                status, data.get("error", "unknown error") if isinstance(data, dict) else str(data)
+                status,
+                data.get("error", "unknown error")
+                if isinstance(data, dict)
+                else str(data),
             )
         return data
 

@@ -1,0 +1,715 @@
+"""Horizontal sharding: N disclosure services behind a plane-key hash router.
+
+One :class:`~repro.service.server.DisclosureService` process is capped by
+its single engine thread and by the fact that its plane-keyed cache lives
+in one address space. :class:`ShardRouter` is the scale-out tier the
+ROADMAP names: it supervises ``N`` child service processes (each a plain
+``repro serve`` subprocess with its own engines, coalescer and persisted
+cache file) and routes every request by its **plane key** —
+``(mode, model, k, signature-multiset)``, exactly the engine's cache key —
+so repeated and same-shaped questions always land on the shard that
+already has them cached. Cache locality is not best-effort here; it is
+the routing invariant.
+
+What the router guarantees:
+
+- **bit-identical answers**: the router never computes; it forwards the
+  original request bytes (or, for split batches, a lossless re-encoding)
+  and returns the shard's JSON untouched, so a 3-shard deployment answers
+  exactly like one engine, in both arithmetic modes.
+- **lossless batch split/merge**: a ``/disclosure`` batch is partitioned
+  by each bucketization's plane key, the sub-batches run on their shards
+  concurrently, and the per-bucketization series are reassembled in the
+  original order.
+- **supervision**: shards are health-checked; a dead shard is restarted
+  and the in-flight request **replayed** on the fresh process (counted in
+  ``restarts`` / ``replays``). Shutdown SIGTERMs every shard so each
+  persists its own cache under the shared prefix
+  (``<prefix>.shard<i>.<mode>.pkl``).
+- **aggregated observability**: ``/stats`` merges router counters with
+  every shard's ``/stats``; ``/healthz`` reports per-shard liveness.
+
+The router speaks the same keep-alive HTTP dialect as the shards (both
+subclass :class:`~repro.service.httpbase.JsonHttpServer`) and keeps a
+small keep-alive connection pool **per shard**, so a request costs one
+hop, not one handshake. Start one with ``repro serve --shards N`` or
+embed :class:`BackgroundRouter` in tests.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import json
+import os
+import re
+import subprocess
+import sys
+import time
+from collections import Counter
+from pathlib import Path
+from typing import Any
+
+from repro.engine.base import available_adversaries
+from repro.service.httpbase import (
+    BackgroundHost,
+    BadRequest,
+    JsonHttpServer,
+    Unavailable,
+    require,
+    require_ks,
+)
+from repro.service.server import parse_json_body
+from repro.service.wire import bucketization_from_payload
+
+__all__ = ["RouterStats", "Shard", "ShardRouter", "BackgroundRouter"]
+
+#: How long a shard subprocess may take to print its port line.
+_BOOT_TIMEOUT = 60.0
+#: Idle keep-alive connections the router retains per shard.
+_POOL_PER_SHARD = 8
+
+_PORT_LINE = re.compile(r"http://([^\s:]+):(\d+)")
+
+
+def shard_key(
+    mode: str, model: Any, ks: tuple[int, ...], signature_items
+) -> int:
+    """Stable hash of the plane key ``(mode, model, ks, signature-multiset)``.
+
+    Uses SHA-256 over the ``repr`` (not :func:`hash`, which is randomized
+    per process) so every router process — and a restarted one — routes a
+    given question to the same shard, which is what keeps the per-shard
+    caches hot and the persisted cache files meaningful across restarts.
+    """
+    payload = repr((mode, model, ks, signature_items)).encode()
+    return int.from_bytes(hashlib.sha256(payload).digest()[:8], "big")
+
+
+class RouterStats:
+    """The routing-layer counters behind the aggregated ``/stats``."""
+
+    def __init__(self) -> None:
+        self.started = time.monotonic()
+        self.requests_total = 0
+        self.by_endpoint: Counter[str] = Counter()
+        self.by_status: Counter[int] = Counter()
+        self.proxied = 0
+        self.split_batches = 0
+        self.restarts = 0
+        self.replays = 0
+        self.by_shard: Counter[int] = Counter()
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "uptime_s": round(time.monotonic() - self.started, 3),
+            "requests_total": self.requests_total,
+            "by_endpoint": dict(self.by_endpoint),
+            "by_status": {str(k): v for k, v in self.by_status.items()},
+            "proxied": self.proxied,
+            "split_batches": self.split_batches,
+            "restarts": self.restarts,
+            "replays": self.replays,
+            "by_shard": {str(k): v for k, v in self.by_shard.items()},
+        }
+
+
+class Shard:
+    """One supervised child service process plus its connection pool."""
+
+    __slots__ = ("index", "process", "host", "port", "pool", "lock", "boots")
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+        self.process: subprocess.Popen | None = None
+        self.host: str = "127.0.0.1"
+        self.port: int = 0
+        #: Idle keep-alive connections: ``(reader, writer)`` pairs.
+        self.pool: list[tuple[asyncio.StreamReader, asyncio.StreamWriter]] = []
+        #: Serializes restarts (request path vs. health loop).
+        self.lock: asyncio.Lock = asyncio.Lock()
+        self.boots = 0
+
+    def alive(self) -> bool:
+        return self.process is not None and self.process.poll() is None
+
+    def drop_connections(self) -> None:
+        pool, self.pool = self.pool, []
+        for _, writer in pool:
+            writer.close()
+
+
+class ShardRouter(JsonHttpServer):
+    """A front router over ``shards`` child ``repro serve`` processes.
+
+    Parameters
+    ----------
+    shards:
+        Number of child service processes (>= 1).
+    backend, workers, cache_limit, batch_window:
+        Passed through to every shard as its engine/coalescer knobs.
+    cache_path:
+        Shared persistence *prefix*: shard ``i`` persists to
+        ``<prefix>.shard<i>.float.pkl`` / ``.exact.pkl`` (each shard owns
+        its slice of the keyspace, so the files never contend).
+    health_interval:
+        Seconds between liveness sweeps over the shard processes (dead
+        ones are restarted); 0 disables the background sweep — dead shards
+        are then only restarted on demand by the request path.
+    forward_timeout:
+        Seconds the router waits for a shard's answer before treating the
+        shard as failed (restart-and-replay, then 503).
+    host, port, request_timeout, max_connections:
+        The router's own listening socket, as in
+        :class:`~repro.service.httpbase.JsonHttpServer`.
+    """
+
+    def __init__(
+        self,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        shards: int = 2,
+        backend: str = "serial",
+        workers: int = 1,
+        cache_limit: int | None = None,
+        cache_path: str | Path | None = None,
+        batch_window: float = 0.002,
+        health_interval: float = 2.0,
+        forward_timeout: float = 120.0,
+        request_timeout: float | None = 30.0,
+        max_connections: int | None = None,
+    ) -> None:
+        super().__init__(
+            host=host,
+            port=port,
+            request_timeout=request_timeout,
+            max_connections=max_connections,
+        )
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        if forward_timeout <= 0:
+            raise ValueError(
+                f"forward_timeout must be positive, got {forward_timeout}"
+            )
+        if health_interval < 0:
+            raise ValueError(
+                f"health_interval must be >= 0, got {health_interval}"
+            )
+        self.backend = backend
+        self.workers = workers
+        self.cache_limit = cache_limit
+        self.cache_path = Path(cache_path) if cache_path is not None else None
+        self.batch_window = batch_window
+        self.health_interval = health_interval
+        self.forward_timeout = forward_timeout
+        self.shards = [Shard(index) for index in range(shards)]
+        self.stats = RouterStats()
+        self._health_task: asyncio.Task | None = None
+
+    # ------------------------------------------------------------------
+    # Shard process supervision
+    # ------------------------------------------------------------------
+    def _shard_argv(self, shard: Shard) -> list[str]:
+        argv = [
+            sys.executable,
+            "-m",
+            "repro.cli",
+            "serve",
+            "--host",
+            "127.0.0.1",
+            "--port",
+            "0",
+            "--backend",
+            self.backend,
+            "--workers",
+            str(self.workers),
+            "--batch-window",
+            str(self.batch_window),
+        ]
+        if self.cache_limit is not None:
+            argv += ["--cache-limit", str(self.cache_limit)]
+        if self.cache_path is not None:
+            argv += [
+                "--cache-file",
+                str(
+                    self.cache_path.with_name(
+                        f"{self.cache_path.name}.shard{shard.index}"
+                    )
+                ),
+            ]
+        return argv
+
+    @staticmethod
+    def _shard_env() -> dict[str, str]:
+        """The child's environment, with this package importable."""
+        import repro
+
+        env = dict(os.environ)
+        package_root = str(Path(repro.__file__).resolve().parent.parent)
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = (
+            package_root + (os.pathsep + existing if existing else "")
+        )
+        return env
+
+    async def _spawn_shard(self, shard: Shard) -> None:
+        """Start one child process and read its bound port off stdout."""
+        process = subprocess.Popen(
+            self._shard_argv(shard),
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+            env=self._shard_env(),
+        )
+        shard.process = process
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + _BOOT_TIMEOUT
+        lines: list[str] = []
+        while True:
+            remaining = deadline - loop.time()
+            if remaining <= 0:
+                process.kill()
+                raise RuntimeError(
+                    f"shard {shard.index} did not print a port within "
+                    f"{_BOOT_TIMEOUT}s; output so far: {lines!r}"
+                )
+            try:
+                line = await asyncio.wait_for(
+                    loop.run_in_executor(None, process.stdout.readline),
+                    timeout=remaining,
+                )
+            except asyncio.TimeoutError:
+                continue
+            if not line:  # child exited before binding
+                process.wait()
+                raise RuntimeError(
+                    f"shard {shard.index} exited with code "
+                    f"{process.returncode} before binding; output: {lines!r}"
+                )
+            lines.append(line.rstrip())
+            match = _PORT_LINE.search(line)
+            if match:
+                shard.host = match.group(1)
+                shard.port = int(match.group(2))
+                shard.boots += 1
+                return
+            if len(lines) > 50:
+                process.kill()
+                raise RuntimeError(
+                    f"shard {shard.index} never printed a port; "
+                    f"output: {lines[:5]!r}..."
+                )
+
+    async def _restart_shard(self, shard: Shard) -> None:
+        """Replace a dead (or wedged) shard process with a fresh one."""
+        if shard.process is not None and shard.process.poll() is None:
+            shard.process.kill()
+            shard.process.wait()
+        shard.drop_connections()
+        await self._spawn_shard(shard)
+        self.stats.restarts += 1
+
+    async def _health_loop(self) -> None:
+        while True:
+            await asyncio.sleep(self.health_interval)
+            for shard in self.shards:
+                if not shard.alive():
+                    async with shard.lock:
+                        if not shard.alive():
+                            try:
+                                await self._restart_shard(shard)
+                            except RuntimeError:
+                                # Leave it dead; the request path (or the
+                                # next sweep) will try again.
+                                pass
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Boot every shard, start the health sweep and the front socket."""
+        try:
+            await asyncio.gather(
+                *(self._spawn_shard(shard) for shard in self.shards)
+            )
+        except BaseException:
+            self._terminate_shards()
+            raise
+        if self.health_interval > 0:
+            self._health_task = asyncio.create_task(
+                self._health_loop(), name="repro-shard-health"
+            )
+        await self.start_http()
+
+    def _terminate_shards(self) -> None:
+        for shard in self.shards:
+            shard.drop_connections()
+            if shard.process is not None and shard.process.poll() is None:
+                shard.process.terminate()  # SIGTERM: each shard saves cache
+
+    async def stop(self) -> None:
+        """Stop accepting, then SIGTERM every shard and wait for it to
+        persist its cache and exit."""
+        await self.stop_http()
+        if self._health_task is not None:
+            self._health_task.cancel()
+            try:
+                await self._health_task
+            except asyncio.CancelledError:
+                pass
+        self._terminate_shards()
+        loop = asyncio.get_running_loop()
+
+        def _reap(process: subprocess.Popen) -> None:
+            try:
+                process.wait(timeout=60)
+            except subprocess.TimeoutExpired:
+                process.kill()
+                process.wait()
+
+        await asyncio.gather(
+            *(
+                loop.run_in_executor(None, _reap, shard.process)
+                for shard in self.shards
+                if shard.process is not None
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Forwarding
+    # ------------------------------------------------------------------
+    async def _exchange(
+        self, shard: Shard, reader, writer, method: str, path: str, body: bytes
+    ) -> tuple[int, dict]:
+        """One keep-alive HTTP exchange on an open shard connection."""
+        head = (
+            f"{method} {path} HTTP/1.1\r\n"
+            f"Host: {shard.host}:{shard.port}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: keep-alive\r\n\r\n"
+        ).encode("latin-1")
+        writer.write(head + body)
+        await writer.drain()
+        status_line = await reader.readline()
+        parts = status_line.decode("latin-1").split()
+        if len(parts) < 2 or not parts[1].isdigit():
+            raise ConnectionError(f"bad status line from shard: {status_line!r}")
+        status = int(parts[1])
+        headers: dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n"):
+                break
+            if not line:
+                raise ConnectionError("shard closed mid-headers")
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0"))
+        payload = await reader.readexactly(length) if length else b"{}"
+        if (
+            headers.get("connection", "").lower() == "close"
+            or len(shard.pool) >= _POOL_PER_SHARD
+        ):
+            writer.close()
+        else:
+            shard.pool.append((reader, writer))
+        try:
+            return status, json.loads(payload)
+        except json.JSONDecodeError as exc:
+            raise ConnectionError(f"non-JSON shard response: {exc}") from None
+
+    async def _forward_once(
+        self, shard: Shard, method: str, path: str, body: bytes
+    ) -> tuple[int, dict]:
+        """Try a pooled connection first; fall back to a fresh one."""
+        if shard.pool:
+            reader, writer = shard.pool.pop()
+            try:
+                return await self._exchange(
+                    shard, reader, writer, method, path, body
+                )
+            except (ConnectionError, OSError, asyncio.IncompleteReadError):
+                writer.close()
+                shard.drop_connections()  # siblings are as stale as this one
+            except BaseException:  # timeout/cancel: half-read, unusable
+                writer.close()
+                raise
+        reader, writer = await asyncio.open_connection(shard.host, shard.port)
+        try:
+            return await self._exchange(
+                shard, reader, writer, method, path, body
+            )
+        except BaseException:
+            writer.close()
+            raise
+
+    async def _forward(
+        self, shard: Shard, method: str, path: str, body: bytes
+    ) -> tuple[int, dict]:
+        """Forward with restart-and-replay.
+
+        A failed exchange is replayed after either reconnecting (shard
+        alive, connection stale) or restarting the shard process — the
+        latter when the process is visibly dead *or* actively refusing
+        connections (a freshly killed process can refuse before it is
+        reapable, so ``poll()`` alone would under-diagnose). At most one
+        restart and two replays per request; the boot counter guards
+        against stacking restarts when concurrent requests fail together.
+        """
+        self.stats.proxied += 1
+        self.stats.by_shard[shard.index] += 1
+        restarted = False
+        for attempt in range(3):
+            boots_seen = shard.boots
+            try:
+                return await asyncio.wait_for(
+                    self._forward_once(shard, method, path, body),
+                    timeout=self.forward_timeout,
+                )
+            except (
+                ConnectionError,
+                OSError,
+                asyncio.IncompleteReadError,
+                asyncio.TimeoutError,
+            ) as exc:
+                if attempt == 2 or self._stopping:
+                    break
+                async with shard.lock:
+                    if shard.boots != boots_seen:
+                        pass  # a concurrent request already revived it
+                    elif not shard.alive() or isinstance(
+                        exc, ConnectionRefusedError
+                    ):
+                        if restarted:
+                            break
+                        try:
+                            await self._restart_shard(shard)
+                        except RuntimeError:
+                            break
+                        restarted = True
+                    else:
+                        shard.drop_connections()
+                self.stats.replays += 1
+        raise Unavailable(f"shard {shard.index} is unavailable")
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def note_request(self, endpoint: str | None, status: int) -> None:
+        self.stats.requests_total += 1
+        if endpoint is not None and status != 404:
+            self.stats.by_endpoint[endpoint] += 1
+        self.stats.by_status[status] += 1
+
+    def _mode(self, payload: dict) -> str:
+        exact = require(payload, "exact", bool, optional=True, default=False)
+        return "exact" if exact else "float"
+
+    def _model_name(self, payload: dict) -> str:
+        name = require(
+            payload, "model", str, optional=True, default="implication"
+        )
+        if name not in available_adversaries():
+            raise BadRequest(
+                f"unknown adversary model {name!r}; registered: "
+                f"{', '.join(available_adversaries())}"
+            )
+        return name
+
+    def _shard_for(
+        self, mode: str, model: Any, ks: tuple[int, ...], buckets: Any
+    ) -> Shard:
+        bucketization = bucketization_from_payload(buckets)
+        key = shard_key(mode, model, ks, bucketization.signature_items())
+        return self.shards[key % len(self.shards)]
+
+    async def _route(self, method: str, path: str, body: bytes):
+        routes = {
+            "/disclosure": ("POST", self._ep_disclosure),
+            "/safety": ("POST", self._ep_single_key),
+            "/compare": ("POST", self._ep_compare),
+            "/models": ("GET", self._ep_models),
+            "/stats": ("GET", self._ep_stats),
+            "/healthz": ("GET", self._ep_healthz),
+        }
+        route = routes.get(path)
+        if route is None:
+            return 404, {"error": f"unknown path {path!r}"}
+        verb, handler = route
+        if method != verb:
+            return 405, {"error": f"{path} only accepts {verb}"}
+        if self._stopping:
+            return 503, {"error": "service is shutting down"}
+        if verb == "POST":
+            return await handler(path, parse_json_body(body), body)
+        return await handler()
+
+    async def _ep_disclosure(self, path: str, payload: dict, body: bytes):
+        if "bucketizations" in payload:
+            return await self._ep_batch(path, payload)
+        return await self._ep_single_key(path, payload, body)
+
+    async def _ep_single_key(self, path: str, payload: dict, body: bytes):
+        """Single-bucketization endpoints (``/disclosure``, ``/safety``):
+        hash the plane key, forward the original bytes."""
+        mode = self._mode(payload)
+        model = self._model_name(payload)
+        k = require(payload, "k", int)
+        shard = self._shard_for(
+            mode, model, (k,), require(payload, "buckets", list)
+        )
+        return await self._forward(shard, "POST", path, body)
+
+    async def _ep_compare(self, path: str, payload: dict, body: bytes):
+        """``/compare`` spans models; its plane key uses the model tuple."""
+        mode = self._mode(payload)
+        models = payload.get("models", ["implication", "negation"])
+        if not isinstance(models, list) or not all(
+            isinstance(name, str) for name in models
+        ):
+            raise BadRequest("'models' must be a list of model names")
+        ks = tuple(require_ks(payload))
+        shard = self._shard_for(
+            mode, tuple(models), ks, require(payload, "buckets", list)
+        )
+        return await self._forward(shard, "POST", path, body)
+
+    async def _ep_batch(self, path: str, payload: dict):
+        """Split a batch by per-bucketization plane key, merge losslessly."""
+        mode = self._mode(payload)
+        model = self._model_name(payload)
+        ks = require_ks(payload)
+        raw = require(payload, "bucketizations", list)
+        if not raw:
+            raise BadRequest("'bucketizations' must be a non-empty list")
+        groups: dict[int, list[int]] = {}
+        for position, buckets in enumerate(raw):
+            shard = self._shard_for(mode, model, tuple(ks), buckets)
+            groups.setdefault(shard.index, []).append(position)
+        if len(groups) == 1:
+            shard = self.shards[next(iter(groups))]
+            return await self._forward(
+                shard, "POST", path, json.dumps(payload).encode()
+            )
+        self.stats.split_batches += 1
+
+        async def _sub(shard_index: int, positions: list[int]):
+            sub_payload = {
+                "bucketizations": [raw[p] for p in positions],
+                "ks": ks,
+                "model": model,
+                "exact": mode == "exact",
+            }
+            return await self._forward(
+                self.shards[shard_index],
+                "POST",
+                path,
+                json.dumps(sub_payload).encode(),
+            )
+
+        answers = await asyncio.gather(
+            *(_sub(index, positions) for index, positions in groups.items())
+        )
+        merged: list[Any] = [None] * len(raw)
+        for (status, answer), positions in zip(answers, groups.values()):
+            if status != 200:
+                return status, answer
+            for position, series in zip(positions, answer["series"]):
+                merged[position] = series
+        return 200, {
+            "model": model,
+            "ks": sorted(set(ks)),
+            "exact": mode == "exact",
+            "series": merged,
+        }
+
+    async def _ep_models(self):
+        """Registry introspection is shard-independent: ask shard 0."""
+        return await self._forward(self.shards[0], "GET", "/models", b"")
+
+    async def _ep_healthz(self):
+        async def _probe(shard: Shard) -> dict[str, Any]:
+            entry: dict[str, Any] = {
+                "shard": shard.index,
+                "alive": shard.alive(),
+                "port": shard.port,
+                "boots": shard.boots,
+            }
+            try:
+                status, answer = await asyncio.wait_for(
+                    self._forward_once(shard, "GET", "/healthz", b""),
+                    timeout=min(self.forward_timeout, 10.0),
+                )
+                entry["ok"] = status == 200 and answer.get("ok", False)
+            except (
+                ConnectionError,
+                OSError,
+                asyncio.IncompleteReadError,
+                asyncio.TimeoutError,
+            ):
+                entry["ok"] = False
+            return entry
+
+        shards = await asyncio.gather(*(_probe(s) for s in self.shards))
+        ok = all(entry["ok"] for entry in shards)
+        return (200 if ok else 503), {
+            "ok": ok,
+            "shards": shards,
+            "uptime_s": round(time.monotonic() - self.stats.started, 3),
+        }
+
+    async def _ep_stats(self):
+        async def _shard_stats(shard: Shard) -> dict[str, Any]:
+            try:
+                status, answer = await self._forward(
+                    shard, "GET", "/stats", b""
+                )
+            except Unavailable:
+                return {"shard": shard.index, "unreachable": True}
+            if status != 200:
+                return {"shard": shard.index, "unreachable": True}
+            answer["shard"] = shard.index
+            return answer
+
+        shard_stats = await asyncio.gather(
+            *(_shard_stats(shard) for shard in self.shards)
+        )
+        totals: Counter[str] = Counter()
+        for entry in shard_stats:
+            service = entry.get("service")
+            if not isinstance(service, dict):
+                continue
+            for field in (
+                "requests_total",
+                "single_requests",
+                "batch_requests",
+                "coalesced_batches",
+                "coalesced_singles",
+            ):
+                value = service.get(field)
+                if isinstance(value, int):
+                    totals[field] += value
+        router = self.stats.as_dict()
+        router["shards"] = len(self.shards)
+        router["connections"] = self.connections.as_dict()
+        router["max_connections"] = self.max_connections
+        return 200, {
+            "router": router,
+            "totals": dict(totals),
+            "shards": shard_stats,
+        }
+
+
+class BackgroundRouter(BackgroundHost):
+    """Run a :class:`ShardRouter` on a daemon thread (tests, benchmarks).
+
+    Usage::
+
+        with BackgroundRouter(shards=3, backend="serial") as bg:
+            value = bg.client().disclosure(bucketization, k=3)
+    """
+
+    def _make_service(self) -> ShardRouter:
+        return ShardRouter(**self._kwargs)

@@ -11,10 +11,12 @@ signature plane, so N clients asking about the same (or same-shaped)
 anonymization cost one computation, and a parallel execution backend sees
 real batches instead of single lookups.
 
-The HTTP layer is deliberately minimal and dependency-free: an
-:func:`asyncio.start_server` socket server speaking just enough HTTP/1.1
-(request line, headers, ``Content-Length`` body, one request per
-connection) for JSON clients and ``curl``. Endpoints:
+The HTTP dialect lives in :mod:`repro.service.httpbase`
+(:class:`~repro.service.httpbase.JsonHttpServer`): **keep-alive**
+HTTP/1.1 with per-request read timeouts and connection caps — one
+connection carries many requests, which is what lets the pooled
+:class:`~repro.service.client.ServiceClient` amortize TCP setup away.
+Endpoints:
 
 =====================  ====  ==================================================
 path                   verb  body / answer
@@ -26,7 +28,8 @@ path                   verb  body / answer
                              series (Figure 5 as an endpoint)
 ``/models``            GET   registry introspection (every registered
                              adversary and its contract flags)
-``/stats``             GET   service counters + per-engine
+``/stats``             GET   service counters (incl. connection/keep-alive
+                             counters) + per-engine
                              :class:`~repro.engine.engine.EngineStats`,
                              cache/plane sizes, backend telemetry
 ``/healthz``           GET   liveness
@@ -36,7 +39,9 @@ Lifecycle matches the engine's: :meth:`DisclosureService.start` loads any
 persisted cache (``load_cache``), :meth:`DisclosureService.stop` drains,
 saves the caches and closes the engines — ``repro serve`` ties those to
 process SIGTERM/SIGINT. :class:`BackgroundService` runs the whole thing on
-a daemon thread for tests and benchmarks.
+a daemon thread for tests and benchmarks. For the horizontally sharded
+topology (N of these processes behind a plane-key hash router) see
+:mod:`repro.service.router`.
 """
 
 from __future__ import annotations
@@ -44,7 +49,6 @@ from __future__ import annotations
 import asyncio
 import dataclasses
 import json
-import threading
 import time
 from collections import Counter
 from concurrent.futures import ThreadPoolExecutor
@@ -56,63 +60,30 @@ from repro.engine.backend import PersistentBackend
 from repro.engine.base import available_adversaries, get_adversary
 from repro.engine.engine import DisclosureEngine
 from repro.engine.plane import CachePolicy
-from repro.errors import ReproError
+from repro.service.httpbase import (
+    MAX_BODY_BYTES,
+    BackgroundHost,
+    BadRequest,
+    JsonHttpServer,
+    Unavailable,
+    require,
+    require_ks,
+)
 from repro.service.wire import (
     bucketization_from_payload,
     encode_series,
     encode_value,
 )
 
-__all__ = ["ServiceStats", "DisclosureService", "BackgroundService"]
-
-#: Largest accepted request body (a bucketization of ~a million values).
-MAX_BODY_BYTES = 32 * 1024 * 1024
-
-_REASONS = {
-    200: "OK",
-    400: "Bad Request",
-    404: "Not Found",
-    405: "Method Not Allowed",
-    413: "Payload Too Large",
-    500: "Internal Server Error",
-    503: "Service Unavailable",
-}
+__all__ = [
+    "MAX_BODY_BYTES",
+    "ServiceStats",
+    "DisclosureService",
+    "BackgroundService",
+]
 
 #: The two engine modes a service always carries.
 _MODES = ("float", "exact")
-
-
-class _BadRequest(Exception):
-    """Internal: request validation failed (the message becomes the 400 body)."""
-
-
-class _Unavailable(Exception):
-    """Internal: the service is shutting down (becomes a 503 body)."""
-
-
-def _require(payload: dict, field: str, kind, *, optional=False, default=None):
-    """One field of a JSON body, type-checked (bool is not an int here)."""
-    if field not in payload:
-        if optional:
-            return default
-        raise _BadRequest(f"missing required field {field!r}")
-    value = payload[field]
-    if kind is int and isinstance(value, bool):
-        raise _BadRequest(f"field {field!r} must be an integer")
-    if not isinstance(value, kind):
-        raise _BadRequest(
-            f"field {field!r} must be {getattr(kind, '__name__', kind)}"
-        )
-    return value
-
-
-def _require_ks(payload: dict) -> list[int]:
-    ks = _require(payload, "ks", list)
-    if not ks or not all(
-        isinstance(k, int) and not isinstance(k, bool) for k in ks
-    ):
-        raise _BadRequest("'ks' must be a non-empty list of integers")
-    return ks
 
 
 def _witness_payload(witness: Any) -> dict[str, Any]:
@@ -189,7 +160,7 @@ class _Pending:
         self.future = future
 
 
-class DisclosureService:
+class DisclosureService(JsonHttpServer):
     """A long-lived disclosure server over two mode-fixed engines.
 
     Parameters
@@ -213,9 +184,13 @@ class DisclosureService:
         batch size. 0 drains immediately (still coalescing whatever piled
         up while the engine thread was busy).
     request_timeout:
-        Seconds a connection may take to deliver a complete request before
-        it is dropped (slow-loris guard; ``None`` disables — only for
-        trusted loopback use).
+        Seconds a keep-alive connection may sit idle, or take to deliver a
+        complete request, before it is dropped (slow-loris guard; ``None``
+        disables — only for trusted loopback use).
+    max_connections:
+        Cap on concurrently open connections (503 beyond it; ``None`` =
+        unbounded). The counters behind it appear under
+        ``/stats -> service.connections``.
 
     Notes
     -----
@@ -240,17 +215,16 @@ class DisclosureService:
         cache_path: str | Path | None = None,
         batch_window: float = 0.002,
         request_timeout: float | None = 30.0,
+        max_connections: int | None = None,
     ) -> None:
+        super().__init__(
+            host=host,
+            port=port,
+            request_timeout=request_timeout,
+            max_connections=max_connections,
+        )
         if batch_window < 0:
             raise ValueError(f"batch_window must be >= 0, got {batch_window}")
-        if request_timeout is not None and request_timeout <= 0:
-            raise ValueError(
-                f"request_timeout must be positive or None, got "
-                f"{request_timeout}"
-            )
-        self.request_timeout = request_timeout
-        self.host = host
-        self._requested_port = port
         self.batch_window = batch_window
         self.cache_path = Path(cache_path) if cache_path is not None else None
         self.engines: dict[str, DisclosureEngine] = {
@@ -274,19 +248,10 @@ class DisclosureService:
         self._pending: dict[tuple[str, str, int], list[_Pending]] = {}
         self._kick: asyncio.Event | None = None
         self._dispatcher: asyncio.Task | None = None
-        self._server: asyncio.AbstractServer | None = None
-        self._stopping = False
 
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
-    @property
-    def port(self) -> int:
-        """The actually bound port (valid after :meth:`start`)."""
-        if self._server is None:
-            return self._requested_port
-        return self._server.sockets[0].getsockname()[1]
-
     def _mode_cache_file(self, mode: str) -> Path:
         assert self.cache_path is not None
         return self.cache_path.with_name(
@@ -304,17 +269,12 @@ class DisclosureService:
         self._dispatcher = asyncio.create_task(
             self._dispatch_loop(), name="repro-coalescer"
         )
-        self._server = await asyncio.start_server(
-            self._handle_connection, self.host, self._requested_port
-        )
+        await self.start_http()
 
     async def stop(self) -> None:
         """Graceful shutdown: stop accepting, fail queued work with 503,
         persist both caches, close the engines."""
-        self._stopping = True
-        if self._server is not None:
-            self._server.close()
-            await self._server.wait_closed()
+        await self.stop_http()
         if self._dispatcher is not None:
             self._dispatcher.cancel()
             try:
@@ -325,7 +285,7 @@ class DisclosureService:
             for pending in items:
                 if not pending.future.done():
                     pending.future.set_exception(
-                        _Unavailable("service is shutting down")
+                        Unavailable("service is shutting down")
                     )
         self._pending.clear()
         if self.cache_path is not None:
@@ -409,95 +369,21 @@ class DisclosureService:
                         for pending in items:
                             if not pending.future.done():
                                 pending.future.set_exception(
-                                    _Unavailable("service is shutting down")
+                                    Unavailable("service is shutting down")
                                 )
                     raise
 
     # ------------------------------------------------------------------
-    # HTTP plumbing
+    # Routing and endpoints
     # ------------------------------------------------------------------
-    async def _handle_connection(self, reader, writer) -> None:
-        status, payload = 500, {"error": "internal error"}
-        endpoint = None
-        try:
-            read = self._read_request(reader)
-            if self.request_timeout is not None:
-                read = asyncio.wait_for(read, timeout=self.request_timeout)
-            request = await read
-            if request is None:
-                writer.close()
-                return
-            method, path, body = request
-            endpoint = path
-            status, payload = await self._route(method, path, body)
-        except _BadRequest as exc:
-            status, payload = 400, {"error": str(exc)}
-        except _Unavailable as exc:
-            status, payload = 503, {"error": str(exc)}
-        except asyncio.TimeoutError:
-            status, payload = 400, {"error": "request read timed out"}
-        except (ReproError, ValueError) as exc:
-            status, payload = 400, {"error": str(exc)}
-        except (ConnectionError, asyncio.IncompleteReadError):
-            writer.close()
-            return
-        except Exception as exc:  # never leak a traceback to the socket
-            status, payload = 500, {"error": f"{type(exc).__name__}: {exc}"}
+    def note_request(self, endpoint: str | None, status: int) -> None:
         self.stats.requests_total += 1
         if endpoint is not None and status != 404:
             # Unknown paths are counted by status only: a public socket
             # must not let probes grow the by-endpoint counter unboundedly.
             self.stats.by_endpoint[endpoint] += 1
         self.stats.by_status[status] += 1
-        await self._write_response(writer, status, payload)
 
-    async def _read_request(self, reader):
-        """Minimal HTTP/1.1: request line, headers, Content-Length body."""
-        try:
-            request_line = await reader.readline()
-        except (ConnectionError, asyncio.LimitOverrunError):
-            return None
-        if not request_line:
-            return None
-        parts = request_line.decode("latin-1").split()
-        if len(parts) < 2:
-            raise _BadRequest("malformed request line")
-        method, path = parts[0].upper(), parts[1].split("?", 1)[0]
-        headers: dict[str, str] = {}
-        while True:
-            line = await reader.readline()
-            if line in (b"\r\n", b"\n", b""):
-                break
-            name, _, value = line.decode("latin-1").partition(":")
-            headers[name.strip().lower()] = value.strip()
-        try:
-            length = int(headers.get("content-length", "0"))
-        except ValueError:
-            raise _BadRequest("invalid Content-Length") from None
-        if length < 0 or length > MAX_BODY_BYTES:
-            raise _BadRequest(f"body too large (limit {MAX_BODY_BYTES} bytes)")
-        body = await reader.readexactly(length) if length else b""
-        return method, path, body
-
-    async def _write_response(self, writer, status: int, payload) -> None:
-        body = json.dumps(payload).encode()
-        head = (
-            f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
-            f"Content-Type: application/json\r\n"
-            f"Content-Length: {len(body)}\r\n"
-            f"Connection: close\r\n\r\n"
-        ).encode("latin-1")
-        try:
-            writer.write(head + body)
-            await writer.drain()
-            writer.close()
-            await writer.wait_closed()
-        except (ConnectionError, OSError):
-            pass
-
-    # ------------------------------------------------------------------
-    # Routing and endpoints
-    # ------------------------------------------------------------------
     async def _route(self, method: str, path: str, body: bytes):
         routes = {
             "/disclosure": ("POST", self._ep_disclosure),
@@ -516,24 +402,19 @@ class DisclosureService:
         if self._stopping:
             return 503, {"error": "service is shutting down"}
         if verb == "POST":
-            try:
-                payload = json.loads(body.decode("utf-8")) if body else None
-            except (json.JSONDecodeError, UnicodeDecodeError) as exc:
-                raise _BadRequest(f"invalid JSON body: {exc}") from None
-            if not isinstance(payload, dict):
-                raise _BadRequest("request body must be a JSON object")
+            payload = parse_json_body(body)
             return await handler(payload)
         return await handler()
 
     def _mode_and_engine(self, payload: dict) -> tuple[str, DisclosureEngine]:
-        exact = _require(payload, "exact", bool, optional=True, default=False)
+        exact = require(payload, "exact", bool, optional=True, default=False)
         mode = "exact" if exact else "float"
         return mode, self.engines[mode]
 
     def _model_name(self, payload: dict, field: str = "model") -> str:
-        name = _require(payload, field, str, optional=True, default="implication")
+        name = require(payload, field, str, optional=True, default="implication")
         if name not in available_adversaries():
-            raise _BadRequest(
+            raise BadRequest(
                 f"unknown adversary model {name!r}; registered: "
                 f"{', '.join(available_adversaries())}"
             )
@@ -544,13 +425,13 @@ class DisclosureService:
             return await self._ep_disclosure_batch(payload)
         mode, engine = self._mode_and_engine(payload)
         model = self._model_name(payload)
-        k = _require(payload, "k", int)
+        k = require(payload, "k", int)
         if k < 0:
-            raise _BadRequest(f"k must be non-negative, got {k}")
+            raise BadRequest(f"k must be non-negative, got {k}")
         bucketization = bucketization_from_payload(
-            _require(payload, "buckets", list)
+            require(payload, "buckets", list)
         )
-        want_witness = _require(
+        want_witness = require(
             payload, "witness", bool, optional=True, default=False
         )
         self.stats.single_requests += 1
@@ -569,17 +450,17 @@ class DisclosureService:
                     lambda: engine.witness(bucketization, k, model=model),
                 )
             except NotImplementedError as exc:
-                raise _BadRequest(str(exc)) from None
+                raise BadRequest(str(exc)) from None
             answer["witness"] = _witness_payload(witness)
         return 200, answer
 
     async def _ep_disclosure_batch(self, payload: dict):
         mode, engine = self._mode_and_engine(payload)
         model = self._model_name(payload)
-        ks = _require_ks(payload)
-        raw = _require(payload, "bucketizations", list)
+        ks = require_ks(payload)
+        raw = require(payload, "bucketizations", list)
         if not raw:
-            raise _BadRequest("'bucketizations' must be a non-empty list")
+            raise BadRequest("'bucketizations' must be a non-empty list")
         bs = [bucketization_from_payload(buckets) for buckets in raw]
         self.stats.batch_requests += 1
         loop = asyncio.get_running_loop()
@@ -597,12 +478,12 @@ class DisclosureService:
     async def _ep_safety(self, payload: dict):
         mode, engine = self._mode_and_engine(payload)
         model = self._model_name(payload)
-        k = _require(payload, "k", int)
-        c = _require(payload, "c", (int, float))
+        k = require(payload, "k", int)
+        c = require(payload, "c", (int, float))
         if isinstance(c, bool):
-            raise _BadRequest("field 'c' must be a number")
+            raise BadRequest("field 'c' must be a number")
         bucketization = bucketization_from_payload(
-            _require(payload, "buckets", list)
+            require(payload, "buckets", list)
         )
         # threshold() validates c against the model's scale before any
         # engine work (bad thresholds are a 400, not a computation).
@@ -619,10 +500,10 @@ class DisclosureService:
 
     async def _ep_compare(self, payload: dict):
         mode, engine = self._mode_and_engine(payload)
-        ks = _require_ks(payload)
+        ks = require_ks(payload)
         models = payload.get("models", ["implication", "negation"])
         if not isinstance(models, list) or not models:
-            raise _BadRequest("'models' must be a non-empty list of names")
+            raise BadRequest("'models' must be a non-empty list of names")
         names = [
             self._model_name({"model": name}) if isinstance(name, str)
             else name
@@ -630,9 +511,9 @@ class DisclosureService:
         ]
         for name in names:
             if not isinstance(name, str):
-                raise _BadRequest("'models' must be a list of model names")
+                raise BadRequest("'models' must be a list of model names")
         bucketization = bucketization_from_payload(
-            _require(payload, "buckets", list)
+            require(payload, "buckets", list)
         )
         loop = asyncio.get_running_loop()
         comparison = await loop.run_in_executor(
@@ -688,7 +569,10 @@ class DisclosureService:
                 "loaded_entries": self.loaded_entries[mode],
                 "backend": backend_info,
             }
-        return 200, {"service": self.stats.as_dict(), "engines": engines}
+        service = self.stats.as_dict()
+        service["connections"] = self.connections.as_dict()
+        service["max_connections"] = self.max_connections
+        return 200, {"service": service, "engines": engines}
 
     async def _ep_healthz(self):
         return 200, {
@@ -697,7 +581,18 @@ class DisclosureService:
         }
 
 
-class BackgroundService:
+def parse_json_body(body: bytes) -> dict:
+    """Decode a POST body into a JSON object (400 on anything else)."""
+    try:
+        payload = json.loads(body.decode("utf-8")) if body else None
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise BadRequest(f"invalid JSON body: {exc}") from None
+    if not isinstance(payload, dict):
+        raise BadRequest("request body must be a JSON object")
+    return payload
+
+
+class BackgroundService(BackgroundHost):
     """Run a :class:`DisclosureService` on a daemon thread (tests, benches).
 
     Usage::
@@ -711,56 +606,5 @@ class BackgroundService:
     and joins the thread.
     """
 
-    def __init__(self, **service_kwargs: Any) -> None:
-        service_kwargs.setdefault("port", 0)
-        self._kwargs = service_kwargs
-        self.service: DisclosureService | None = None
-        self.host: str | None = None
-        self.port: int | None = None
-        self._loop: asyncio.AbstractEventLoop | None = None
-        self._stop_event: asyncio.Event | None = None
-        self._started = threading.Event()
-        self._error: BaseException | None = None
-        self._thread: threading.Thread | None = None
-
-    def __enter__(self) -> BackgroundService:
-        self._thread = threading.Thread(
-            target=self._thread_main, name="repro-service", daemon=True
-        )
-        self._thread.start()
-        if not self._started.wait(timeout=60):
-            raise RuntimeError("service failed to start within 60s")
-        if self._error is not None:
-            raise RuntimeError("service failed to start") from self._error
-        return self
-
-    def __exit__(self, *exc_info) -> None:
-        if self._loop is not None and self._stop_event is not None:
-            self._loop.call_soon_threadsafe(self._stop_event.set)
-        if self._thread is not None:
-            self._thread.join(timeout=60)
-
-    def _thread_main(self) -> None:
-        try:
-            asyncio.run(self._main())
-        except BaseException as exc:  # surfaced by __enter__ or swallowed
-            self._error = exc
-            self._started.set()
-
-    async def _main(self) -> None:
-        self._loop = asyncio.get_running_loop()
-        self._stop_event = asyncio.Event()
-        self.service = DisclosureService(**self._kwargs)
-        await self.service.start()
-        self.host, self.port = self.service.host, self.service.port
-        self._started.set()
-        await self._stop_event.wait()
-        await self.service.stop()
-
-    def client(self):
-        """A :class:`~repro.service.client.ServiceClient` bound to this
-        server (import deferred to keep server/client import-independent)."""
-        from repro.service.client import ServiceClient
-
-        assert self.host is not None and self.port is not None
-        return ServiceClient(self.host, self.port)
+    def _make_service(self) -> DisclosureService:
+        return DisclosureService(**self._kwargs)

@@ -18,6 +18,7 @@ package's classes.
 
 from __future__ import annotations
 
+import math
 from fractions import Fraction
 from typing import Any
 
@@ -34,17 +35,54 @@ __all__ = [
 
 
 def encode_value(value: Any) -> float | str:
-    """One disclosure value -> JSON scalar (number, or ``"num/den"``)."""
+    """One disclosure value -> JSON scalar (number, or ``"num/den"``).
+
+    Raises
+    ------
+    ValueError
+        On non-finite floats. ``nan``/``inf`` survive Python's ``repr``
+        serialization but are not JSON — :mod:`json` would emit the
+        non-standard ``NaN``/``Infinity`` tokens that strict consumers
+        reject — so they are refused here, at encode time, where the
+        endpoint layer can still turn them into a clean 400.
+    """
     if isinstance(value, Fraction):
         return str(value)
-    return float(value)
+    value = float(value)
+    if not math.isfinite(value):
+        raise ValueError(
+            f"non-finite value {value!r} cannot cross the wire as JSON"
+        )
+    return value
 
 
 def decode_value(value: Any) -> float | Fraction:
-    """Inverse of :func:`encode_value` (bit-identical round trip)."""
+    """Inverse of :func:`encode_value` (bit-identical round trip).
+
+    Raises
+    ------
+    ValueError
+        On anything :func:`encode_value` could not have produced: strings
+        that are not a valid ``"num/den"`` Fraction (including zero
+        denominators), booleans, non-numeric payloads, and non-finite
+        numbers.
+    """
     if isinstance(value, str):
-        return Fraction(value)
-    return float(value)
+        try:
+            return Fraction(value)
+        except (ValueError, ZeroDivisionError) as exc:
+            raise ValueError(
+                f"malformed exact value {value!r}: {exc}"
+            ) from None
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ValueError(
+            f"malformed wire value {value!r} "
+            f"({type(value).__name__} is not a JSON number or 'num/den')"
+        )
+    value = float(value)
+    if not math.isfinite(value):
+        raise ValueError(f"non-finite wire value {value!r}")
+    return value
 
 
 def encode_series(series: dict[int, Any]) -> dict[str, float | str]:

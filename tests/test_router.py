@@ -1,0 +1,374 @@
+"""End-to-end tests for the sharded service tier.
+
+The router's contract (ISSUE 5 acceptance criteria):
+
+- a 3-shard deployment behind the plane-key hash router answers
+  **bit-identically** to a direct single
+  :class:`~repro.engine.engine.DisclosureEngine`, in both arithmetic
+  modes, under >= 8 concurrent pooled keep-alive clients;
+- batch requests are split by per-bucketization plane key and merged
+  losslessly in the original order;
+- routing is a *stable* function of the plane key — the same question
+  always lands on the same shard (cache affinity);
+- a killed shard process is restarted and the in-flight request replayed;
+- ``/stats`` and ``/healthz`` aggregate across shards; shutdown persists
+  one cache file pair per shard under the shared prefix.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import re
+import signal
+import subprocess
+import sys
+import threading
+from pathlib import Path
+
+import pytest
+
+from repro.bucketization import Bucketization
+from repro.engine import DisclosureEngine
+from repro.service import ServiceClient, ServiceError, ShardRouter
+from repro.service.router import BackgroundRouter, shard_key
+
+SHARDS = 3
+CLIENTS = 8
+
+
+def _random_bucketizations(count: int, seed: int) -> list[Bucketization]:
+    rng = random.Random(seed)
+    out = []
+    for _ in range(count):
+        buckets = [
+            [rng.choice("abcdef") for _ in range(rng.randint(3, 9))]
+            for _ in range(rng.randint(1, 4))
+        ]
+        out.append(Bucketization.from_value_lists(buckets))
+    return out
+
+
+@pytest.fixture(scope="module")
+def router():
+    """One shared 3-shard deployment for the read-mostly tests."""
+    with BackgroundRouter(
+        shards=SHARDS, backend="serial", batch_window=0.01
+    ) as bg:
+        yield bg
+
+
+@pytest.fixture(scope="module")
+def client(router) -> ServiceClient:
+    return router.client()
+
+
+# ---------------------------------------------------------------------------
+# The hash itself: stable, deterministic, key-sensitive
+# ---------------------------------------------------------------------------
+class TestShardKey:
+    def test_stable_across_calls(self):
+        b = Bucketization.from_value_lists([["a", "a", "b"], ["c", "d"]])
+        sig = b.signature_items()
+        assert shard_key("float", "implication", (3,), sig) == shard_key(
+            "float", "implication", (3,), sig
+        )
+
+    def test_sensitive_to_every_component(self):
+        b = Bucketization.from_value_lists([["a", "a", "b"], ["c", "d"]])
+        sig = b.signature_items()
+        base = shard_key("float", "implication", (3,), sig)
+        assert base != shard_key("exact", "implication", (3,), sig)
+        assert base != shard_key("float", "negation", (3,), sig)
+        assert base != shard_key("float", "implication", (4,), sig)
+        other = Bucketization.from_value_lists([["a", "b", "c", "d", "e"]])
+        assert base != shard_key(
+            "float", "implication", (3,), other.signature_items()
+        )
+
+    def test_same_shape_same_shard(self):
+        """Cache affinity survives value renaming: the plane interns
+        signatures, not values, and the router hashes the same way."""
+        left = Bucketization.from_value_lists([["a", "a", "b"], ["c", "d"]])
+        right = Bucketization.from_value_lists([["x", "x", "y"], ["p", "q"]])
+        assert left.signature_items() == right.signature_items()
+        assert shard_key(
+            "float", "implication", (2,), left.signature_items()
+        ) == shard_key("float", "implication", (2,), right.signature_items())
+
+
+# ---------------------------------------------------------------------------
+# Bit-identical answers through the sharded topology
+# ---------------------------------------------------------------------------
+class TestShardedEquivalence:
+    @pytest.mark.parametrize("exact", [False, True])
+    def test_concurrent_pooled_clients_bit_identical(self, router, exact):
+        bs = _random_bucketizations(CLIENTS, seed=1400 + exact)
+        models = ["implication", "negation", "distribution", "weighted"]
+        ks = [0, 1, 2, 3]
+        jobs = [
+            (bs[i], models[i % len(models)], ks[i % len(ks)])
+            for i in range(CLIENTS)
+        ]
+        shared = ServiceClient(router.host, router.port, pool_size=CLIENTS)
+        results: list = [None] * len(jobs)
+        errors: list = []
+        barrier = threading.Barrier(len(jobs))
+
+        def hit(index: int) -> None:
+            try:
+                barrier.wait(timeout=60)
+                b, model, k = jobs[index]
+                results[index] = shared.disclosure(
+                    b, k, model=model, exact=exact
+                )
+            except BaseException as exc:  # surfaces in the main thread
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=hit, args=(i,)) for i in range(len(jobs))
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=120)
+        shared.close()
+        assert not errors
+        engine = DisclosureEngine(exact=exact)
+        for (b, model, k), served in zip(jobs, results):
+            assert served == engine.evaluate(b, k, model=model), (
+                f"sharded value diverged for {model} k={k}"
+            )
+
+    def test_batch_split_and_merged_losslessly(self, router, client):
+        bs = _random_bucketizations(12, seed=77)
+        ks = [1, 3]
+        before = client.stats()["router"]["split_batches"]
+        served = client.disclosure_batch(bs, ks, exact=True)
+        direct = DisclosureEngine(exact=True).evaluate_many(bs, ks)
+        assert served == direct  # order preserved, bits preserved
+        after = client.stats()["router"]["split_batches"]
+        # 12 random shapes across 3 shards: the batch really was split.
+        assert after == before + 1
+
+    def test_safety_and_compare_and_witness_proxy(self, router, client):
+        b = Bucketization.from_value_lists(
+            [["Flu", "Flu", "Cancer"], ["Flu", "Mumps", "Cancer"]]
+        )
+        engine = DisclosureEngine()
+        answer = client.safety(b, 0.9, 1)
+        assert answer["safe"] == engine.is_safe(b, 0.9, 1)
+        assert answer["value"] == engine.evaluate(b, 1)
+        served = client.compare(b, [0, 1, 2])
+        direct = engine.compare(b, [0, 1, 2])
+        assert served == {name: dict(s) for name, s in direct.items()}
+        witness = client.witness(b, 2, model="negation")
+        assert witness["witness"]["disclosure"] == witness["value"]
+
+    def test_models_proxied(self, router, client):
+        from repro.engine import available_adversaries
+
+        assert [m["name"] for m in client.models()] == list(
+            available_adversaries()
+        )
+
+
+# ---------------------------------------------------------------------------
+# Cache-affinity routing
+# ---------------------------------------------------------------------------
+class TestAffinity:
+    def test_identical_requests_land_on_one_shard(self, router, client):
+        b = Bucketization.from_value_lists(
+            [["affinity", "affinity", "probe", "probe", "x"]]
+        )
+        before = {
+            entry["shard"]: entry["service"]["single_requests"]
+            for entry in client.stats()["shards"]
+        }
+        repeats = 6
+        for _ in range(repeats):
+            client.disclosure(b, 2, model="negation")
+        after = {
+            entry["shard"]: entry["service"]["single_requests"]
+            for entry in client.stats()["shards"]
+        }
+        deltas = {index: after[index] - before[index] for index in after}
+        grew = [index for index, delta in deltas.items() if delta > 0]
+        assert len(grew) == 1, f"affinity broken: deltas {deltas}"
+        assert deltas[grew[0]] == repeats
+        # ...and the owning shard served the repeats from its cache.
+        owner = next(
+            entry
+            for entry in client.stats()["shards"]
+            if entry["shard"] == grew[0]
+        )
+        assert owner["engines"]["float"]["stats"]["cache_hits"] >= repeats - 1
+
+
+# ---------------------------------------------------------------------------
+# Validation and aggregation
+# ---------------------------------------------------------------------------
+class TestRouterEndpoints:
+    def test_bad_bodies_are_400_at_the_router(self, router, client):
+        for payload in (
+            {"buckets": [], "k": 1},
+            {"buckets": [["a"]], "k": "three"},
+            {"buckets": [["a"]], "k": 1, "model": "martian"},
+            {"bucketizations": [], "ks": [1]},
+            {"bucketizations": [[["a"]]], "ks": []},
+        ):
+            with pytest.raises(ServiceError) as excinfo:
+                client.request("POST", "/disclosure", payload)
+            assert excinfo.value.status == 400
+
+    def test_shard_400_proxied_back(self, router, client):
+        with pytest.raises(ServiceError) as excinfo:
+            client.disclosure(
+                Bucketization.from_value_lists([["a", "b"]]), -1
+            )
+        assert excinfo.value.status == 400
+
+    def test_healthz_aggregates_all_shards(self, router, client):
+        health = client.health()
+        assert health["ok"] is True
+        assert len(health["shards"]) == SHARDS
+        assert all(entry["ok"] for entry in health["shards"])
+
+    def test_stats_aggregates_router_and_shards(self, router, client):
+        client.disclosure(
+            Bucketization.from_value_lists([["s", "t", "a", "t"]]), 1
+        )
+        stats = client.stats()
+        assert {"router", "totals", "shards"} <= set(stats)
+        assert stats["router"]["shards"] == SHARDS
+        assert stats["router"]["proxied"] >= 1
+        assert "connections" in stats["router"]
+        assert len(stats["shards"]) == SHARDS
+        assert stats["totals"]["single_requests"] >= 1
+        for entry in stats["shards"]:
+            assert {"service", "engines", "shard"} <= set(entry)
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            ShardRouter(shards=0)
+        with pytest.raises(ValueError):
+            ShardRouter(shards=2, forward_timeout=0)
+        with pytest.raises(ValueError):
+            ShardRouter(shards=2, health_interval=-1)
+
+
+# ---------------------------------------------------------------------------
+# Supervision: restart-and-replay, and per-shard cache persistence
+# ---------------------------------------------------------------------------
+class TestSupervision:
+    def test_killed_shards_restart_and_replay(self):
+        bs = _random_bucketizations(6, seed=9)
+        engine = DisclosureEngine()
+        with BackgroundRouter(
+            shards=SHARDS,
+            backend="serial",
+            batch_window=0.0,
+            health_interval=0.2,
+        ) as bg:
+            client = bg.client()
+            for b in bs:
+                assert client.disclosure(b, 2) == engine.evaluate(b, 2)
+            for shard in bg.service.shards:
+                shard.process.kill()
+            # Every request after the massacre still gets the right bits:
+            # its target shard is revived on demand and the request replayed.
+            for b in bs:
+                assert client.disclosure(b, 2) == engine.evaluate(b, 2)
+            stats = client.stats()
+            assert stats["router"]["restarts"] >= 1
+            assert stats["router"]["replays"] >= 1
+            # The health sweep (0.2s) plus on-demand restarts revive all.
+            health = client.health()
+            assert health["ok"] is True
+
+    @pytest.mark.skipif(
+        not hasattr(signal, "SIGTERM"), reason="needs POSIX signals"
+    )
+    def test_cli_sharded_serve_lifecycle(self, tmp_path):
+        """``repro serve --shards 2`` boots a router process, serves with
+        the right bits, and on SIGTERM shuts every shard down gracefully
+        (exit 0, one persisted cache pair per shard)."""
+        repo_root = Path(__file__).resolve().parent.parent
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(repo_root / "src") + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        process = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro.cli",
+                "serve",
+                "--port",
+                "0",
+                "--shards",
+                "2",
+                "--backend",
+                "serial",
+                "--cache-file",
+                str(tmp_path / "fleet"),
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+            env=env,
+            cwd=repo_root,
+        )
+        try:
+            port_line = process.stdout.readline()
+            topology_line = process.stdout.readline()
+            match = re.search(r"http://[^:]+:(\d+)", port_line)
+            assert match, f"no port in {port_line!r}"
+            assert "2 shards on ports" in topology_line
+            client = ServiceClient("127.0.0.1", int(match.group(1)))
+            b = Bucketization.from_value_lists([["a", "a", "b"], ["c", "d"]])
+            assert client.disclosure(b, 2) == DisclosureEngine().evaluate(b, 2)
+            health = client.health()
+            assert health["ok"] is True and len(health["shards"]) == 2
+            client.close()
+        finally:
+            process.send_signal(signal.SIGTERM)
+            _, err = process.communicate(timeout=120)
+        assert process.returncode == 0, err
+        for index in range(2):
+            for mode in ("float", "exact"):
+                assert (tmp_path / f"fleet.shard{index}.{mode}.pkl").exists()
+
+    def test_per_shard_cache_persistence(self, tmp_path):
+        prefix = tmp_path / "fleet"
+        b = Bucketization.from_value_lists(
+            [["p", "p", "q", "r"], ["p", "q", "s", "t"]]
+        )
+        with BackgroundRouter(
+            shards=SHARDS,
+            backend="serial",
+            batch_window=0.0,
+            cache_path=prefix,
+        ) as bg:
+            first = bg.client().disclosure(b, 3)
+        for index in range(SHARDS):
+            for mode in ("float", "exact"):
+                assert (tmp_path / f"fleet.shard{index}.{mode}.pkl").exists()
+        with BackgroundRouter(
+            shards=SHARDS,
+            backend="serial",
+            batch_window=0.0,
+            cache_path=prefix,
+        ) as bg:
+            client = bg.client()
+            loaded = [
+                entry["engines"]["float"]["loaded_entries"]
+                for entry in client.stats()["shards"]
+            ]
+            assert sum(loaded) >= 1  # the owning shard reloaded its slice
+            assert client.disclosure(b, 3) == first
+            hits = [
+                entry["engines"]["float"]["stats"]["cache_hits"]
+                for entry in client.stats()["shards"]
+            ]
+            assert sum(hits) >= 1  # answered from the reloaded cache

@@ -23,6 +23,7 @@ import signal
 import subprocess
 import sys
 import threading
+import time
 from fractions import Fraction
 from http.client import HTTPConnection
 from pathlib import Path
@@ -373,6 +374,110 @@ class TestMalformedRequests:
         assert client.disclosure(figure3_like, 1) == DisclosureEngine().evaluate(
             figure3_like, 1
         )
+
+
+# ---------------------------------------------------------------------------
+# Keep-alive connections and the pooled client
+# ---------------------------------------------------------------------------
+class TestKeepAlive:
+    def test_one_connection_serves_many_requests(self, figure3_like):
+        with BackgroundService(backend="serial", batch_window=0.0) as bg:
+            connection = HTTPConnection(bg.host, bg.port, timeout=30)
+            try:
+                body = json.dumps(
+                    {"buckets": [list(b.sensitive_values) for b in figure3_like]}
+                    | {"k": 1}
+                ).encode()
+                for _ in range(3):
+                    connection.request(
+                        "POST",
+                        "/disclosure",
+                        body=body,
+                        headers={"Content-Type": "application/json"},
+                    )
+                    response = connection.getresponse()
+                    assert response.status == 200
+                    assert not response.will_close  # server kept it open
+                    response.read()
+                connection.request("GET", "/stats")
+                stats = json.loads(connection.getresponse().read())
+            finally:
+                connection.close()
+        connections = stats["service"]["connections"]
+        assert connections["total"] == 1
+        assert connections["keepalive_requests"] == 3  # requests 2..4
+
+    def test_connection_close_header_honored(self, figure3_like):
+        with BackgroundService(backend="serial", batch_window=0.0) as bg:
+            connection = HTTPConnection(bg.host, bg.port, timeout=30)
+            try:
+                connection.request(
+                    "GET", "/healthz", headers={"Connection": "close"}
+                )
+                response = connection.getresponse()
+                assert response.status == 200
+                assert response.will_close  # server announced the close
+                response.read()
+            finally:
+                connection.close()
+
+    def test_pooled_client_reuses_one_connection(self, figure3_like):
+        with BackgroundService(backend="serial", batch_window=0.0) as bg:
+            client = ServiceClient(bg.host, bg.port, pool_size=2)
+            for k in range(5):
+                client.disclosure(figure3_like, k)
+            connections = client.stats()["service"]["connections"]
+            client.close()
+        assert connections["total"] == 1
+        assert connections["keepalive_requests"] >= 5
+
+    def test_per_connection_client_opens_one_each(self, figure3_like):
+        with BackgroundService(backend="serial", batch_window=0.0) as bg:
+            client = ServiceClient(bg.host, bg.port, keep_alive=False)
+            for k in range(3):
+                client.disclosure(figure3_like, k)
+            connections = client.stats()["service"]["connections"]
+        assert connections["total"] == 4  # 3 singles + the /stats call
+        assert connections["keepalive_requests"] == 0
+
+    def test_stale_pooled_connection_replays_transparently(self, figure3_like):
+        """An idle-timeout-closed server connection must not surface: the
+        pooled client detects the stale socket and replays."""
+        with BackgroundService(
+            backend="serial", batch_window=0.0, request_timeout=0.3
+        ) as bg:
+            client = ServiceClient(bg.host, bg.port, pool_size=2)
+            first = client.disclosure(figure3_like, 2)
+            time.sleep(0.8)  # server idle-timeout reaps the pooled socket
+            assert client.disclosure(figure3_like, 2) == first
+            client.close()
+
+    def test_max_connections_cap_is_503(self):
+        with BackgroundService(
+            backend="serial", batch_window=0.0, max_connections=1
+        ) as bg:
+            holder = HTTPConnection(bg.host, bg.port, timeout=30)
+            try:
+                holder.request("GET", "/healthz")
+                assert holder.getresponse().status == 200
+                # holder keeps the only slot; a second connection is refused.
+                status, payload = _raw_request(
+                    bg.host, bg.port, "GET", "/healthz"
+                )
+                assert status == 503
+                assert "error" in payload
+            finally:
+                holder.close()
+            # The slot frees once the server reaps the closed socket.
+            for _ in range(100):
+                status, _ = _raw_request(bg.host, bg.port, "GET", "/healthz")
+                if status == 200:
+                    break
+                time.sleep(0.05)
+            assert status == 200
+            stats = bg.client().stats()["service"]
+            assert stats["connections"]["rejected_over_cap"] == 1
+            assert stats["max_connections"] == 1
 
 
 # ---------------------------------------------------------------------------
