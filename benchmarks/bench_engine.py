@@ -18,7 +18,9 @@ three polynomial models and measure the cache two ways:
 Run with ``pytest benchmarks/bench_engine.py --benchmark-only`` for timings,
 or ``--benchmark-disable`` for the assertions alone (CI does the latter).
 Either way the shared-sweep benchmark writes ``BENCH_engine.json`` (wall
-time, hit rate, cache size) so the numbers are tracked across PRs.
+time, hit rate, cache size, and a ``kernel`` section timing the scalar vs
+numpy float kernels over the sweep's real signature workload) so the
+numbers are tracked across PRs.
 """
 
 from __future__ import annotations
@@ -26,8 +28,11 @@ from __future__ import annotations
 import time
 from collections import Counter
 
-from reporting import write_bench_json
+from reporting import tiny_mode, write_bench_json
 
+from repro.core.kernel import numpy_available
+from repro.core.minimize1 import Minimize1Solver
+from repro.core.minimize2 import min_ratio_table
 from repro.engine import DisclosureEngine
 from repro.generalization.apply import bucketize_at
 
@@ -58,6 +63,86 @@ def _cold_sweep(bucketizations) -> tuple[int, int]:
         evaluations += engine.stats.evaluations
         hits += engine.stats.cache_hits
     return evaluations, hits
+
+
+def _time_kernel(kern: str, distinct_sigs, per_node_sigs, max_m: int):
+    """One timed pass of the float hot path under ``kern``.
+
+    Covers both DPs: the batched MINIMIZE1 tables over every distinct
+    signature in the sweep (the vectorized kernel proper) and the full
+    MINIMIZE2 min-ratio table per lattice node.
+    """
+    start = time.perf_counter()
+    tables = Minimize1Solver(kernel=kern).tables(distinct_sigs, max_m)
+    minimize1_s = time.perf_counter() - start
+    start = time.perf_counter()
+    ratios = [
+        min_ratio_table(sigs, max(KS), kernel=kern) for sigs in per_node_sigs
+    ]
+    min_ratio_s = time.perf_counter() - start
+    return minimize1_s, min_ratio_s, (tables, ratios)
+
+
+def _kernel_section(bucketizations) -> dict:
+    """Scalar vs numpy wall time over the sweep's real signature workload.
+
+    The committed (non-tiny) record is the ROADMAP's "raw speed" evidence:
+    the batched MINIMIZE1 kernel must run >= 5x faster under numpy than
+    under the scalar loops, with bit-identical results
+    (``check_bench_schema.py`` gates both).
+    """
+    per_node_sigs = [
+        [sig for sig, count in b.signature_items() for _ in range(count)]
+        for b in bucketizations
+    ]
+    distinct_sigs = sorted({sig for sigs in per_node_sigs for sig in sigs})
+    max_m = 6 if tiny_mode() else 8
+    section = {
+        "kernels": ["scalar", "numpy"],
+        "numpy_available": numpy_available(),
+        "distinct_signatures": len(distinct_sigs),
+        "nodes": len(per_node_sigs),
+        "max_m": max_m,
+        "max_k": max(KS),
+        "scalar_minimize1_s": None,
+        "numpy_minimize1_s": None,
+        "minimize1_speedup": None,
+        "scalar_min_ratio_s": None,
+        "numpy_min_ratio_s": None,
+        "min_ratio_speedup": None,
+        "identical_results": None,
+    }
+    repeats = 1 if tiny_mode() else 3  # best-of-N: timings, not noise
+    warmup = [distinct_sigs[: min(16, len(distinct_sigs))]]
+    for kern in ("scalar", "numpy") if numpy_available() else ("scalar",):
+        _time_kernel(kern, warmup[0], warmup, max_m)  # allocator warm-up
+    runs = [
+        _time_kernel("scalar", distinct_sigs, per_node_sigs, max_m)
+        for _ in range(repeats)
+    ]
+    scalar_m1 = min(run[0] for run in runs)
+    scalar_mr = min(run[1] for run in runs)
+    scalar_results = runs[-1][2]
+    section["scalar_minimize1_s"] = round(scalar_m1, 4)
+    section["scalar_min_ratio_s"] = round(scalar_mr, 4)
+    if not numpy_available():
+        return section  # scalar-only environment: timings stay one-sided
+    runs = [
+        _time_kernel("numpy", distinct_sigs, per_node_sigs, max_m)
+        for _ in range(repeats)
+    ]
+    numpy_m1 = min(run[0] for run in runs)
+    numpy_mr = min(run[1] for run in runs)
+    numpy_results = runs[-1][2]
+    section["numpy_minimize1_s"] = round(numpy_m1, 4)
+    section["numpy_min_ratio_s"] = round(numpy_mr, 4)
+    section["minimize1_speedup"] = round(scalar_m1 / numpy_m1, 2)
+    section["min_ratio_speedup"] = round(scalar_mr / numpy_mr, 2)
+    section["identical_results"] = numpy_results == scalar_results
+    assert section["identical_results"]  # exact-ULP, not approximate
+    if not tiny_mode():
+        assert section["minimize1_speedup"] >= 5.0
+    return section
 
 
 def test_shared_engine_two_epoch_sweep(benchmark, adult_medium, lattice):
@@ -108,6 +193,7 @@ def test_shared_engine_two_epoch_sweep(benchmark, adult_medium, lattice):
             "cache_entries": engine.cache_size(),
             "evictions": engine.stats.evictions,
             "stats": engine.stats.as_dict(),
+            "kernel": _kernel_section(bucketizations),
         },
     )
 

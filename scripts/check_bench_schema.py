@@ -52,6 +52,7 @@ REQUIRED = {
         "cache_entries",
         "evictions",
         "stats",
+        "kernel",
     },
     "parallel": ENVELOPE
     | {
@@ -111,6 +112,25 @@ PERSISTENT_KEYS = BACKEND_KEYS | {
     "max_workers_used",
 }
 
+#: Keys required inside the engine record's ``kernel`` section, and the
+#: speedup floor the committed (non-tiny) baseline must demonstrate.
+KERNEL_KEYS = {
+    "kernels",
+    "numpy_available",
+    "distinct_signatures",
+    "nodes",
+    "max_m",
+    "max_k",
+    "scalar_minimize1_s",
+    "numpy_minimize1_s",
+    "minimize1_speedup",
+    "scalar_min_ratio_s",
+    "numpy_min_ratio_s",
+    "min_ratio_speedup",
+    "identical_results",
+}
+KERNEL_SPEEDUP_FLOOR = 5.0
+
 #: Keys required inside the service record's nested sections.
 KEEPALIVE_KEYS = {
     "warm_repeats",
@@ -155,10 +175,42 @@ def check(path: str) -> list[str]:
         errors.append(f"{path}: missing keys {missing}")
     if name == "parallel" and record.get("identical_results") is not True:
         errors.append(f"{path}: parallel results did not match serial")
+    if name == "engine":
+        errors.extend(_check_engine(path, record))
     if name == "backend":
         errors.extend(_check_backend(path, record))
     if name == "service":
         errors.extend(_check_service(path, record))
+    return errors
+
+
+def _check_engine(path: str, record: dict) -> list[str]:
+    """The engine record's ``kernel`` section invariants: all keys present,
+    and — whenever the numpy kernel actually ran — bit-identical results.
+    The >= 5x MINIMIZE1 speedup floor is only meaningful at bench scale, so
+    it is enforced for non-tiny records (the committed baseline)."""
+    errors: list[str] = []
+    section = record.get("kernel")
+    if not isinstance(section, dict):
+        return [f"{path}: 'kernel' must be an object"]
+    missing = sorted(KERNEL_KEYS - set(section))
+    if missing:
+        errors.append(f"{path}: kernel missing keys {missing}")
+    if not section.get("numpy_available"):
+        return errors  # scalar-only environment: nothing to compare
+    if section.get("identical_results") is not True:
+        errors.append(
+            f"{path}: numpy kernel results diverged from the scalar kernel"
+        )
+    speedup = section.get("minimize1_speedup")
+    if not record.get("tiny") and (
+        not isinstance(speedup, (int, float))
+        or speedup < KERNEL_SPEEDUP_FLOOR
+    ):
+        errors.append(
+            f"{path}: kernel minimize1_speedup {speedup!r} below the "
+            f"x{KERNEL_SPEEDUP_FLOOR:g} floor"
+        )
     return errors
 
 

@@ -37,9 +37,11 @@ accept ``--adversary`` with any model name from the engine registry
 (:func:`repro.engine.base.available_adversaries`). ``disclosure``,
 ``search``, ``fig5`` and ``fig6`` additionally take the engine knobs
 ``--workers`` (worker count for batch evaluation), ``--backend``
-(``serial`` / ``pool`` / ``persistent`` execution backend) and
-``--cache-limit`` (LRU bound on the shared cache); ``disclosure
---cache-stats`` prints the cache's hit/parallel-hit/miss/eviction counters.
+(``serial`` / ``pool`` / ``persistent`` execution backend), ``--kernel``
+(``auto`` / ``numpy`` / ``scalar`` MINIMIZE1/MINIMIZE2 kernel for the float
+path) and ``--cache-limit`` (LRU bound on the shared cache); ``disclosure
+--cache-stats`` prints the cache's hit/parallel-hit/miss/eviction counters
+and the active kernel.
 """
 
 from __future__ import annotations
@@ -48,6 +50,7 @@ import argparse
 import sys
 from collections.abc import Sequence
 
+from repro.core.kernel import KERNELS
 from repro.core.negation import NegationWitness
 from repro.core.safety import SafetyChecker
 from repro.core.sampling import sample_probability
@@ -150,6 +153,17 @@ def _add_engine_options(parser: argparse.ArgumentParser) -> None:
             "newly seen signatures per batch (default pool)"
         ),
     )
+    parser.add_argument(
+        "--kernel",
+        choices=KERNELS,
+        default="auto",
+        help=(
+            "MINIMIZE1/MINIMIZE2 kernel for the float path: 'numpy' is the "
+            "vectorized kernel (bit-identical to 'scalar'), 'auto' picks it "
+            "when numpy is installed; exact mode always runs scalar "
+            "(default auto)"
+        ),
+    )
 
 
 def _build_engine(args: argparse.Namespace) -> DisclosureEngine:
@@ -163,6 +177,7 @@ def _build_engine(args: argparse.Namespace) -> DisclosureEngine:
         policy=policy,
         workers=getattr(args, "workers", 1),
         backend=getattr(args, "backend", "pool"),
+        kernel=getattr(args, "kernel", "auto"),
     )
 
 
@@ -171,7 +186,8 @@ def _print_cache_stats(engine: DisclosureEngine) -> None:
     print(
         f"cache: {engine.cache_size()} entries, {stats.cache_hits} hits / "
         f"{stats.parallel_hits} parallel hits / {stats.misses} misses "
-        f"(hit rate {stats.hit_rate:.2%}), {stats.evictions} evictions"
+        f"(hit rate {stats.hit_rate:.2%}), {stats.evictions} evictions, "
+        f"kernel {stats.kernel}"
     )
 
 
@@ -410,6 +426,7 @@ def _cmd_disclosure(args: argparse.Namespace) -> int:
             negation = comparison["negation"][args.k]
             print(f"max disclosure, {args.k} implications : {implication:.6f}")
             print(f"max disclosure, {args.k} negations    : {negation:.6f}")
+            print(f"kernel: {engine.kernel}")
         else:
             value = engine.evaluate(bucketization, args.k, model=args.adversary)
             print(
@@ -590,6 +607,7 @@ async def _serve_until_signalled(args: argparse.Namespace) -> int:
             shards=args.shards,
             backend=args.backend,
             workers=args.workers,
+            kernel=args.kernel,
             cache_limit=args.cache_limit,
             cache_path=args.cache_file,
             batch_window=args.batch_window,
@@ -603,6 +621,7 @@ async def _serve_until_signalled(args: argparse.Namespace) -> int:
             port=args.port,
             backend=args.backend,
             workers=args.workers,
+            kernel=args.kernel,
             cache_limit=args.cache_limit,
             cache_path=args.cache_file,
             batch_window=args.batch_window,
@@ -686,10 +705,11 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     try:
         return _COMMANDS[args.command](args)
-    except (ReproError, ValueError) as exc:
+    except (ReproError, ValueError, ModuleNotFoundError) as exc:
         # Library errors (no safe node, oracle guard tripped by an
-        # oracle-only adversary, inconsistent knowledge) and argument
-        # validation both surface as one clean diagnostic.
+        # oracle-only adversary, inconsistent knowledge), argument
+        # validation, and a missing optional dependency (numpy for the
+        # synthetic Adult generator) all surface as one clean diagnostic.
         print(f"error: {exc}", file=sys.stderr)
         return 1
 

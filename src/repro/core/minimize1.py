@@ -30,6 +30,8 @@ from __future__ import annotations
 from collections.abc import Iterator, Sequence
 from fractions import Fraction
 
+from repro.core import kernel as _kernel
+
 __all__ = [
     "INFEASIBLE",
     "lemma12_probability",
@@ -177,18 +179,35 @@ class Minimize1Solver:
         interned id instead of the raw signature tuple, so a plane shared
         with the engine pays for hashing each signature once instead of on
         every lookup.
+    kernel:
+        ``"auto"`` (vectorized when numpy is available and the solver is in
+        float mode), ``"numpy"``, or ``"scalar"`` — resolved once via
+        :func:`repro.core.kernel.resolve_kernel`; exact mode is always
+        scalar.
     """
 
-    def __init__(self, *, exact: bool = False, intern=None) -> None:
+    def __init__(
+        self, *, exact: bool = False, intern=None, kernel: str = "auto"
+    ) -> None:
         self._exact = exact
         self._one = Fraction(1) if exact else 1.0
         self._intern = intern
         self._memo: dict[object, dict] = {}
+        self._tables: dict[object, list] = {}
+        self._kernel = _kernel.resolve_kernel(kernel, exact=exact)
 
     @property
     def exact(self) -> bool:
         """Whether results are exact fractions."""
         return self._exact
+
+    @property
+    def kernel(self) -> str:
+        """The concrete kernel in use: ``"numpy"`` or ``"scalar"``."""
+        return self._kernel
+
+    def _key(self, sig: tuple[int, ...]):
+        return sig if self._intern is None else self._intern(sig)
 
     def minimum(self, signature: Sequence[int], m: int):
         """Minimum of ``Pr(AND_{i in [m]} NOT A_i | B)`` for ``m`` atoms in a
@@ -198,10 +217,17 @@ class Minimize1Solver:
             raise ValueError(f"m must be non-negative, got {m}")
         if m == 0:
             return self._one
+        if self._kernel == "numpy":
+            key = self._key(sig)
+            cached = self._tables.get(key)
+            if cached is None or len(cached) <= m:
+                self.tables([sig], m)
+                cached = self._tables[key]
+            return cached[m]
         n = sum(sig)
         prefix = _prefix_sums(sig)
         d = len(sig)
-        key = sig if self._intern is None else self._intern(sig)
+        key = self._key(sig)
         memo = self._memo.setdefault(key, {})
 
         def g(i: int, cap: int, rem: int):
@@ -239,19 +265,58 @@ class Minimize1Solver:
     def table(self, signature: Sequence[int], max_m: int) -> list:
         """``[minimum(signature, m) for m in 0..max_m]`` — one list the
         cross-bucket DP consumes. Sub-problems are shared across ``m``."""
+        if self._kernel == "numpy":
+            return self.tables([signature], max_m)[0]
         return [self.minimum(signature, m) for m in range(max_m + 1)]
 
+    def tables(
+        self, signatures: Sequence[Sequence[int]], max_m: int
+    ) -> list[list]:
+        """``[table(sig, max_m) for sig in signatures]`` in one batch.
+
+        On the numpy kernel every *distinct* signature not already cached
+        at this width is solved in a single vectorized pass; the scalar
+        kernel simply loops. Values are identical either way — the
+        vectorized DP reproduces the scalar float path bit-for-bit.
+        """
+        if max_m < 0:
+            raise ValueError(f"max_m must be non-negative, got {max_m}")
+        sigs = [_validate_signature(s) for s in signatures]
+        if self._kernel != "numpy":
+            return [self.table(sig, max_m) for sig in sigs]
+        keys = [self._key(sig) for sig in sigs]
+        missing: dict[object, tuple[int, ...]] = {}
+        for key, sig in zip(keys, sigs):
+            cached = self._tables.get(key)
+            if cached is None or len(cached) <= max_m:
+                missing[key] = sig
+        if missing:
+            solved = _kernel.minimize1_tables(list(missing.values()), max_m)
+            # A wider cached table has identical prefixes (the DP's
+            # candidate set per state does not depend on max_m), so
+            # overwriting a narrower entry never changes earlier values.
+            for key, tbl in zip(missing, solved):
+                self._tables[key] = tbl
+        return [self._tables[key][: max_m + 1] for key in keys]
+
     def memo_size(self) -> int:
-        """Total number of memoized DP states (for the incremental bench)."""
-        return sum(len(states) for states in self._memo.values())
+        """Total number of memoized DP states (for the incremental bench).
+
+        On the numpy kernel each cached table entry counts as one state —
+        the vectorized pass keeps no per-``(i, cap, rem)`` memo.
+        """
+        states = sum(len(states) for states in self._memo.values())
+        return states + sum(len(tbl) for tbl in self._tables.values())
 
     def known_signatures(self) -> int:
         """Number of distinct bucket signatures solved so far."""
-        return len(self._memo)
+        return len(self._memo.keys() | self._tables.keys())
 
 
 def resolve_solver(
-    exact: bool | None, solver: Minimize1Solver | None
+    exact: bool | None,
+    solver: Minimize1Solver | None,
+    kernel: str = "auto",
 ) -> Minimize1Solver:
     """One rule for the ``exact``/``solver`` keyword pair, shared by every
     disclosure entry point.
@@ -260,10 +325,11 @@ def resolve_solver(
     solver is passed. Passing both ``exact`` and a solver whose mode differs
     is an error: the solver's memoized tables are in one arithmetic, and
     silently answering in the other hides a float/Fraction mixup at the
-    call site.
+    call site. ``kernel`` seeds a freshly created solver; a provided
+    solver's already-resolved kernel always wins.
     """
     if solver is None:
-        return Minimize1Solver(exact=bool(exact))
+        return Minimize1Solver(exact=bool(exact), kernel=kernel)
     if exact is not None and bool(exact) != solver.exact:
         raise ValueError(
             f"exact={exact} conflicts with the provided solver's "

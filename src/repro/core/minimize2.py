@@ -36,6 +36,7 @@ from collections import Counter
 from collections.abc import Mapping, Sequence
 from fractions import Fraction
 
+from repro.core import kernel as _kernel
 from repro.core.minimize1 import INFEASIBLE, Minimize1Solver, resolve_solver
 
 __all__ = ["min_ratio_table", "effective_signatures", "MinRatioComputation"]
@@ -110,6 +111,12 @@ class MinRatioComputation:
         # f_after[i] = (fa, ff) where fa[h] / ff[h] are the minimum products
         # contributed by buckets i..end when h antecedent atoms remain and A
         # is already placed (fa) or still to place (ff).
+        if solver.kernel == "numpy":
+            tables = solver.tables(sigs, max_k + 1)
+            boosts = [sum(s) / s[0] for s in sigs]
+            self._after = _kernel.min_ratio_backward(tables, boosts, max_k)
+            self._after.reverse()
+            return
         width = max_k + 1
         fa = [one] + [INFEASIBLE] * max_k
         ff = [INFEASIBLE] * width
@@ -157,6 +164,7 @@ def min_ratio_table(
     solver: Minimize1Solver | None = None,
     exact: bool | None = None,
     dedupe: bool = True,
+    kernel: str = "auto",
 ) -> list:
     """Minimum of Formula (1) for every ``k in 0..max_k`` over a bucketization
     given by its bucket ``signatures`` (one per bucket, or pre-counted as a
@@ -176,8 +184,12 @@ def min_ratio_table(
     dedupe:
         Collapse equal signatures (always safe; disable only to measure the
         undeduplicated algorithm).
+    kernel:
+        Kernel selector for a freshly created solver (``auto``/``numpy``/
+        ``scalar``); a provided ``solver``'s kernel wins. The numpy kernel
+        is bit-identical to scalar on the float path.
     """
-    solver = resolve_solver(exact, solver)
+    solver = resolve_solver(exact, solver, kernel)
     if dedupe:
         sigs = effective_signatures(signatures, max_k + 1)
     elif isinstance(signatures, Mapping):

@@ -18,7 +18,10 @@ and every experiment accepts it unchanged.
 
 from __future__ import annotations
 
-import numpy as np
+try:  # numpy is the `fast` extra; only *generating* synthetic rows needs it
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI leg
+    np = None
 
 from repro.data.schema import Schema
 from repro.data.table import Table
@@ -301,6 +304,12 @@ def generate_adult(n: int = ADULT_SIZE, *, seed: int = 20070419) -> Table:
     """
     if n <= 0:
         raise ValueError(f"n must be positive, got {n}")
+    if np is None:
+        raise ModuleNotFoundError(
+            "generate_adult requires numpy for its seeded sampling "
+            "(pip install 'repro[fast]'); real data loaded via "
+            "repro.data.loader works without it"
+        )
     rng = np.random.default_rng(seed)
 
     ages = _sample_ages(rng, n)

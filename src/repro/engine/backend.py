@@ -89,13 +89,17 @@ class ExecutionBackend(abc.ABC):
         *,
         exact: bool,
         workers: int,
+        kernel: str = "auto",
     ) -> list[dict[int, object]]:
         """One disclosure series per plane key, in input order.
 
         ``plane_keys`` are id-multisets on ``plane``; how much of the plane
         crosses a process boundary (full raw signatures vs. an incremental
-        delta) is the backend's business. Failures raise (typically
-        :class:`BackendError`); the engine degrades to its serial path.
+        delta) is the backend's business. ``kernel`` is the engine's
+        already-resolved concrete kernel (``"numpy"``/``"scalar"``), which
+        every worker must honor so parallel results stay bit-identical to
+        serial. Failures raise (typically :class:`BackendError`); the
+        engine degrades to its serial path.
         """
 
     def close(self) -> None:
@@ -120,9 +124,9 @@ class SerialBackend(ExecutionBackend):
     name: ClassVar[str] = "serial"
     parallel: ClassVar[bool] = False
 
-    def run(self, model, plane, plane_keys, ks, *, exact, workers):
+    def run(self, model, plane, plane_keys, ks, *, exact, workers, kernel="auto"):
         raw = [plane.decode(key) for key in plane_keys]
-        return evaluate_raw_multisets(model, raw, sorted(set(ks)), exact)
+        return evaluate_raw_multisets(model, raw, sorted(set(ks)), exact, kernel)
 
 
 class PoolBackend(ExecutionBackend):
@@ -135,9 +139,11 @@ class PoolBackend(ExecutionBackend):
 
     name: ClassVar[str] = "pool"
 
-    def run(self, model, plane, plane_keys, ks, *, exact, workers):
+    def run(self, model, plane, plane_keys, ks, *, exact, workers, kernel="auto"):
         raw = [plane.decode(key) for key in plane_keys]
-        return parallel_series(model, raw, ks, exact=exact, workers=workers)
+        return parallel_series(
+            model, raw, ks, exact=exact, workers=workers, kernel=kernel
+        )
 
 
 # ---------------------------------------------------------------------------
@@ -158,7 +164,7 @@ def _persistent_worker(conn) -> None:
 
     mirror: list[tuple[int, ...]] = []
     model = None
-    contexts: dict[bool, EngineContext] = {}
+    contexts: dict[tuple[bool, str], EngineContext] = {}
     while True:
         try:
             message = conn.recv()
@@ -167,17 +173,17 @@ def _persistent_worker(conn) -> None:
         if message[0] == "stop":
             conn.close()
             return
-        _, shipped_model, exact, reset, delta, tasks, ks = message
+        _, shipped_model, exact, kernel, reset, delta, tasks, ks = message
         if reset:
             mirror.clear()
         mirror.extend(delta)
         if shipped_model is not None:
             model = shipped_model
         try:
-            context = contexts.get(exact)
+            context = contexts.get((exact, kernel))
             if context is None:
-                context = EngineContext(exact=exact)
-                contexts[exact] = context
+                context = EngineContext(exact=exact, kernel=kernel)
+                contexts[(exact, kernel)] = context
             results = []
             for task in tasks:
                 raw = tuple((mirror[sig_id], count) for sig_id, count in task)
@@ -363,7 +369,7 @@ class PersistentBackend(ExecutionBackend):
             self._stop_workers()
 
     # -- execution ------------------------------------------------------
-    def run(self, model, plane, plane_keys, ks, *, exact, workers):
+    def run(self, model, plane, plane_keys, ks, *, exact, workers, kernel="auto"):
         keys = list(plane_keys)
         ks = sorted(set(ks))
         if not keys:
@@ -373,7 +379,9 @@ class PersistentBackend(ExecutionBackend):
             self._cancel_idle_timer()
             try:
                 try:
-                    return self._run_once(model, plane, keys, ks, exact, workers)
+                    return self._run_once(
+                        model, plane, keys, ks, exact, kernel, workers
+                    )
                 except _WorkerDied:
                     # Respawn the whole pool once and retry; mirrors restart
                     # empty, so the retry re-ships the full prefix.
@@ -381,7 +389,7 @@ class PersistentBackend(ExecutionBackend):
                     self._stop_workers()
                     try:
                         return self._run_once(
-                            model, plane, keys, ks, exact, workers
+                            model, plane, keys, ks, exact, kernel, workers
                         )
                     except _WorkerDied as exc:
                         self._stop_workers()
@@ -391,7 +399,7 @@ class PersistentBackend(ExecutionBackend):
             finally:
                 self._arm_idle_timer()
 
-    def _run_once(self, model, plane, keys, ks, exact, workers):
+    def _run_once(self, model, plane, keys, ks, exact, kernel, workers):
         pool = self._ensure_workers(workers)
         chunks = [keys[i::len(pool)] for i in range(len(pool))]
         model_key = (type(model), model.name, model.params_key())
@@ -409,7 +417,7 @@ class PersistentBackend(ExecutionBackend):
             ship_model = model if worker.model_key != model_key else None
             try:
                 worker.conn.send(
-                    ("batch", ship_model, exact, reset, delta, chunk, ks)
+                    ("batch", ship_model, exact, kernel, reset, delta, chunk, ks)
                 )
             except (BrokenPipeError, OSError) as exc:
                 raise _WorkerDied(str(exc)) from exc

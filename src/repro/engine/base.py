@@ -61,20 +61,32 @@ class EngineContext:
         keyed by the plane's interned signature ids, so per-bucket DP work
         done for one model or one bucketization is reused by every later call
         on the same context.
+    kernel:
+        The *concrete* kernel the solver resolved to (``"numpy"`` or
+        ``"scalar"``). The constructor accepts the full selector
+        (``auto``/``numpy``/``scalar``); exact mode always resolves to
+        scalar — see :func:`repro.core.kernel.resolve_kernel`.
     scratch:
         A free-form dict for model-private cross-call state (keyed by model
         name by convention); lets plugins memoize beyond what the engine's
         whole-bucketization cache covers.
     """
 
-    __slots__ = ("exact", "plane", "solver", "scratch")
+    __slots__ = ("exact", "plane", "solver", "kernel", "scratch")
 
     def __init__(
-        self, *, exact: bool = False, plane: SignaturePlane | None = None
+        self,
+        *,
+        exact: bool = False,
+        plane: SignaturePlane | None = None,
+        kernel: str = "auto",
     ) -> None:
         self.exact = exact
         self.plane = plane if plane is not None else SignaturePlane()
-        self.solver = Minimize1Solver(exact=exact, intern=self.plane.intern)
+        self.solver = Minimize1Solver(
+            exact=exact, intern=self.plane.intern, kernel=kernel
+        )
+        self.kernel = self.solver.kernel
         self.scratch: dict[Any, Any] = {}
 
 

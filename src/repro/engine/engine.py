@@ -94,6 +94,11 @@ class EngineStats:
         Unique plane keys whose series were computed by worker processes
         (their per-``k`` results reach callers via ``parallel_hits``
         assembly and cache warm-back).
+    kernel:
+        The concrete MINIMIZE1/MINIMIZE2 kernel the engine resolved to
+        (``"numpy"`` or ``"scalar"``) — surfaced so benchmark artifacts and
+        ``/stats`` are self-describing about the code path that produced
+        their numbers.
     """
 
     evaluations: int = 0
@@ -101,6 +106,7 @@ class EngineStats:
     parallel_hits: int = 0
     evictions: int = 0
     parallel_tasks: int = 0
+    kernel: str = "scalar"
 
     @property
     def misses(self) -> int:
@@ -122,6 +128,7 @@ class EngineStats:
             "hit_rate": round(self.hit_rate, 6),
             "evictions": self.evictions,
             "parallel_tasks": self.parallel_tasks,
+            "kernel": self.kernel,
         }
 
 
@@ -154,6 +161,14 @@ class DisclosureEngine:
         call :meth:`close` (or use the engine as a context manager) when
         done; the engine closes whichever backend it holds, including a
         caller-provided instance.
+    kernel:
+        MINIMIZE1/MINIMIZE2 kernel selector (``"auto"``, ``"numpy"``,
+        ``"scalar"``). Resolved once at construction via
+        :func:`repro.core.kernel.resolve_kernel` — exact mode always runs
+        scalar, and the resolved concrete kernel is shipped to every
+        worker so parallel results stay bit-identical to serial. The
+        numpy float kernel is itself bit-identical to the scalar float
+        path.
 
     Examples
     --------
@@ -175,14 +190,15 @@ class DisclosureEngine:
         policy: CachePolicy | None = None,
         workers: int = 1,
         backend: str | ExecutionBackend = "pool",
+        kernel: str = "auto",
     ) -> None:
         self.exact = exact
         self.policy = policy if policy is not None else CachePolicy()
         self.workers = max(1, int(workers))
         self.backend = create_backend(backend)
         self.plane = SignaturePlane()
-        self.context = EngineContext(exact=exact, plane=self.plane)
-        self.stats = EngineStats()
+        self.context = EngineContext(exact=exact, plane=self.plane, kernel=kernel)
+        self.stats = EngineStats(kernel=self.context.kernel)
         self._cache: OrderedDict[tuple, Any] = OrderedDict()
         self._pinned: set[tuple] = set()
         self._pin_depth = 0
@@ -203,6 +219,11 @@ class DisclosureEngine:
 
     def __exit__(self, *exc_info) -> None:
         self.close()
+
+    @property
+    def kernel(self) -> str:
+        """The concrete MINIMIZE1/MINIMIZE2 kernel in use (``numpy``/``scalar``)."""
+        return self.context.kernel
 
     # ------------------------------------------------------------------
     # Model resolution and cache plumbing
@@ -529,6 +550,7 @@ class DisclosureEngine:
                 ks,
                 exact=self.exact,
                 workers=workers,
+                kernel=self.context.kernel,
             )
         except Exception:
             # Backend unavailable (unpicklable plugin, fork restrictions,

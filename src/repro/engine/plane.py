@@ -162,7 +162,11 @@ class CachePolicy:
 # Parallel batch execution
 # ---------------------------------------------------------------------------
 def evaluate_raw_multisets(
-    model, raw_multisets: Sequence[RawMultiset], ks: Sequence[int], exact: bool
+    model,
+    raw_multisets: Sequence[RawMultiset],
+    ks: Sequence[int],
+    exact: bool,
+    kernel: str = "auto",
 ) -> list[dict[int, object]]:
     """Worker entry point: one disclosure series per raw signature multiset.
 
@@ -171,11 +175,13 @@ def evaluate_raw_multisets(
     a synthetic, evaluation-equivalent bucketization; the model's own batch
     path then produces the series. Only signature-decomposable models are
     dispatched here, so the rebuilt bucketization yields bit-for-bit the
-    serial answer (same canonical signature order, same arithmetic).
+    serial answer (same canonical signature order, same arithmetic, same
+    ``kernel`` — callers ship the engine's already-resolved kernel so every
+    worker computes on the identical code path).
     """
     from repro.engine.base import EngineContext  # worker-side; avoid cycle
 
-    context = EngineContext(exact=exact)
+    context = EngineContext(exact=exact, kernel=kernel)
     return [
         model.series(
             Bucketization.from_signature_counts(raw), ks, context=context
@@ -197,6 +203,7 @@ def parallel_series(
     *,
     exact: bool,
     workers: int,
+    kernel: str = "auto",
     chunks_per_worker: int = 4,
 ) -> list[dict[int, object]]:
     """Evaluate many raw signature multisets over a process pool.
@@ -216,13 +223,15 @@ def parallel_series(
         return []
     workers = max(1, min(int(workers), len(multisets)))
     if workers == 1:
-        return evaluate_raw_multisets(model, multisets, ks, exact)
+        return evaluate_raw_multisets(model, multisets, ks, exact, kernel)
     stride = min(len(multisets), workers * chunks_per_worker)
     chunks = _strided_chunks(multisets, stride)
     results: list = [None] * len(multisets)
     with ProcessPoolExecutor(max_workers=workers) as pool:
         futures = [
-            pool.submit(evaluate_raw_multisets, model, chunk, ks, exact)
+            pool.submit(
+                evaluate_raw_multisets, model, chunk, ks, exact, kernel
+            )
             for chunk in chunks
         ]
         for index, future in enumerate(futures):

@@ -96,6 +96,7 @@ class RouterStats:
         self.by_status: Counter[int] = Counter()
         self.proxied = 0
         self.split_batches = 0
+        self.whole_batches = 0
         self.restarts = 0
         self.replays = 0
         self.by_shard: Counter[int] = Counter()
@@ -108,6 +109,7 @@ class RouterStats:
             "by_status": {str(k): v for k, v in self.by_status.items()},
             "proxied": self.proxied,
             "split_batches": self.split_batches,
+            "whole_batches": self.whole_batches,
             "restarts": self.restarts,
             "replays": self.replays,
             "by_shard": {str(k): v for k, v in self.by_shard.items()},
@@ -146,7 +148,7 @@ class ShardRouter(JsonHttpServer):
     ----------
     shards:
         Number of child service processes (>= 1).
-    backend, workers, cache_limit, batch_window:
+    backend, workers, kernel, cache_limit, batch_window:
         Passed through to every shard as its engine/coalescer knobs.
     cache_path:
         Shared persistence *prefix*: shard ``i`` persists to
@@ -172,6 +174,7 @@ class ShardRouter(JsonHttpServer):
         shards: int = 2,
         backend: str = "serial",
         workers: int = 1,
+        kernel: str = "auto",
         cache_limit: int | None = None,
         cache_path: str | Path | None = None,
         batch_window: float = 0.002,
@@ -198,6 +201,7 @@ class ShardRouter(JsonHttpServer):
             )
         self.backend = backend
         self.workers = workers
+        self.kernel = kernel
         self.cache_limit = cache_limit
         self.cache_path = Path(cache_path) if cache_path is not None else None
         self.batch_window = batch_window
@@ -224,6 +228,8 @@ class ShardRouter(JsonHttpServer):
             self.backend,
             "--workers",
             str(self.workers),
+            "--kernel",
+            self.kernel,
             "--batch-window",
             str(self.batch_window),
         ]
@@ -548,7 +554,7 @@ class ShardRouter(JsonHttpServer):
 
     async def _ep_disclosure(self, path: str, payload: dict, body: bytes):
         if "bucketizations" in payload:
-            return await self._ep_batch(path, payload)
+            return await self._ep_batch(path, payload, body)
         return await self._ep_single_key(path, payload, body)
 
     async def _ep_single_key(self, path: str, payload: dict, body: bytes):
@@ -576,8 +582,14 @@ class ShardRouter(JsonHttpServer):
         )
         return await self._forward(shard, "POST", path, body)
 
-    async def _ep_batch(self, path: str, payload: dict):
-        """Split a batch by per-bucketization plane key, merge losslessly."""
+    async def _ep_batch(self, path: str, payload: dict, body: bytes):
+        """Split a batch by per-bucketization plane key, merge losslessly.
+
+        When every bucketization hashes to one shard there is nothing to
+        split: the original request bytes are forwarded whole (no sub-batch
+        re-encoding, no merge pass) and the skip is counted in
+        ``whole_batches``.
+        """
         mode = self._mode(payload)
         model = self._model_name(payload)
         ks = require_ks(payload)
@@ -589,10 +601,9 @@ class ShardRouter(JsonHttpServer):
             shard = self._shard_for(mode, model, tuple(ks), buckets)
             groups.setdefault(shard.index, []).append(position)
         if len(groups) == 1:
+            self.stats.whole_batches += 1
             shard = self.shards[next(iter(groups))]
-            return await self._forward(
-                shard, "POST", path, json.dumps(payload).encode()
-            )
+            return await self._forward(shard, "POST", path, body)
         self.stats.split_batches += 1
 
         async def _sub(shard_index: int, positions: list[int]):

@@ -169,11 +169,12 @@ class DisclosureService(JsonHttpServer):
         Bind address; ``port=0`` picks an ephemeral port (read it back from
         :attr:`port` after :meth:`start` — the pattern tests and
         ``repro serve --port 0`` use).
-    backend, workers, cache_limit:
+    backend, workers, cache_limit, kernel:
         Engine construction knobs, exactly as the CLI flags: each mode's
         engine gets its own execution backend built from the ``backend``
-        name and a :class:`~repro.engine.plane.CachePolicy` bounded by
-        ``cache_limit``.
+        name, a :class:`~repro.engine.plane.CachePolicy` bounded by
+        ``cache_limit``, and the MINIMIZE1/MINIMIZE2 ``kernel`` selector
+        (the exact engine always resolves to scalar).
     cache_path:
         Optional path *prefix* for cache persistence. Boot loads
         ``<prefix>.float.pkl`` / ``<prefix>.exact.pkl`` when present
@@ -211,6 +212,7 @@ class DisclosureService(JsonHttpServer):
         port: int = 0,
         backend: str = "serial",
         workers: int = 1,
+        kernel: str = "auto",
         cache_limit: int | None = None,
         cache_path: str | Path | None = None,
         batch_window: float = 0.002,
@@ -233,6 +235,7 @@ class DisclosureService(JsonHttpServer):
                 policy=CachePolicy(max_entries=cache_limit),
                 workers=workers,
                 backend=backend,
+                kernel=kernel,
             )
             for mode in _MODES
         }
@@ -523,6 +526,7 @@ class DisclosureService(JsonHttpServer):
         return 200, {
             "ks": sorted(set(ks)),
             "exact": mode == "exact",
+            "kernel": engine.kernel,
             "series": {
                 name: encode_series(series)
                 for name, series in comparison.items()

@@ -74,6 +74,7 @@ def adult_lattice() -> GeneralizationLattice:
 @pytest.fixture(scope="session")
 def small_adult():
     """A small synthetic Adult sample shared across the session."""
+    pytest.importorskip("numpy", reason="the synthetic Adult generator needs numpy")
     from repro.data.adult import generate_adult
 
     return generate_adult(1500, seed=7)

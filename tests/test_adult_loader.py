@@ -14,10 +14,17 @@ from repro.data.adult import (
     SEXES,
     generate_adult,
 )
+from repro.core.kernel import numpy_available
 from repro.data.loader import load_adult_file, load_csv, save_csv
 from repro.errors import SchemaError
 
+requires_numpy = pytest.mark.skipif(
+    not numpy_available(),
+    reason="the synthetic Adult generator needs numpy (repro[fast])",
+)
 
+
+@requires_numpy
 class TestGenerator:
     def test_deterministic(self):
         a = generate_adult(500, seed=3)

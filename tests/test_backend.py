@@ -31,6 +31,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.bucketization import Bucketization
+from repro.core.kernel import numpy_available
 from repro.engine import (
     CachePolicy,
     DisclosureEngine,
@@ -42,6 +43,11 @@ from repro.engine import (
 )
 
 BACKENDS = ("serial", "pool", "persistent")
+
+requires_numpy = pytest.mark.skipif(
+    not numpy_available(),
+    reason="the synthetic Adult generator needs numpy (repro[fast])",
+)
 
 small_bucketization_lists = st.lists(
     st.lists(
@@ -110,6 +116,7 @@ class TestEquivalence:
                     )
                     assert result == expected, (model, exact, engine.backend.name)
 
+    @requires_numpy
     def test_search_prewarm_on_persistent_backend(self, shared_persistent):
         from repro.data.adult import ADULT_SCHEMA
         from repro.data.hierarchies import adult_hierarchies
@@ -127,6 +134,7 @@ class TestEquivalence:
         assert engine.find_minimal_safe_nodes(table, lattice, 0.8, 2) == serial
         assert engine.stats.parallel_tasks > 0
 
+    @requires_numpy
     def test_fig6_on_persistent_backend(self, shared_persistent):
         from repro.experiments.fig6 import run_figure6
         from repro.experiments.runner import default_adult_table

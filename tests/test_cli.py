@@ -5,6 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.cli import build_parser, main
+from repro.core.kernel import numpy_available
 from repro.data.adult import ADULT_SCHEMA
 from repro.data.loader import load_csv
 
@@ -23,6 +24,12 @@ class TestParser:
             build_parser().parse_args(["fig5", "--node", "a,b"])
 
 
+# Every command here runs against the synthetic Adult table (even the
+# csv-input test generates its fixture file first).
+@pytest.mark.skipif(
+    not numpy_available(),
+    reason="the synthetic Adult generator needs numpy (repro[fast])",
+)
 class TestCommands:
     def test_generate_writes_csv(self, tmp_path, capsys):
         out = tmp_path / "synthetic.csv"

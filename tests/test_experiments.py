@@ -6,10 +6,17 @@ import pytest
 
 from repro.experiments.fig5 import FIG5_NODE, run_figure5
 from repro.experiments.fig6 import run_figure6
+from repro.core.kernel import numpy_available
 from repro.experiments.runner import (
     default_adult_table,
     render_figure5,
     render_figure6,
+)
+
+# Every figure harness runs on the synthetic Adult table.
+pytestmark = pytest.mark.skipif(
+    not numpy_available(),
+    reason="the synthetic Adult generator needs numpy (repro[fast])",
 )
 
 

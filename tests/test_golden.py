@@ -23,10 +23,17 @@ from pathlib import Path
 
 import pytest
 
+from repro.core.kernel import numpy_available
 from repro.data.adult import generate_adult
 from repro.engine import DisclosureEngine
 from repro.experiments.fig5 import run_figure5
 from repro.experiments.fig6 import run_figure6
+
+# The goldens are generated from the seeded synthetic Adult table.
+pytestmark = pytest.mark.skipif(
+    not numpy_available(),
+    reason="the synthetic Adult generator needs numpy (repro[fast])",
+)
 
 GOLDEN_DIR = Path(__file__).resolve().parent / "golden"
 

@@ -5,6 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.anonymity import is_k_anonymous
+from repro.core.kernel import numpy_available
 from repro.core.safety import SafetyChecker
 from repro.generalization.apply import bucketize_at
 from repro.generalization.incognito import (
@@ -72,6 +73,10 @@ def test_phase_structure(small_adult, adult_lattice):
     assert stats.evaluated >= stats.final_phase_evaluated
 
 
+@pytest.mark.skipif(
+    not numpy_available(),
+    reason="the synthetic Adult generator needs numpy (repro[fast])",
+)
 def test_randomized_thresholds_always_match(adult_lattice):
     # Sweep a grid of thresholds and attacker powers on a small table: the
     # two searches must agree everywhere, including the no-safe-node and

@@ -16,6 +16,7 @@ from repro import (
 )
 from repro.anonymity import is_k_anonymous, max_k_anonymity
 from repro.bucketization import anatomize
+from repro.core.kernel import numpy_available
 from repro.core.negation import max_disclosure_negations
 from repro.data.loader import load_csv, save_csv
 from repro.generalization.search import (
@@ -23,6 +24,13 @@ from repro.generalization.search import (
     find_minimal_safe_nodes,
 )
 from repro.utility.metrics import precision
+
+
+# Every pipeline here starts from the synthetic Adult table.
+pytestmark = pytest.mark.skipif(
+    not numpy_available(),
+    reason="the synthetic Adult generator needs numpy (repro[fast])",
+)
 
 
 @pytest.fixture(scope="module")

@@ -32,8 +32,14 @@ from repro.engine import (
     SignaturePlane,
     get_adversary,
 )
+from repro.core.kernel import numpy_available
 from repro.experiments.fig6 import run_figure6
 from repro.experiments.runner import default_adult_table
+
+requires_numpy = pytest.mark.skipif(
+    not numpy_available(),
+    reason="the synthetic Adult generator needs numpy (repro[fast])",
+)
 
 small_bucketizations = st.lists(
     st.lists(st.sampled_from("abcde"), min_size=1, max_size=6),
@@ -254,6 +260,7 @@ class TestCachePolicy:
         engine.unpin_all()
         assert engine.pinned_count() == 0
 
+    @requires_numpy
     def test_pin_sweeps_policy_pins_lattice_entries(self):
         table = default_adult_table(200)
         from repro.data.adult import ADULT_SCHEMA
@@ -269,6 +276,7 @@ class TestCachePolicy:
         engine.find_minimal_safe_nodes(table, lattice, 0.9, 2)
         assert engine.pinned_count() > 0
 
+    @requires_numpy
     def test_pin_sweeps_covers_parallel_prewarm(self):
         """The parallel prewarm inside find_minimal_safe_nodes must pin its
         warm-back entries too, so the sweep's cache fill survives churn."""
@@ -296,6 +304,7 @@ class TestCachePolicy:
         assert rerun == result
         assert engine.stats.misses == misses  # pure cache hits
 
+    @requires_numpy
     def test_bounded_fig6_sweep_respects_limit_and_reports_evictions(self):
         """The acceptance scenario: a full Figure-6 sweep under an entry
         limit finishes within bound, with evictions > 0 in EngineStats."""
@@ -369,6 +378,7 @@ class TestCachePersistence:
 # ---------------------------------------------------------------------------
 # Consumers on the plane
 # ---------------------------------------------------------------------------
+@requires_numpy
 class TestPlaneConsumers:
     def test_node_predicate_shares_signature_duplicates(self):
         """Two lattice nodes inducing the same signature multiset cost one

@@ -151,6 +151,23 @@ class TestShardedEquivalence:
         # 12 random shapes across 3 shards: the batch really was split.
         assert after == before + 1
 
+    def test_single_shard_batch_forwarded_whole(self, router, client):
+        """Every item hashing to one shard skips the split/merge machinery:
+        the router forwards the original body and counts a whole batch."""
+        # Same signature shape => same shard key (values are irrelevant).
+        bs = [
+            Bucketization.from_value_lists([[v, v, "other"], ["p", "q"]])
+            for v in ("a", "b", "c", "d")
+        ]
+        ks = [1, 2]
+        before = client.stats()["router"]
+        served = client.disclosure_batch(bs, ks)
+        direct = DisclosureEngine().evaluate_many(bs, ks)
+        assert served == direct
+        after = client.stats()["router"]
+        assert after["whole_batches"] == before["whole_batches"] + 1
+        assert after["split_batches"] == before["split_batches"]
+
     def test_safety_and_compare_and_witness_proxy(self, router, client):
         b = Bucketization.from_value_lists(
             [["Flu", "Flu", "Cancer"], ["Flu", "Mumps", "Cancer"]]
