@@ -19,18 +19,29 @@ against in-process :class:`~repro.service.server.BackgroundService` /
   concurrently are served from one engine batch — ``/stats`` records the
   coalesced batches, and the answers stay bit-identical to a direct
   :class:`~repro.engine.engine.DisclosureEngine`;
-- **sharding preserves the bits**: a 3-shard plane-key-routed deployment
+- **sharding preserves the bits and never costs throughput**: a 3-shard
+  plane-key-routed deployment (``shard_mode="auto"``: in-process shards
+  on a low-core box, subprocess shards when cores outnumber shards)
   answers a concurrent workload identically to the single service and to
-  the direct engine (``sharded.identical_results``; the req/s sections
-  track the topology cost/win across PRs — on a 1-core CI box the extra
-  processes are overhead, which is why no speedup is asserted).
+  the direct engine (``sharded.identical_results``), and — thanks to the
+  router's zero-reparse byte memo, cache-peek fast path and upstream
+  coalescing — at least matches the single service's req/s
+  (``sharded.requests_per_s_ratio >= 1.0``, enforced for non-tiny runs
+  by ``scripts/check_bench_schema.py``);
+- **routing is cheap**: the ``router_overhead`` microbench times one
+  routing decision three ways — the old full-reparse path (build a
+  ``Bucketization``), the keyed path (one signature pass over raw
+  lists) and the steady-state byte-memo lookup.
 
-``BENCH_service.json`` records all five (schema-checked in CI via
-``scripts/check_bench_schema.py``; ``BENCH_TINY=1`` shrinks the workload).
+``BENCH_service.json`` records all of it (schema-checked in CI via
+``scripts/check_bench_schema.py``; ``BENCH_TINY=1`` shrinks the
+workload), including p50/p95/p99 request latencies for the warm single
+service and the sharded topology.
 """
 
 from __future__ import annotations
 
+import json
 import random
 import threading
 import time
@@ -40,12 +51,76 @@ from reporting import tiny_mode, write_bench_json
 from repro.bucketization import Bucketization
 from repro.engine import DisclosureEngine
 from repro.service import BackgroundRouter, BackgroundService, ServiceClient
+from repro.service.router import shard_key
+from repro.service.wire import (
+    bucket_lists,
+    bucketization_from_payload,
+    signature_items_from_lists,
+)
 
 K = 3
 CONCURRENT_CLIENTS = 8
 SHARDS = 3
 #: Client threads for the sharded-vs-single comparison.
 HAMMER_THREADS = 4
+
+
+def _percentiles(latencies_s: list[float]) -> dict[str, float]:
+    """p50/p95/p99 of per-request wall times, reported in milliseconds."""
+    ordered = sorted(latencies_s)
+    out: dict[str, float] = {}
+    for point in (50, 95, 99):
+        index = min(
+            len(ordered) - 1, round(point / 100 * (len(ordered) - 1))
+        )
+        out[f"p{point}_ms"] = round(ordered[index] * 1000, 3)
+    return out
+
+
+def _router_overhead_microbench(b: Bucketization) -> dict[str, float]:
+    """One routing decision, three ways: full reparse (the pre-refactor
+    path: JSON -> ``Bucketization`` object graph -> plane key), keyed
+    (JSON -> one signature pass over the raw lists -> plane key), and the
+    steady-state byte-memo lookup that skips JSON entirely."""
+    payload = {
+        "buckets": bucket_lists(b),
+        "k": K,
+        "model": "implication",
+        "exact": False,
+    }
+    body = json.dumps(payload).encode()
+    iterations = 200 if tiny_mode() else 5000
+
+    start = time.perf_counter()
+    for _ in range(iterations):
+        decoded = json.loads(body)
+        items = bucketization_from_payload(
+            decoded["buckets"]
+        ).signature_items()
+        shard_key("float", decoded["model"], (decoded["k"],), items) % SHARDS
+    reparse_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    for _ in range(iterations):
+        decoded = json.loads(body)
+        items = signature_items_from_lists(decoded["buckets"])
+        shard_key("float", decoded["model"], (decoded["k"],), items) % SHARDS
+    keyed_s = time.perf_counter() - start
+
+    memo = {("/disclosure", body): 1}
+    start = time.perf_counter()
+    for _ in range(iterations):
+        memo.get(("/disclosure", body))
+    memo_s = time.perf_counter() - start
+
+    return {
+        "iterations": iterations,
+        "reparse_us": round(reparse_s / iterations * 1e6, 3),
+        "keyed_us": round(keyed_s / iterations * 1e6, 3),
+        "memo_us": round(memo_s / iterations * 1e6, 3),
+        "keyed_speedup": round(reparse_s / keyed_s, 3) if keyed_s > 0 else 0.0,
+        "memo_speedup": round(reparse_s / memo_s, 3) if memo_s > 0 else 0.0,
+    }
 
 
 def _workload() -> list[Bucketization]:
@@ -68,20 +143,37 @@ def _sequential_singles(client: ServiceClient, bs, k: int) -> list:
     return [client.disclosure(b, k) for b in bs]
 
 
-def _hammer(host: str, port: int, bs, k: int, passes: int) -> tuple[float, list]:
+def _hammer(
+    host: str, port: int, bs, k: int, passes: int
+) -> tuple[float, list, list]:
     """``HAMMER_THREADS`` pooled clients each sweep the question list
-    ``passes`` times; returns (wall seconds, every thread's answers)."""
+    ``passes`` times; returns (wall seconds, every thread's answers,
+    every request's wall time).
+
+    One untimed warmup sweep fills the caches (and, behind a router, the
+    byte memo) first, so the timed window measures the steady-state
+    serving path both topologies claim — not the one-off engine fills,
+    which are identical work for both and would only dilute the
+    comparison with compute noise."""
+    with ServiceClient(host, port, pool_size=1) as warmup:
+        for b in bs:
+            warmup.disclosure(b, k)
     results: list = [None] * HAMMER_THREADS
+    latencies: list = [None] * HAMMER_THREADS
     barrier = threading.Barrier(HAMMER_THREADS + 1)
 
     def worker(index: int) -> None:
         client = ServiceClient(host, port, pool_size=2)
         barrier.wait(timeout=60)
         answers = []
+        times = []
         for _ in range(passes):
             for b in bs:
+                begin = time.perf_counter()
                 answers.append(client.disclosure(b, k))
+                times.append(time.perf_counter() - begin)
         results[index] = answers
+        latencies[index] = times
         client.close()
 
     threads = [
@@ -95,7 +187,7 @@ def _hammer(host: str, port: int, bs, k: int, passes: int) -> tuple[float, list]
     for thread in threads:
         thread.join(timeout=300)
     elapsed = time.perf_counter() - start
-    return elapsed, results
+    return elapsed, results, [t for times in latencies for t in times or []]
 
 
 def test_service_latency_throughput_coalescing(benchmark):
@@ -112,8 +204,15 @@ def test_service_latency_throughput_coalescing(benchmark):
 
         # Warm: the same question repeatedly (pure cache + HTTP cost),
         # through the pooled keep-alive client — the default path.
+        warm_latencies: list[float] = []
+
         def warm_round() -> list:
-            return [client.disclosure(bs[0], K) for _ in range(repeats)]
+            values = []
+            for _ in range(repeats):
+                begin = time.perf_counter()
+                values.append(client.disclosure(bs[0], K))
+                warm_latencies.append(time.perf_counter() - begin)
+            return values
 
         start = time.perf_counter()
         warm_values = benchmark.pedantic(warm_round, rounds=1, iterations=1)
@@ -193,13 +292,13 @@ def test_service_latency_throughput_coalescing(benchmark):
     hammer_passes = 2 if tiny_mode() else 4
     hammer_requests = HAMMER_THREADS * hammer_passes * len(bs)
     with BackgroundService(backend="serial", batch_window=0.0) as bg:
-        single_elapsed, single_answers = _hammer(
+        single_elapsed, single_answers, _ = _hammer(
             bg.host, bg.port, bs, K + 3, hammer_passes
         )
     with BackgroundRouter(
-        shards=SHARDS, backend="serial", batch_window=0.0
+        shards=SHARDS, shard_mode="auto", backend="serial", batch_window=0.0
     ) as bg:
-        sharded_elapsed, sharded_answers = _hammer(
+        sharded_elapsed, sharded_answers, sharded_latencies = _hammer(
             bg.host, bg.port, bs, K + 3, hammer_passes
         )
         router_stats = bg.client().stats()["router"]
@@ -229,10 +328,14 @@ def test_service_latency_throughput_coalescing(benchmark):
     assert coalesced_batches >= 1, "no concurrent singles were coalesced"
     assert service_stats["single_requests"] == CONCURRENT_CLIENTS
 
+    sharded_ratio = sharded_rps / single_rps if single_rps > 0 else 0.0
+    router_overhead = _router_overhead_microbench(bs[0])
+
     benchmark.extra_info["requests_per_s"] = round(requests_per_s, 1)
     benchmark.extra_info["batch_speedup"] = round(batch_speedup, 3)
     benchmark.extra_info["keepalive_speedup"] = round(keepalive_speedup, 3)
     benchmark.extra_info["sharded_requests_per_s"] = round(sharded_rps, 1)
+    benchmark.extra_info["sharded_ratio"] = round(sharded_ratio, 3)
 
     write_bench_json(
         "service",
@@ -254,6 +357,8 @@ def test_service_latency_throughput_coalescing(benchmark):
             "coalesced_singles": service_stats["coalesced_singles"],
             "max_coalesced": service_stats["max_coalesced"],
             "identical_results": identical,
+            "latency": _percentiles(warm_latencies),
+            "router_overhead": router_overhead,
             "keepalive": {
                 "warm_repeats": repeats,
                 "requests_per_s": round(keepalive_rps, 1),
@@ -262,12 +367,19 @@ def test_service_latency_throughput_coalescing(benchmark):
             },
             "sharded": {
                 "shards": SHARDS,
+                "shard_mode": router_stats["shard_mode"],
                 "clients": HAMMER_THREADS,
                 "requests": hammer_requests,
                 "requests_per_s": round(sharded_rps, 1),
                 "single_requests_per_s": round(single_rps, 1),
+                "requests_per_s_ratio": round(sharded_ratio, 3),
+                **_percentiles(sharded_latencies),
                 "split_batches": router_stats["split_batches"],
                 "restarts": router_stats["restarts"],
+                "route_memo_hits": router_stats["route_memo_hits"],
+                "reparse_avoided": router_stats["reparse_avoided"],
+                "fast_hits": router_stats["fast_hits"],
+                "coalesced_batches": router_stats["coalesced_batches"],
                 "identical_results": sharded_identical,
             },
         },

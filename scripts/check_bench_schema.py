@@ -98,6 +98,8 @@ REQUIRED = {
         "coalesced_singles",
         "max_coalesced",
         "identical_results",
+        "latency",
+        "router_overhead",
         "keepalive",
         "sharded",
     },
@@ -138,16 +140,34 @@ KEEPALIVE_KEYS = {
     "per_connection_requests_per_s",
     "speedup",
 }
-SHARDED_KEYS = {
-    "shards",
-    "clients",
-    "requests",
-    "requests_per_s",
-    "single_requests_per_s",
-    "split_batches",
-    "restarts",
-    "identical_results",
+LATENCY_KEYS = {"p50_ms", "p95_ms", "p99_ms"}
+ROUTER_OVERHEAD_KEYS = {
+    "iterations",
+    "reparse_us",
+    "keyed_us",
+    "memo_us",
+    "keyed_speedup",
+    "memo_speedup",
 }
+SHARDED_KEYS = (
+    LATENCY_KEYS
+    | {
+        "shards",
+        "shard_mode",
+        "clients",
+        "requests",
+        "requests_per_s",
+        "single_requests_per_s",
+        "requests_per_s_ratio",
+        "split_batches",
+        "restarts",
+        "route_memo_hits",
+        "reparse_avoided",
+        "fast_hits",
+        "coalesced_batches",
+        "identical_results",
+    }
+)
 
 
 def _load(path: str):
@@ -217,8 +237,10 @@ def _check_engine(path: str, record: dict) -> list[str]:
 def _check_service(path: str, record: dict) -> list[str]:
     """The service record's invariants: served values bit-identical to the
     direct engine (single, batch, keep-alive and sharded topologies),
-    concurrent singles actually coalesced, and the keep-alive/sharded
-    req/s sections present and complete."""
+    concurrent singles actually coalesced, the latency / router-overhead /
+    keep-alive / sharded sections present and complete, and — at bench
+    scale (non-tiny) — the sharded topology at least matching the single
+    service's req/s (the PR-7 routing-hot-path floor)."""
     errors: list[str] = []
     if record.get("identical_results") is not True:
         errors.append(f"{path}: service answers diverged from the engine")
@@ -229,6 +251,8 @@ def _check_service(path: str, record: dict) -> list[str]:
             f"(coalesced_batches={batches!r})"
         )
     for section, required in (
+        ("latency", LATENCY_KEYS),
+        ("router_overhead", ROUTER_OVERHEAD_KEYS),
         ("keepalive", KEEPALIVE_KEYS),
         ("sharded", SHARDED_KEYS),
     ):
@@ -244,6 +268,18 @@ def _check_service(path: str, record: dict) -> list[str]:
         errors.append(
             f"{path}: sharded deployment diverged from the single engine"
         )
+    if isinstance(sharded, dict) and not record.get("tiny"):
+        sharded_rps = sharded.get("requests_per_s")
+        single_rps = sharded.get("single_requests_per_s")
+        if (
+            isinstance(sharded_rps, (int, float))
+            and isinstance(single_rps, (int, float))
+            and sharded_rps < single_rps
+        ):
+            errors.append(
+                f"{path}: sharded throughput {sharded_rps} req/s below the "
+                f"single-service floor of {single_rps} req/s"
+            )
     return errors
 
 

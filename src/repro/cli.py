@@ -25,9 +25,10 @@ Subcommands
     both arithmetic modes, keep-alive connections, request coalescing, cache
     persistence across restarts, graceful SIGTERM shutdown. With
     ``--shards N`` (N >= 2) it instead runs the sharded tier
-    (:class:`repro.service.router.ShardRouter`): N child service processes
-    behind a plane-key hash router with restart-and-replay supervision and
-    one persisted cache file pair per shard.
+    (:class:`repro.service.router.ShardRouter`): N child service shards —
+    subprocesses or embedded in the router, per ``--shard-mode`` — behind
+    a plane-key hash router with restart-and-replay supervision and one
+    persisted cache file pair per shard.
 
 Every command accepts ``--rows``/``--seed`` to control the synthetic dataset
 or ``--csv`` to use a file produced by ``generate`` (or the real Adult data
@@ -345,10 +346,22 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         metavar="N",
         help=(
-            "run N service processes behind a plane-key hash router "
+            "run N service shards behind a plane-key hash router "
             "(cache-affinity routing, restart-and-replay supervision, "
             "per-shard cache files); 1 = a single in-process service "
             "(default 1)"
+        ),
+    )
+    p_serve.add_argument(
+        "--shard-mode",
+        choices=("auto", "process", "inproc"),
+        default="auto",
+        help=(
+            "how --shards N shards run: 'process' = one subprocess per "
+            "shard (the multi-core topology), 'inproc' = shards embedded "
+            "in the router process (no socket hop; right when cores <= "
+            "shards), 'auto' = process only when this host has more cores "
+            "than shards (default auto)"
         ),
     )
     p_serve.add_argument(
@@ -605,6 +618,7 @@ async def _serve_until_signalled(args: argparse.Namespace) -> int:
             host=args.host,
             port=args.port,
             shards=args.shards,
+            shard_mode=args.shard_mode,
             backend=args.backend,
             workers=args.workers,
             kernel=args.kernel,
@@ -644,12 +658,19 @@ async def _serve_until_signalled(args: argparse.Namespace) -> int:
     # --port 0 can read the ephemeral port back.
     print(f"serving on http://{service.host}:{service.port}", flush=True)
     if args.shards > 1:
-        ports = [shard.port for shard in service.shards]
-        print(
-            f"router: {args.shards} shards on ports {ports}; "
-            f"backend={args.backend}, workers={args.workers} per shard",
-            flush=True,
-        )
+        if service.shard_mode == "inproc":
+            print(
+                f"router: {args.shards} in-process shards; "
+                f"backend={args.backend}, workers={args.workers} per shard",
+                flush=True,
+            )
+        else:
+            ports = [shard.port for shard in service.shards]
+            print(
+                f"router: {args.shards} shards on ports {ports}; "
+                f"backend={args.backend}, workers={args.workers} per shard",
+                flush=True,
+            )
     else:
         loaded = service.loaded_entries
         print(

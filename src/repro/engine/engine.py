@@ -272,6 +272,32 @@ class DisclosureEngine:
     def _key(self, m: AdversaryModel, bucketization: Bucketization, k: int):
         return (m.name, m.params_key(), k, self._bucket_key(m, bucketization))
 
+    def peek_cached(self, model, k: int, signature_items):
+        """Read-only cache probe from raw ``(signature, count)`` items.
+
+        Returns the cached disclosure value for the plane key
+        ``(model, k, signature-multiset)`` or ``None`` on a miss — without
+        constructing a :class:`Bucketization`, interning anything into the
+        plane, touching LRU order, or recording stats. Every operation is a
+        plain dict read, so the serving layer may call this from its event
+        loop while the engine thread computes: the worst a race can produce
+        is a spurious miss, never a wrong value.
+
+        Only signature-decomposable models are peekable (others key their
+        cache finer than the plane); anything else is reported as a miss.
+        """
+        if k < 0:
+            return None
+        m = self.model(model)
+        if not m.signature_decomposable():
+            return None
+        plane_key = self.plane.probe(signature_items)
+        if plane_key is None:
+            return None
+        key = (m.name, m.params_key(), k, ("plane", plane_key))
+        value = self._cache.get(key, _MISS)
+        return None if value is _MISS else value
+
     def _cache_get(self, key):
         value = self._cache.get(key, _MISS)
         if value is not _MISS:

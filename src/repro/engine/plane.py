@@ -122,6 +122,26 @@ class SignaturePlane:
             sorted((self.intern(signature), count) for signature, count in items)
         )
 
+    def probe(self, items) -> PlaneKey | None:
+        """Like :meth:`encode_counts` but strictly **read-only**: interns
+        nothing, and returns ``None`` as soon as any signature has never
+        been seen by this plane (so the corresponding plane key cannot be
+        in any cache keyed on it).
+
+        Because it only performs dict reads, this is safe to call from a
+        thread other than the one mutating the plane — the serving layer's
+        event-loop cache peek relies on exactly that.
+        """
+        ids = self._ids
+        out = []
+        for signature, count in items:
+            sig_id = ids.get(signature)
+            if sig_id is None:
+                return None
+            out.append((sig_id, count))
+        out.sort()
+        return tuple(out)
+
     def decode(self, key: PlaneKey) -> RawMultiset:
         """A plane key back as portable ``((signature, count), ...)`` pairs."""
         return tuple(

@@ -17,9 +17,12 @@ server's. This package is that server, and its horizontal scaling tier:
   load-cache/save-cache lifecycle, and :class:`BackgroundService` for
   in-process embedding.
 - :mod:`repro.service.router` — :class:`ShardRouter`, N supervised
-  service processes behind a plane-key hash router (cache-affinity
-  routing, lossless batch split/merge, restart-and-replay, aggregated
-  stats), plus :class:`BackgroundRouter`.
+  service shards behind a plane-key hash router (cache-affinity routing
+  with a zero-reparse byte memo, lossless batch split/merge, upstream
+  coalescing, restart-and-replay, aggregated stats). Shards run as
+  subprocesses or embedded in the router process
+  (``shard_mode="process"/"inproc"/"auto"``), plus
+  :class:`BackgroundRouter`.
 - :mod:`repro.service.client` — :class:`ServiceClient`, the blocking
   stdlib client with a bounded keep-alive connection pool whose answers
   are bit-identical to direct engine calls.
@@ -41,9 +44,12 @@ from repro.service.client import ServiceClient, ServiceError
 from repro.service.httpbase import ConnectionStats, JsonHttpServer
 from repro.service.router import (
     BackgroundRouter,
+    InprocShard,
+    ProcessShard,
     RouterStats,
     Shard,
     ShardRouter,
+    resolve_shard_mode,
 )
 from repro.service.server import (
     BackgroundService,
@@ -67,6 +73,9 @@ __all__ = [
     "BackgroundRouter",
     "RouterStats",
     "Shard",
+    "ProcessShard",
+    "InprocShard",
+    "resolve_shard_mode",
     "JsonHttpServer",
     "ConnectionStats",
     "ServiceClient",

@@ -27,6 +27,7 @@ from fractions import Fraction
 from typing import Any
 
 from repro.errors import ReproError
+from repro.service.httpbase import set_nodelay
 from repro.service.wire import bucket_lists, decode_series, decode_value
 
 __all__ = ["ServiceError", "ServiceClient"]
@@ -41,6 +42,19 @@ _STALE_ERRORS = (
     BrokenPipeError,
     OSError,
 )
+
+
+class _NoDelayConnection(http.client.HTTPConnection):
+    """An ``HTTPConnection`` with ``TCP_NODELAY`` set on connect.
+
+    The client sends small JSON requests on keep-alive connections —
+    the pattern Nagle's algorithm penalizes with up to an RTT of added
+    latency per request while the kernel waits to batch payload.
+    """
+
+    def connect(self) -> None:
+        super().connect()
+        set_nodelay(self.sock)
 
 
 class ServiceError(ReproError):
@@ -100,9 +114,7 @@ class ServiceClient:
             if self._pool:
                 return self._pool.pop(), True
         return (
-            http.client.HTTPConnection(
-                self.host, self.port, timeout=self.timeout
-            ),
+            _NoDelayConnection(self.host, self.port, timeout=self.timeout),
             False,
         )
 

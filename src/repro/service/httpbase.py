@@ -29,6 +29,7 @@ from __future__ import annotations
 import asyncio
 import contextlib
 import json
+import socket
 import threading
 from typing import Any
 
@@ -40,6 +41,7 @@ __all__ = [
     "Unavailable",
     "require",
     "require_ks",
+    "set_nodelay",
     "ConnectionStats",
     "JsonHttpServer",
     "BackgroundHost",
@@ -90,6 +92,24 @@ def require_ks(payload: dict) -> list[int]:
     ):
         raise BadRequest("'ks' must be a non-empty list of integers")
     return ks
+
+
+def set_nodelay(sock: Any) -> None:
+    """Set ``TCP_NODELAY`` on a socket, tolerating non-TCP transports.
+
+    Every socket in the serving tier carries small keep-alive JSON
+    requests — exactly the traffic pattern Nagle's algorithm delays by up
+    to an RTT while it waits for more payload to batch. The tier calls
+    this on every accepted connection, every client connection, and every
+    router→shard pool connection; Unix sockets and mocks (no
+    ``IPPROTO_TCP``) are silently left alone.
+    """
+    if sock is None:
+        return
+    try:
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+    except (OSError, AttributeError):
+        pass
 
 
 class ConnectionStats:
@@ -203,6 +223,29 @@ class JsonHttpServer:
     def note_request(self, endpoint: str | None, status: int) -> None:
         """Per-request accounting hook (endpoint is None before parsing)."""
 
+    async def dispatch(
+        self, method: str, path: str, body: bytes
+    ) -> tuple[int, dict, bool]:
+        """:meth:`_route` wrapped in the dialect's exception mapping.
+
+        Returns ``(status, payload, must_close)`` — ``must_close`` marks
+        responses after which a keep-alive connection must not be reused.
+        This is the full request semantics minus the socket, which is what
+        lets an in-process shard answer through the same code path as a
+        real connection (see :mod:`repro.service.router`).
+        """
+        try:
+            status, payload = await self._route(method, path, body)
+            return status, payload, False
+        except BadRequest as exc:
+            return 400, {"error": str(exc)}, False
+        except Unavailable as exc:
+            return 503, {"error": str(exc)}, True
+        except (ReproError, ValueError) as exc:
+            return 400, {"error": str(exc)}, False
+        except Exception as exc:  # never leak a traceback to the caller
+            return 500, {"error": f"{type(exc).__name__}: {exc}"}, False
+
     # ------------------------------------------------------------------
     # The connection loop
     # ------------------------------------------------------------------
@@ -226,6 +269,7 @@ class JsonHttpServer:
         stats.total += 1
         stats.open += 1
         stats.max_open = max(stats.max_open, stats.open)
+        set_nodelay(writer.get_extra_info("socket"))
         self._open_writers.add(writer)
         served = 0
         try:
@@ -265,17 +309,17 @@ class JsonHttpServer:
                 self.connections.keepalive_requests += 1
             method, path, body, keep_alive = request
             endpoint = path
-            status, payload = await self._route(method, path, body)
+            status, payload, must_close = await self.dispatch(
+                method, path, body
+            )
+            if must_close:
+                keep_alive = False
         except BadRequest as exc:
             status, payload = 400, {"error": str(exc)}
-        except Unavailable as exc:
-            status, payload, keep_alive = 503, {"error": str(exc)}, False
         except asyncio.TimeoutError:
             # The connection stalled mid-request: answer and drop it.
             status, payload = 400, {"error": "request read timed out"}
             keep_alive = False
-        except (ReproError, ValueError) as exc:
-            status, payload = 400, {"error": str(exc)}
         except (ConnectionError, asyncio.IncompleteReadError):
             return False
         except Exception as exc:  # never leak a traceback to the socket

@@ -3,37 +3,73 @@
 One :class:`~repro.service.server.DisclosureService` process is capped by
 its single engine thread and by the fact that its plane-keyed cache lives
 in one address space. :class:`ShardRouter` is the scale-out tier the
-ROADMAP names: it supervises ``N`` child service processes (each a plain
-``repro serve`` subprocess with its own engines, coalescer and persisted
-cache file) and routes every request by its **plane key** —
-``(mode, model, k, signature-multiset)``, exactly the engine's cache key —
-so repeated and same-shaped questions always land on the shard that
-already has them cached. Cache locality is not best-effort here; it is
-the routing invariant.
+ROADMAP names: it supervises ``N`` child services and routes every request
+by its **plane key** — ``(mode, model, k, signature-multiset)``, exactly
+the engine's cache key — so repeated and same-shaped questions always land
+on the shard that already has them cached. Cache locality is not
+best-effort here; it is the routing invariant.
+
+Shards come in two **modes** (``shard_mode``):
+
+- ``"process"`` — each shard is a plain ``repro serve`` subprocess with
+  its own engines, coalescer and persisted cache file, supervised over
+  asyncio subprocess pipes. This is the multi-core topology: N engine
+  threads in N address spaces.
+- ``"inproc"`` — each shard is a :class:`DisclosureService` embedded in
+  the router process itself (booted via ``start_local``: engines,
+  coalescer, stats and per-shard cache persistence exactly as a
+  subprocess shard, minus the socket). Requests reach it through the
+  shared :meth:`~repro.service.httpbase.JsonHttpServer.dispatch` code
+  path, so answers are bit-identical — but a hop costs a method call,
+  not a socket round trip. This is the low-core topology: on a box with
+  fewer cores than shards, process shards only add context switches and
+  serialization.
+- ``"auto"`` (the default) picks per host: ``process`` when the machine
+  has more cores than shards, ``inproc`` otherwise
+  (:func:`resolve_shard_mode`).
+
+The routing hot path never re-parses what it has already seen: a bounded
+memo keyed on the **raw request bytes** maps straight to the routing
+decision (``route_memo_hits`` / ``reparse_avoided`` in ``/stats``), and a
+memo miss derives the shard key with one
+:func:`~repro.service.wire.signature_items_from_lists` pass over the
+JSON — no :class:`~repro.bucketization.bucketization.Bucketization`
+object graph. Single requests are forwarded as their original bytes,
+untouched; for in-process shards a routed single whose answer is already
+cached is answered on the router's event loop without any dispatch at all
+(``fast_hits``). Concurrent singles bound for the same process shard are
+drained into one upstream batch (``coalesced_batches`` /
+``coalesced_singles``), so N pending questions cost one socket round
+trip; in-process shards rely on their own coalescer, which already lives
+on the same loop.
 
 What the router guarantees:
 
-- **bit-identical answers**: the router never computes; it forwards the
-  original request bytes (or, for split batches, a lossless re-encoding)
-  and returns the shard's JSON untouched, so a 3-shard deployment answers
-  exactly like one engine, in both arithmetic modes.
+- **bit-identical answers**: the router forwards the original request
+  bytes (or, for split batches, a lossless re-encoding) and returns the
+  shard's JSON untouched; its fast paths only ever answer from the exact
+  engine cache entry the shard itself would have hit. A 3-shard
+  deployment answers exactly like one engine, in both arithmetic modes
+  and all shard modes.
 - **lossless batch split/merge**: a ``/disclosure`` batch is partitioned
   by each bucketization's plane key, the sub-batches run on their shards
   concurrently, and the per-bucketization series are reassembled in the
   original order.
-- **supervision**: shards are health-checked; a dead shard is restarted
-  and the in-flight request **replayed** on the fresh process (counted in
-  ``restarts`` / ``replays``). Shutdown SIGTERMs every shard so each
-  persists its own cache under the shared prefix
-  (``<prefix>.shard<i>.<mode>.pkl``).
+- **supervision**: process shards are health-checked; a dead shard is
+  restarted and the in-flight request **replayed** on the fresh process
+  (counted in ``restarts`` / ``replays``). Shutdown SIGTERMs every shard
+  so each persists its own cache under the shared prefix
+  (``<prefix>.shard<i>.<mode>.pkl``); in-process shards persist the same
+  files from the router's own shutdown.
 - **aggregated observability**: ``/stats`` merges router counters with
   every shard's ``/stats``; ``/healthz`` reports per-shard liveness.
 
 The router speaks the same keep-alive HTTP dialect as the shards (both
 subclass :class:`~repro.service.httpbase.JsonHttpServer`) and keeps a
-small keep-alive connection pool **per shard**, so a request costs one
-hop, not one handshake. Start one with ``repro serve --shards N`` or
-embed :class:`BackgroundRouter` in tests.
+small keep-alive connection pool **per process shard**, so a request
+costs one hop, not one handshake. Start one with
+``repro serve --shards N [--shard-mode MODE]`` or embed
+:class:`BackgroundRouter` in tests.
 """
 
 from __future__ import annotations
@@ -43,7 +79,6 @@ import hashlib
 import json
 import os
 import re
-import subprocess
 import sys
 import time
 from collections import Counter
@@ -58,18 +93,47 @@ from repro.service.httpbase import (
     Unavailable,
     require,
     require_ks,
+    set_nodelay,
 )
-from repro.service.server import parse_json_body
-from repro.service.wire import bucketization_from_payload
+from repro.service.server import DisclosureService, parse_json_body
+from repro.service.wire import signature_items_from_lists
 
-__all__ = ["RouterStats", "Shard", "ShardRouter", "BackgroundRouter"]
+__all__ = [
+    "RouterStats",
+    "Shard",
+    "ProcessShard",
+    "InprocShard",
+    "resolve_shard_mode",
+    "ShardRouter",
+    "BackgroundRouter",
+]
 
 #: How long a shard subprocess may take to print its port line.
 _BOOT_TIMEOUT = 60.0
 #: Idle keep-alive connections the router retains per shard.
 _POOL_PER_SHARD = 8
+#: Routing decisions memoized by raw request bytes (entries / body size).
+_ROUTE_MEMO_MAX = 1024
+_ROUTE_MEMO_BODY_MAX = 64 * 1024
 
 _PORT_LINE = re.compile(r"http://([^\s:]+):(\d+)")
+
+#: The shard modes ``repro serve --shard-mode`` accepts.
+SHARD_MODES = ("auto", "process", "inproc")
+
+
+def resolve_shard_mode(shard_mode: str, shards: int) -> str:
+    """``"auto"`` resolved against this host: ``"process"`` only when the
+    machine has more cores than shards — otherwise the extra processes
+    cannot run in parallel anyway and every hop still pays serialization
+    plus a socket round trip, so ``"inproc"`` is strictly better."""
+    if shard_mode not in SHARD_MODES:
+        raise ValueError(
+            f"shard_mode must be one of {SHARD_MODES}, got {shard_mode!r}"
+        )
+    if shard_mode != "auto":
+        return shard_mode
+    return "process" if (os.cpu_count() or 1) > shards else "inproc"
 
 
 def shard_key(
@@ -99,6 +163,11 @@ class RouterStats:
         self.whole_batches = 0
         self.restarts = 0
         self.replays = 0
+        self.route_memo_hits = 0
+        self.reparse_avoided = 0
+        self.fast_hits = 0
+        self.coalesced_batches = 0
+        self.coalesced_singles = 0
         self.by_shard: Counter[int] = Counter()
 
     def as_dict(self) -> dict[str, Any]:
@@ -112,18 +181,25 @@ class RouterStats:
             "whole_batches": self.whole_batches,
             "restarts": self.restarts,
             "replays": self.replays,
+            "route_memo_hits": self.route_memo_hits,
+            "reparse_avoided": self.reparse_avoided,
+            "fast_hits": self.fast_hits,
+            "coalesced_batches": self.coalesced_batches,
+            "coalesced_singles": self.coalesced_singles,
             "by_shard": {str(k): v for k, v in self.by_shard.items()},
         }
 
 
-class Shard:
+class ProcessShard:
     """One supervised child service process plus its connection pool."""
+
+    mode = "process"
 
     __slots__ = ("index", "process", "host", "port", "pool", "lock", "boots")
 
     def __init__(self, index: int) -> None:
         self.index = index
-        self.process: subprocess.Popen | None = None
+        self.process: asyncio.subprocess.Process | None = None
         self.host: str = "127.0.0.1"
         self.port: int = 0
         #: Idle keep-alive connections: ``(reader, writer)`` pairs.
@@ -133,7 +209,7 @@ class Shard:
         self.boots = 0
 
     def alive(self) -> bool:
-        return self.process is not None and self.process.poll() is None
+        return self.process is not None and self.process.returncode is None
 
     def drop_connections(self) -> None:
         pool, self.pool = self.pool, []
@@ -141,15 +217,95 @@ class Shard:
             writer.close()
 
 
+#: Legacy alias: ``Shard`` predates the in-process mode.
+Shard = ProcessShard
+
+
+class InprocShard:
+    """One embedded :class:`DisclosureService` shard (no process, no socket).
+
+    It cannot die independently of the router, so ``alive()`` is simply
+    "started" and there is nothing to supervise; its engines, coalescer,
+    stats and per-shard cache files behave exactly as a subprocess
+    shard's because it *is* a :class:`DisclosureService`, reached through
+    the same dispatch path a socket would reach.
+    """
+
+    mode = "inproc"
+
+    __slots__ = ("index", "service", "host", "port", "lock", "boots")
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+        self.service: DisclosureService | None = None
+        self.host: str = "inproc"
+        self.port: int = 0
+        self.lock: asyncio.Lock = asyncio.Lock()
+        self.boots = 0
+
+    def alive(self) -> bool:
+        return self.service is not None
+
+    def drop_connections(self) -> None:  # no sockets to drop
+        pass
+
+
+class _RouteEntry:
+    """One memoized routing decision for a single-bucketization body."""
+
+    __slots__ = ("shard_index", "mode", "model", "k", "items", "buckets",
+                 "coalescible")
+
+    def __init__(
+        self, shard_index, mode, model, k, items, buckets, coalescible
+    ) -> None:
+        self.shard_index = shard_index
+        self.mode = mode
+        self.model = model
+        self.k = k
+        self.items = items
+        #: Raw bucket lists, kept only for coalescible entries (they are
+        #: what an upstream batch is built from on a memo hit).
+        self.buckets = buckets
+        self.coalescible = coalescible
+
+
+class _RouterPending:
+    """One single request awaiting the router-side upstream coalescer."""
+
+    __slots__ = ("body", "buckets", "future")
+
+    def __init__(self, body: bytes, buckets, future) -> None:
+        self.body = body
+        self.buckets = buckets
+        self.future = future
+
+
+async def _drain_stream(stream: asyncio.StreamReader) -> None:
+    """Consume a shard's stdout after boot so the pipe never fills (a full
+    pipe would eventually block the child's prints)."""
+    try:
+        while await stream.read(65536):
+            pass
+    except Exception:
+        pass
+
+
 class ShardRouter(JsonHttpServer):
-    """A front router over ``shards`` child ``repro serve`` processes.
+    """A front router over ``shards`` child disclosure services.
 
     Parameters
     ----------
     shards:
-        Number of child service processes (>= 1).
+        Number of child services (>= 1).
+    shard_mode:
+        ``"process"`` (subprocess shards), ``"inproc"`` (embedded shards)
+        or ``"auto"`` (default; see :func:`resolve_shard_mode`). The
+        resolved value is readable back from :attr:`shard_mode`.
     backend, workers, kernel, cache_limit, batch_window:
         Passed through to every shard as its engine/coalescer knobs.
+        ``batch_window`` also paces the router's own upstream coalescer
+        for process shards.
     cache_path:
         Shared persistence *prefix*: shard ``i`` persists to
         ``<prefix>.shard<i>.float.pkl`` / ``.exact.pkl`` (each shard owns
@@ -157,7 +313,8 @@ class ShardRouter(JsonHttpServer):
     health_interval:
         Seconds between liveness sweeps over the shard processes (dead
         ones are restarted); 0 disables the background sweep — dead shards
-        are then only restarted on demand by the request path.
+        are then only restarted on demand by the request path. Meaningless
+        for in-process shards (they cannot die independently).
     forward_timeout:
         Seconds the router waits for a shard's answer before treating the
         shard as failed (restart-and-replay, then 503).
@@ -172,6 +329,7 @@ class ShardRouter(JsonHttpServer):
         host: str = "127.0.0.1",
         port: int = 0,
         shards: int = 2,
+        shard_mode: str = "auto",
         backend: str = "serial",
         workers: int = 1,
         kernel: str = "auto",
@@ -199,6 +357,7 @@ class ShardRouter(JsonHttpServer):
             raise ValueError(
                 f"health_interval must be >= 0, got {health_interval}"
             )
+        self.shard_mode = resolve_shard_mode(shard_mode, shards)
         self.backend = backend
         self.workers = workers
         self.kernel = kernel
@@ -207,14 +366,34 @@ class ShardRouter(JsonHttpServer):
         self.batch_window = batch_window
         self.health_interval = health_interval
         self.forward_timeout = forward_timeout
-        self.shards = [Shard(index) for index in range(shards)]
+        shard_class = (
+            InprocShard if self.shard_mode == "inproc" else ProcessShard
+        )
+        self.shards = [shard_class(index) for index in range(shards)]
         self.stats = RouterStats()
         self._health_task: asyncio.Task | None = None
+        #: ``(path, body) -> _RouteEntry``: the zero-reparse routing memo.
+        self._route_memo: dict[tuple[str, bytes], _RouteEntry] = {}
+        #: The upstream coalescer's queue, keyed like the shard's own
+        #: coalescer plus the owning shard.
+        self._pending: dict[
+            tuple[int, str, str, int], list[_RouterPending]
+        ] = {}
+        self._kick: asyncio.Event | None = None
+        self._coalescer: asyncio.Task | None = None
+        self._drain_tasks: set[asyncio.Task] = set()
 
     # ------------------------------------------------------------------
-    # Shard process supervision
+    # Shard supervision
     # ------------------------------------------------------------------
-    def _shard_argv(self, shard: Shard) -> list[str]:
+    def _shard_cache_prefix(self, shard) -> Path | None:
+        if self.cache_path is None:
+            return None
+        return self.cache_path.with_name(
+            f"{self.cache_path.name}.shard{shard.index}"
+        )
+
+    def _shard_argv(self, shard: ProcessShard) -> list[str]:
         argv = [
             sys.executable,
             "-m",
@@ -236,14 +415,7 @@ class ShardRouter(JsonHttpServer):
         if self.cache_limit is not None:
             argv += ["--cache-limit", str(self.cache_limit)]
         if self.cache_path is not None:
-            argv += [
-                "--cache-file",
-                str(
-                    self.cache_path.with_name(
-                        f"{self.cache_path.name}.shard{shard.index}"
-                    )
-                ),
-            ]
+            argv += ["--cache-file", str(self._shard_cache_prefix(shard))]
         return argv
 
     @staticmethod
@@ -259,16 +431,30 @@ class ShardRouter(JsonHttpServer):
         )
         return env
 
-    async def _spawn_shard(self, shard: Shard) -> None:
-        """Start one child process and read its bound port off stdout."""
-        process = subprocess.Popen(
-            self._shard_argv(shard),
-            stdout=subprocess.PIPE,
-            stderr=subprocess.STDOUT,
-            text=True,
+    async def _spawn_shard(self, shard) -> None:
+        """Boot one shard: a child process (reading its bound port off the
+        subprocess pipe) or an embedded socketless service."""
+        if shard.mode == "inproc":
+            service = DisclosureService(
+                backend=self.backend,
+                workers=self.workers,
+                kernel=self.kernel,
+                cache_limit=self.cache_limit,
+                cache_path=self._shard_cache_prefix(shard),
+                batch_window=self.batch_window,
+            )
+            await service.start_local()
+            shard.service = service
+            shard.boots += 1
+            return
+        process = await asyncio.create_subprocess_exec(
+            *self._shard_argv(shard),
+            stdout=asyncio.subprocess.PIPE,
+            stderr=asyncio.subprocess.STDOUT,
             env=self._shard_env(),
         )
         shard.process = process
+        assert process.stdout is not None
         loop = asyncio.get_running_loop()
         deadline = loop.time() + _BOOT_TIMEOUT
         lines: list[str] = []
@@ -281,24 +467,32 @@ class ShardRouter(JsonHttpServer):
                     f"{_BOOT_TIMEOUT}s; output so far: {lines!r}"
                 )
             try:
-                line = await asyncio.wait_for(
-                    loop.run_in_executor(None, process.stdout.readline),
-                    timeout=remaining,
+                raw = await asyncio.wait_for(
+                    process.stdout.readline(), timeout=remaining
                 )
             except asyncio.TimeoutError:
                 continue
-            if not line:  # child exited before binding
-                process.wait()
+            if not raw:  # child exited before binding
+                await process.wait()
                 raise RuntimeError(
                     f"shard {shard.index} exited with code "
                     f"{process.returncode} before binding; output: {lines!r}"
                 )
-            lines.append(line.rstrip())
+            line = raw.decode(errors="replace").rstrip()
+            lines.append(line)
             match = _PORT_LINE.search(line)
             if match:
                 shard.host = match.group(1)
                 shard.port = int(match.group(2))
                 shard.boots += 1
+                # From here on nobody reads the pipe on the request path;
+                # a background drain keeps it from filling up.
+                task = asyncio.create_task(
+                    _drain_stream(process.stdout),
+                    name=f"repro-shard{shard.index}-drain",
+                )
+                self._drain_tasks.add(task)
+                task.add_done_callback(self._drain_tasks.discard)
                 return
             if len(lines) > 50:
                 process.kill()
@@ -307,11 +501,14 @@ class ShardRouter(JsonHttpServer):
                     f"output: {lines[:5]!r}..."
                 )
 
-    async def _restart_shard(self, shard: Shard) -> None:
+    async def _restart_shard(self, shard) -> None:
         """Replace a dead (or wedged) shard process with a fresh one."""
-        if shard.process is not None and shard.process.poll() is None:
-            shard.process.kill()
-            shard.process.wait()
+        if shard.mode == "inproc":  # shares our fate; nothing to revive
+            return
+        process = shard.process
+        if process is not None and process.returncode is None:
+            process.kill()
+            await process.wait()
         shard.drop_connections()
         await self._spawn_shard(shard)
         self.stats.restarts += 1
@@ -334,7 +531,8 @@ class ShardRouter(JsonHttpServer):
     # Lifecycle
     # ------------------------------------------------------------------
     async def start(self) -> None:
-        """Boot every shard, start the health sweep and the front socket."""
+        """Boot every shard, start the health sweep, the upstream
+        coalescer and the front socket."""
         try:
             await asyncio.gather(
                 *(self._spawn_shard(shard) for shard in self.shards)
@@ -342,51 +540,68 @@ class ShardRouter(JsonHttpServer):
         except BaseException:
             self._terminate_shards()
             raise
-        if self.health_interval > 0:
+        if self.health_interval > 0 and self.shard_mode == "process":
             self._health_task = asyncio.create_task(
                 self._health_loop(), name="repro-shard-health"
             )
+        self._kick = asyncio.Event()
+        self._coalescer = asyncio.create_task(
+            self._coalesce_loop(), name="repro-router-coalescer"
+        )
         await self.start_http()
 
     def _terminate_shards(self) -> None:
         for shard in self.shards:
             shard.drop_connections()
-            if shard.process is not None and shard.process.poll() is None:
+            if (
+                shard.mode == "process"
+                and shard.process is not None
+                and shard.process.returncode is None
+            ):
                 shard.process.terminate()  # SIGTERM: each shard saves cache
 
     async def stop(self) -> None:
-        """Stop accepting, then SIGTERM every shard and wait for it to
-        persist its cache and exit."""
+        """Stop accepting, fail queued singles, then stop every shard
+        (SIGTERM for processes, ``stop_local`` for embedded services) and
+        wait for each to persist its cache."""
         await self.stop_http()
-        if self._health_task is not None:
-            self._health_task.cancel()
-            try:
-                await self._health_task
-            except asyncio.CancelledError:
-                pass
+        for task in (self._health_task, self._coalescer):
+            if task is not None:
+                task.cancel()
+                try:
+                    await task
+                except asyncio.CancelledError:
+                    pass
+        for items in self._pending.values():
+            for pending in items:
+                if not pending.future.done():
+                    pending.future.set_exception(
+                        Unavailable("service is shutting down")
+                    )
+        self._pending.clear()
         self._terminate_shards()
-        loop = asyncio.get_running_loop()
 
-        def _reap(process: subprocess.Popen) -> None:
+        async def _reap(shard) -> None:
+            if shard.mode == "inproc":
+                if shard.service is not None:
+                    await shard.service.stop_local()
+                return
+            process = shard.process
+            if process is None:
+                return
             try:
-                process.wait(timeout=60)
-            except subprocess.TimeoutExpired:
+                await asyncio.wait_for(process.wait(), timeout=60)
+            except asyncio.TimeoutError:
                 process.kill()
-                process.wait()
+                await process.wait()
 
-        await asyncio.gather(
-            *(
-                loop.run_in_executor(None, _reap, shard.process)
-                for shard in self.shards
-                if shard.process is not None
-            )
-        )
+        await asyncio.gather(*(_reap(shard) for shard in self.shards))
 
     # ------------------------------------------------------------------
     # Forwarding
     # ------------------------------------------------------------------
     async def _exchange(
-        self, shard: Shard, reader, writer, method: str, path: str, body: bytes
+        self, shard, reader, writer, method: str, path: str, body: bytes
     ) -> tuple[int, dict]:
         """One keep-alive HTTP exchange on an open shard connection."""
         head = (
@@ -426,10 +641,24 @@ class ShardRouter(JsonHttpServer):
         except json.JSONDecodeError as exc:
             raise ConnectionError(f"non-JSON shard response: {exc}") from None
 
+    async def _forward_inproc(
+        self, shard: InprocShard, method: str, path: str, body: bytes
+    ) -> tuple[int, dict]:
+        """A hop to an embedded shard: the same request semantics as a
+        socket exchange, via the shared dispatch path."""
+        service = shard.service
+        if service is None:
+            raise Unavailable(f"shard {shard.index} is unavailable")
+        status, payload, _ = await service.dispatch(method, path, body)
+        service.note_request(path, status)
+        return status, payload
+
     async def _forward_once(
-        self, shard: Shard, method: str, path: str, body: bytes
+        self, shard, method: str, path: str, body: bytes
     ) -> tuple[int, dict]:
         """Try a pooled connection first; fall back to a fresh one."""
+        if shard.mode == "inproc":
+            return await self._forward_inproc(shard, method, path, body)
         if shard.pool:
             reader, writer = shard.pool.pop()
             try:
@@ -443,6 +672,7 @@ class ShardRouter(JsonHttpServer):
                 writer.close()
                 raise
         reader, writer = await asyncio.open_connection(shard.host, shard.port)
+        set_nodelay(writer.get_extra_info("socket"))
         try:
             return await self._exchange(
                 shard, reader, writer, method, path, body
@@ -452,7 +682,7 @@ class ShardRouter(JsonHttpServer):
             raise
 
     async def _forward(
-        self, shard: Shard, method: str, path: str, body: bytes
+        self, shard, method: str, path: str, body: bytes
     ) -> tuple[int, dict]:
         """Forward with restart-and-replay.
 
@@ -460,12 +690,16 @@ class ShardRouter(JsonHttpServer):
         alive, connection stale) or restarting the shard process — the
         latter when the process is visibly dead *or* actively refusing
         connections (a freshly killed process can refuse before it is
-        reapable, so ``poll()`` alone would under-diagnose). At most one
+        reapable, so liveness alone would under-diagnose). At most one
         restart and two replays per request; the boot counter guards
         against stacking restarts when concurrent requests fail together.
+        In-process shards cannot lose a connection or die on their own,
+        so their hop is a single local dispatch.
         """
         self.stats.proxied += 1
         self.stats.by_shard[shard.index] += 1
+        if shard.mode == "inproc":
+            return await self._forward_inproc(shard, method, path, body)
         restarted = False
         for attempt in range(3):
             boots_seen = shard.boots
@@ -501,6 +735,106 @@ class ShardRouter(JsonHttpServer):
         raise Unavailable(f"shard {shard.index} is unavailable")
 
     # ------------------------------------------------------------------
+    # The upstream coalescer (process shards)
+    # ------------------------------------------------------------------
+    async def _enqueue_single(
+        self, entry: _RouteEntry, body: bytes
+    ) -> tuple[int, dict]:
+        """Queue one routed single and await its (possibly batched) answer."""
+        loop = asyncio.get_running_loop()
+        future = loop.create_future()
+        key = (entry.shard_index, entry.mode, entry.model, entry.k)
+        self._pending.setdefault(key, []).append(
+            _RouterPending(body, entry.buckets, future)
+        )
+        assert self._kick is not None
+        self._kick.set()
+        return await future
+
+    async def _coalesce_loop(self) -> None:
+        """Drain pending singles into one upstream request per
+        ``(shard, mode, model, k)`` group.
+
+        Mirrors the shard-side coalescer: while upstream exchanges are in
+        flight, newly arriving singles keep queueing, so batches form
+        organically under concurrency even with ``batch_window = 0`` —
+        N waiting singles cost the socket one batch round trip instead
+        of N.
+        """
+        assert self._kick is not None
+        while True:
+            await self._kick.wait()
+            self._kick.clear()
+            if self.batch_window > 0:
+                await asyncio.sleep(self.batch_window)
+            while self._pending:
+                groups, self._pending = self._pending, {}
+                try:
+                    await asyncio.gather(
+                        *(
+                            self._run_group(key, items)
+                            for key, items in groups.items()
+                        )
+                    )
+                except asyncio.CancelledError:
+                    for items in groups.values():
+                        for pending in items:
+                            if not pending.future.done():
+                                pending.future.set_exception(
+                                    Unavailable("service is shutting down")
+                                )
+                    raise
+
+    async def _run_group(
+        self, key: tuple[int, str, str, int], items: list[_RouterPending]
+    ) -> None:
+        """One drained group: forward solo bytes untouched, or batch."""
+        shard_index, mode, model, k = key
+        shard = self.shards[shard_index]
+        try:
+            if len(items) == 1:
+                results = [
+                    await self._forward(
+                        shard, "POST", "/disclosure", items[0].body
+                    )
+                ]
+            else:
+                batch = {
+                    "bucketizations": [p.buckets for p in items],
+                    "ks": [k],
+                    "model": model,
+                    "exact": mode == "exact",
+                }
+                status, answer = await self._forward(
+                    shard, "POST", "/disclosure", json.dumps(batch).encode()
+                )
+                if status != 200:
+                    results = [(status, answer)] * len(items)
+                else:
+                    self.stats.coalesced_batches += 1
+                    self.stats.coalesced_singles += len(items)
+                    results = [
+                        (
+                            200,
+                            {
+                                "model": model,
+                                "k": k,
+                                "exact": mode == "exact",
+                                "value": series[str(k)],
+                            },
+                        )
+                        for series in answer["series"]
+                    ]
+        except Exception as exc:
+            for pending in items:
+                if not pending.future.done():
+                    pending.future.set_exception(exc)
+            return
+        for pending, result in zip(items, results):
+            if not pending.future.done():
+                pending.future.set_result(result)
+
+    # ------------------------------------------------------------------
     # Routing
     # ------------------------------------------------------------------
     def note_request(self, endpoint: str | None, status: int) -> None:
@@ -524,12 +858,18 @@ class ShardRouter(JsonHttpServer):
             )
         return name
 
-    def _shard_for(
-        self, mode: str, model: Any, ks: tuple[int, ...], buckets: Any
-    ) -> Shard:
-        bucketization = bucketization_from_payload(buckets)
-        key = shard_key(mode, model, ks, bucketization.signature_items())
+    def _shard_for(self, mode: str, model: Any, ks: tuple[int, ...], buckets):
+        """The owning shard, keyed without building a ``Bucketization``."""
+        key = shard_key(mode, model, ks, signature_items_from_lists(buckets))
         return self.shards[key % len(self.shards)]
+
+    def _memoize(self, path: str, body: bytes, entry: _RouteEntry) -> None:
+        if len(body) > _ROUTE_MEMO_BODY_MAX:
+            return
+        memo = self._route_memo
+        if (path, body) not in memo and len(memo) >= _ROUTE_MEMO_MAX:
+            memo.pop(next(iter(memo)))  # bounded: drop the oldest entry
+        memo[(path, body)] = entry
 
     async def _route(self, method: str, path: str, body: bytes):
         routes = {
@@ -549,8 +889,40 @@ class ShardRouter(JsonHttpServer):
         if self._stopping:
             return 503, {"error": "service is shutting down"}
         if verb == "POST":
+            entry = self._route_memo.get((path, body))
+            if entry is not None:
+                # Byte-identical body seen before: route it without
+                # touching JSON at all.
+                self.stats.route_memo_hits += 1
+                self.stats.reparse_avoided += 1
+                return await self._dispatch_single(path, body, entry)
             return await handler(path, parse_json_body(body), body)
         return await handler()
+
+    async def _dispatch_single(
+        self, path: str, body: bytes, entry: _RouteEntry
+    ):
+        """Answer one routed single-bucketization request.
+
+        In-process shards first try the lock-free cache peek (a hit is
+        answered entirely on this event loop, no dispatch); coalescible
+        singles bound for process shards go through the upstream
+        coalescer; everything else forwards the original bytes.
+        """
+        shard = self.shards[entry.shard_index]
+        if shard.mode == "inproc":
+            if entry.coalescible and shard.service is not None:
+                answer = shard.service.peek_single(
+                    entry.mode, entry.model, entry.k, entry.items
+                )
+                if answer is not None:
+                    self.stats.fast_hits += 1
+                    self.stats.by_shard[shard.index] += 1
+                    return 200, answer
+            return await self._forward(shard, "POST", path, body)
+        if entry.coalescible:
+            return await self._enqueue_single(entry, body)
+        return await self._forward(shard, "POST", path, body)
 
     async def _ep_disclosure(self, path: str, payload: dict, body: bytes):
         if "bucketizations" in payload:
@@ -559,14 +931,36 @@ class ShardRouter(JsonHttpServer):
 
     async def _ep_single_key(self, path: str, payload: dict, body: bytes):
         """Single-bucketization endpoints (``/disclosure``, ``/safety``):
-        hash the plane key, forward the original bytes."""
+        derive the plane key with one pass over the raw lists, memoize
+        the decision against the request bytes, dispatch."""
         mode = self._mode(payload)
         model = self._model_name(payload)
         k = require(payload, "k", int)
-        shard = self._shard_for(
-            mode, model, (k,), require(payload, "buckets", list)
+        buckets = require(payload, "buckets", list)
+        items = signature_items_from_lists(buckets)
+        key = shard_key(mode, model, (k,), items)
+        # Only plain /disclosure singles may be answered from a peek or
+        # folded into an upstream batch: /safety has a different response
+        # shape, witnesses need the real endpoint, and a negative k must
+        # reach the shard's own validation for the identical 400.
+        coalescible = (
+            path == "/disclosure"
+            and k >= 0
+            and not require(
+                payload, "witness", bool, optional=True, default=False
+            )
         )
-        return await self._forward(shard, "POST", path, body)
+        entry = _RouteEntry(
+            key % len(self.shards),
+            mode,
+            model,
+            k,
+            items,
+            buckets if coalescible else None,
+            coalescible,
+        )
+        self._memoize(path, body, entry)
+        return await self._dispatch_single(path, body, entry)
 
     async def _ep_compare(self, path: str, payload: dict, body: bytes):
         """``/compare`` spans models; its plane key uses the model tuple."""
@@ -641,9 +1035,10 @@ class ShardRouter(JsonHttpServer):
         return await self._forward(self.shards[0], "GET", "/models", b"")
 
     async def _ep_healthz(self):
-        async def _probe(shard: Shard) -> dict[str, Any]:
+        async def _probe(shard) -> dict[str, Any]:
             entry: dict[str, Any] = {
                 "shard": shard.index,
+                "mode": shard.mode,
                 "alive": shard.alive(),
                 "port": shard.port,
                 "boots": shard.boots,
@@ -655,6 +1050,7 @@ class ShardRouter(JsonHttpServer):
                 )
                 entry["ok"] = status == 200 and answer.get("ok", False)
             except (
+                Unavailable,
                 ConnectionError,
                 OSError,
                 asyncio.IncompleteReadError,
@@ -672,7 +1068,7 @@ class ShardRouter(JsonHttpServer):
         }
 
     async def _ep_stats(self):
-        async def _shard_stats(shard: Shard) -> dict[str, Any]:
+        async def _shard_stats(shard) -> dict[str, Any]:
             try:
                 status, answer = await self._forward(
                     shard, "GET", "/stats", b""
@@ -696,6 +1092,7 @@ class ShardRouter(JsonHttpServer):
                 "requests_total",
                 "single_requests",
                 "batch_requests",
+                "cache_fast_hits",
                 "coalesced_batches",
                 "coalesced_singles",
             ):
@@ -704,6 +1101,7 @@ class ShardRouter(JsonHttpServer):
                     totals[field] += value
         router = self.stats.as_dict()
         router["shards"] = len(self.shards)
+        router["shard_mode"] = self.shard_mode
         router["connections"] = self.connections.as_dict()
         router["max_connections"] = self.max_connections
         return 200, {

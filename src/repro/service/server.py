@@ -73,6 +73,7 @@ from repro.service.wire import (
     bucketization_from_payload,
     encode_series,
     encode_value,
+    signature_items_from_lists,
 )
 
 __all__ = [
@@ -126,6 +127,7 @@ class ServiceStats:
         self.by_status: Counter[int] = Counter()
         self.single_requests = 0
         self.batch_requests = 0
+        self.cache_fast_hits = 0
         self.coalesced_batches = 0
         self.coalesced_singles = 0
         self.max_coalesced = 0
@@ -144,6 +146,7 @@ class ServiceStats:
             "by_status": {str(k): v for k, v in self.by_status.items()},
             "single_requests": self.single_requests,
             "batch_requests": self.batch_requests,
+            "cache_fast_hits": self.cache_fast_hits,
             "coalesced_batches": self.coalesced_batches,
             "coalesced_singles": self.coalesced_singles,
             "max_coalesced": self.max_coalesced,
@@ -263,6 +266,19 @@ class DisclosureService(JsonHttpServer):
 
     async def start(self) -> None:
         """Load persisted caches, start the coalescer and the socket server."""
+        await self.start_local()
+        await self.start_http()
+
+    async def start_local(self) -> None:
+        """The socketless half of :meth:`start`: load persisted caches and
+        start the coalescer — everything but the listening socket.
+
+        This is how an **in-process shard** boots: the router embeds a
+        :class:`DisclosureService` directly on its own event loop and
+        feeds it through :meth:`~repro.service.httpbase.JsonHttpServer.dispatch`,
+        so the engines, coalescer, stats and cache lifecycle behave exactly
+        as in a subprocess shard — minus the socket and the extra process.
+        """
         if self.cache_path is not None:
             for mode, engine in self.engines.items():
                 path = self._mode_cache_file(mode)
@@ -272,12 +288,18 @@ class DisclosureService(JsonHttpServer):
         self._dispatcher = asyncio.create_task(
             self._dispatch_loop(), name="repro-coalescer"
         )
-        await self.start_http()
 
     async def stop(self) -> None:
         """Graceful shutdown: stop accepting, fail queued work with 503,
         persist both caches, close the engines."""
         await self.stop_http()
+        await self.stop_local()
+
+    async def stop_local(self) -> None:
+        """The socketless half of :meth:`stop` (inverse of
+        :meth:`start_local`): stop the coalescer, fail queued work with
+        503, persist both caches, close the engines."""
+        self._stopping = True
         if self._dispatcher is not None:
             self._dispatcher.cancel()
             try:
@@ -431,12 +453,27 @@ class DisclosureService(JsonHttpServer):
         k = require(payload, "k", int)
         if k < 0:
             raise BadRequest(f"k must be non-negative, got {k}")
-        bucketization = bucketization_from_payload(
-            require(payload, "buckets", list)
-        )
+        raw_buckets = require(payload, "buckets", list)
         want_witness = require(
             payload, "witness", bool, optional=True, default=False
         )
+        if not want_witness:
+            # Cache-hit fast path: answer on the event loop, skipping both
+            # the executor hop and the Bucketization build. peek_cached is
+            # strictly read-only, so it is safe against the engine thread.
+            cached = engine.peek_cached(
+                model, k, signature_items_from_lists(raw_buckets)
+            )
+            if cached is not None:
+                self.stats.single_requests += 1
+                self.stats.cache_fast_hits += 1
+                return 200, {
+                    "model": model,
+                    "k": k,
+                    "exact": mode == "exact",
+                    "value": encode_value(cached),
+                }
+        bucketization = bucketization_from_payload(raw_buckets)
         self.stats.single_requests += 1
         value = await self._enqueue_single(mode, model, k, bucketization)
         answer: dict[str, Any] = {
@@ -485,13 +522,18 @@ class DisclosureService(JsonHttpServer):
         c = require(payload, "c", (int, float))
         if isinstance(c, bool):
             raise BadRequest("field 'c' must be a number")
-        bucketization = bucketization_from_payload(
-            require(payload, "buckets", list)
-        )
+        raw_buckets = require(payload, "buckets", list)
         # threshold() validates c against the model's scale before any
         # engine work (bad thresholds are a 400, not a computation).
         threshold = engine.threshold(c, model=model)
-        value = await self._enqueue_single(mode, model, k, bucketization)
+        value = engine.peek_cached(
+            model, k, signature_items_from_lists(raw_buckets)
+        )
+        if value is not None:
+            self.stats.cache_fast_hits += 1
+        else:
+            bucketization = bucketization_from_payload(raw_buckets)
+            value = await self._enqueue_single(mode, model, k, bucketization)
         return 200, {
             "model": model,
             "k": k,
@@ -582,6 +624,45 @@ class DisclosureService(JsonHttpServer):
         return 200, {
             "ok": True,
             "uptime_s": round(time.monotonic() - self.stats.started, 3),
+        }
+
+    # ------------------------------------------------------------------
+    # In-process peek (the router's inproc fast path)
+    # ------------------------------------------------------------------
+    def peek_single(
+        self, mode: str, model: str, k: Any, signature_items
+    ) -> dict[str, Any] | None:
+        """A fully-encoded single ``/disclosure`` answer straight from the
+        cache, or ``None`` when anything short of a clean cached hit —
+        unknown mode/model, malformed ``k``, unseen signature, cache miss —
+        in which case the caller falls back to the full dispatch path,
+        which validates properly and computes.
+
+        Bumps the same counters the endpoint's own fast path does
+        (``single_requests``, ``cache_fast_hits``, plus
+        :meth:`note_request`), so a shard's stats are indistinguishable
+        whether its router answered from the peek or dispatched.
+        """
+        engine = self.engines.get(mode)
+        if engine is None or model not in available_adversaries():
+            return None
+        if not isinstance(k, int) or isinstance(k, bool) or k < 0:
+            return None
+        cached = engine.peek_cached(model, k, signature_items)
+        if cached is None:
+            return None
+        try:
+            encoded = encode_value(cached)
+        except ValueError:
+            return None
+        self.stats.single_requests += 1
+        self.stats.cache_fast_hits += 1
+        self.note_request("/disclosure", 200)
+        return {
+            "model": model,
+            "k": k,
+            "exact": mode == "exact",
+            "value": encoded,
         }
 
 

@@ -19,6 +19,7 @@ package's classes.
 from __future__ import annotations
 
 import math
+from collections import Counter
 from fractions import Fraction
 from typing import Any
 
@@ -31,6 +32,7 @@ __all__ = [
     "decode_series",
     "bucket_lists",
     "bucketization_from_payload",
+    "signature_items_from_lists",
 ]
 
 
@@ -100,6 +102,44 @@ def bucket_lists(bucketization: Bucketization | Any) -> list[list[Any]]:
     if isinstance(bucketization, Bucketization):
         return [list(b.sensitive_values) for b in bucketization.buckets]
     return [list(values) for values in bucketization]
+
+
+def signature_items_from_lists(
+    buckets: Any,
+) -> tuple[tuple[tuple[int, ...], int], ...]:
+    """The signature multiset of raw per-bucket value lists — the cheap
+    half of the plane key, computed without building a
+    :class:`Bucketization`.
+
+    A bucket's signature is its sensitive-value frequency vector in
+    descending order (:attr:`~repro.bucketization.bucket.Bucket.signature`),
+    so it only needs one :class:`~collections.Counter` pass per bucket —
+    no value interning, no person ids, no object graph. The result is
+    tuple-equal to ``bucketization_from_payload(buckets).signature_items()``,
+    which is what lets the shard router hash a request to its cache-owning
+    shard and a service peek its cache, both without reparsing the request
+    into engine objects.
+
+    Validates the same wire shape as :func:`bucketization_from_payload`
+    (same :class:`ValueError` messages, safe for a 400 body).
+    """
+    if not isinstance(buckets, list) or not buckets:
+        raise ValueError("'buckets' must be a non-empty list of value lists")
+    counts: Counter[tuple[int, ...]] = Counter()
+    for index, values in enumerate(buckets):
+        if not isinstance(values, list) or not values:
+            raise ValueError(
+                f"bucket {index} must be a non-empty list of sensitive values"
+            )
+        for value in values:
+            if not isinstance(value, (str, int, float, bool)):
+                raise ValueError(
+                    f"bucket {index} holds a non-scalar sensitive value "
+                    f"({type(value).__name__})"
+                )
+        frequencies = Counter(values)
+        counts[tuple(sorted(frequencies.values(), reverse=True))] += 1
+    return tuple(sorted(counts.items()))
 
 
 def bucketization_from_payload(buckets: Any) -> Bucketization:

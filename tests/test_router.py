@@ -31,7 +31,11 @@ import pytest
 from repro.bucketization import Bucketization
 from repro.engine import DisclosureEngine
 from repro.service import ServiceClient, ServiceError, ShardRouter
-from repro.service.router import BackgroundRouter, shard_key
+from repro.service.router import (
+    BackgroundRouter,
+    resolve_shard_mode,
+    shard_key,
+)
 
 SHARDS = 3
 CLIENTS = 8
@@ -49,11 +53,15 @@ def _random_bucketizations(count: int, seed: int) -> list[Bucketization]:
     return out
 
 
-@pytest.fixture(scope="module")
-def router():
-    """One shared 3-shard deployment for the read-mostly tests."""
+@pytest.fixture(scope="module", params=["inproc", "process"])
+def router(request):
+    """One shared 3-shard deployment per shard mode: every read-mostly
+    test runs against embedded shards AND subprocess shards."""
     with BackgroundRouter(
-        shards=SHARDS, backend="serial", batch_window=0.01
+        shards=SHARDS,
+        shard_mode=request.param,
+        backend="serial",
+        batch_window=0.01,
     ) as bg:
         yield bg
 
@@ -213,13 +221,103 @@ class TestAffinity:
         grew = [index for index, delta in deltas.items() if delta > 0]
         assert len(grew) == 1, f"affinity broken: deltas {deltas}"
         assert deltas[grew[0]] == repeats
-        # ...and the owning shard served the repeats from its cache.
+        # ...and the owning shard served the repeats from its cache —
+        # either the engine cache proper or the serving-layer fast peek
+        # over it (the router's inproc fast path and the shard's own
+        # event-loop fast path both count in cache_fast_hits).
         owner = next(
             entry
             for entry in client.stats()["shards"]
             if entry["shard"] == grew[0]
         )
-        assert owner["engines"]["float"]["stats"]["cache_hits"] >= repeats - 1
+        hits = (
+            owner["engines"]["float"]["stats"]["cache_hits"]
+            + owner["service"]["cache_fast_hits"]
+        )
+        assert hits >= repeats - 1
+
+
+# ---------------------------------------------------------------------------
+# Shard modes and the routing hot path
+# ---------------------------------------------------------------------------
+class TestShardModes:
+    def test_resolve_shard_mode(self, monkeypatch):
+        assert resolve_shard_mode("process", 8) == "process"
+        assert resolve_shard_mode("inproc", 1) == "inproc"
+        monkeypatch.setattr(os, "cpu_count", lambda: 8)
+        assert resolve_shard_mode("auto", 4) == "process"
+        monkeypatch.setattr(os, "cpu_count", lambda: 2)
+        assert resolve_shard_mode("auto", 4) == "inproc"
+        monkeypatch.setattr(os, "cpu_count", lambda: None)
+        assert resolve_shard_mode("auto", 2) == "inproc"
+        with pytest.raises(ValueError):
+            resolve_shard_mode("martian", 2)
+
+    def test_zero_reparse_memo_and_inproc_fast_path(self):
+        """Byte-identical repeats are routed without JSON parsing
+        (route_memo_hits / reparse_avoided) and, on in-process shards,
+        answered straight from the cache peek (fast_hits) — bit-identical
+        to the engine the whole way."""
+        b = Bucketization.from_value_lists(
+            [["m", "m", "e", "m", "o"], ["f", "a", "s", "t"]]
+        )
+        expect = DisclosureEngine().evaluate(b, 2)
+        with BackgroundRouter(
+            shards=2, shard_mode="inproc", backend="serial", batch_window=0.0
+        ) as bg:
+            client = bg.client()
+            repeats = 5
+            for _ in range(repeats):
+                assert client.disclosure(b, 2) == expect
+            stats = client.stats()
+            router = stats["router"]
+            assert router["shard_mode"] == "inproc"
+            assert router["route_memo_hits"] >= repeats - 1
+            assert router["reparse_avoided"] >= repeats - 1
+            assert router["fast_hits"] >= repeats - 1
+            assert stats["totals"]["cache_fast_hits"] >= repeats - 1
+
+    def test_router_coalesces_concurrent_singles_upstream(self):
+        """Concurrent identical singles bound for one process shard cost
+        the socket one upstream batch, not N round trips."""
+        b = Bucketization.from_value_lists(
+            [["c", "o", "a", "l"], ["e", "s", "c", "e"]]
+        )
+        expect = DisclosureEngine().evaluate(b, 3, model="negation")
+        with BackgroundRouter(
+            shards=2,
+            shard_mode="process",
+            backend="serial",
+            batch_window=0.02,
+        ) as bg:
+            workers = 6
+            shared = ServiceClient(bg.host, bg.port, pool_size=workers)
+            barrier = threading.Barrier(workers)
+            results: list = [None] * workers
+            errors: list = []
+
+            def hit(index: int) -> None:
+                try:
+                    barrier.wait(timeout=60)
+                    results[index] = shared.disclosure(b, 3, model="negation")
+                except BaseException as exc:
+                    errors.append(exc)
+
+            threads = [
+                threading.Thread(target=hit, args=(i,))
+                for i in range(workers)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=120)
+            shared.close()
+            assert not errors
+            assert all(value == expect for value in results)
+            router = bg.client().stats()["router"]
+            assert router["shard_mode"] == "process"
+            assert router["coalesced_batches"] >= 1
+            assert router["coalesced_singles"] >= 2
 
 
 # ---------------------------------------------------------------------------
@@ -283,6 +381,7 @@ class TestSupervision:
         engine = DisclosureEngine()
         with BackgroundRouter(
             shards=SHARDS,
+            shard_mode="process",  # only subprocess shards can be killed
             backend="serial",
             batch_window=0.0,
             health_interval=0.2,
@@ -306,10 +405,12 @@ class TestSupervision:
     @pytest.mark.skipif(
         not hasattr(signal, "SIGTERM"), reason="needs POSIX signals"
     )
-    def test_cli_sharded_serve_lifecycle(self, tmp_path):
-        """``repro serve --shards 2`` boots a router process, serves with
-        the right bits, and on SIGTERM shuts every shard down gracefully
-        (exit 0, one persisted cache pair per shard)."""
+    @pytest.mark.parametrize("shard_mode", ["process", "inproc"])
+    def test_cli_sharded_serve_lifecycle(self, tmp_path, shard_mode):
+        """``repro serve --shards 2 --shard-mode MODE`` boots a router
+        process, serves with the right bits, and on SIGTERM shuts every
+        shard down gracefully (exit 0, one persisted cache pair per
+        shard) — in both shard modes."""
         repo_root = Path(__file__).resolve().parent.parent
         env = dict(os.environ)
         env["PYTHONPATH"] = str(repo_root / "src") + (
@@ -325,6 +426,8 @@ class TestSupervision:
                 "0",
                 "--shards",
                 "2",
+                "--shard-mode",
+                shard_mode,
                 "--backend",
                 "serial",
                 "--cache-file",
@@ -341,7 +444,10 @@ class TestSupervision:
             topology_line = process.stdout.readline()
             match = re.search(r"http://[^:]+:(\d+)", port_line)
             assert match, f"no port in {port_line!r}"
-            assert "2 shards on ports" in topology_line
+            if shard_mode == "process":
+                assert "2 shards on ports" in topology_line
+            else:
+                assert "2 in-process shards" in topology_line
             client = ServiceClient("127.0.0.1", int(match.group(1)))
             b = Bucketization.from_value_lists([["a", "a", "b"], ["c", "d"]])
             assert client.disclosure(b, 2) == DisclosureEngine().evaluate(b, 2)
@@ -356,13 +462,15 @@ class TestSupervision:
             for mode in ("float", "exact"):
                 assert (tmp_path / f"fleet.shard{index}.{mode}.pkl").exists()
 
-    def test_per_shard_cache_persistence(self, tmp_path):
+    @pytest.mark.parametrize("shard_mode", ["inproc", "process"])
+    def test_per_shard_cache_persistence(self, tmp_path, shard_mode):
         prefix = tmp_path / "fleet"
         b = Bucketization.from_value_lists(
             [["p", "p", "q", "r"], ["p", "q", "s", "t"]]
         )
         with BackgroundRouter(
             shards=SHARDS,
+            shard_mode=shard_mode,
             backend="serial",
             batch_window=0.0,
             cache_path=prefix,
@@ -373,6 +481,7 @@ class TestSupervision:
                 assert (tmp_path / f"fleet.shard{index}.{mode}.pkl").exists()
         with BackgroundRouter(
             shards=SHARDS,
+            shard_mode=shard_mode,
             backend="serial",
             batch_window=0.0,
             cache_path=prefix,
@@ -386,6 +495,7 @@ class TestSupervision:
             assert client.disclosure(b, 3) == first
             hits = [
                 entry["engines"]["float"]["stats"]["cache_hits"]
+                + entry["service"]["cache_fast_hits"]
                 for entry in client.stats()["shards"]
             ]
             assert sum(hits) >= 1  # answered from the reloaded cache

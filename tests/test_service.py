@@ -551,9 +551,18 @@ def test_serve_lifecycle_sigterm_persists_cache(tmp_path, figure3_like):
         stats = client.stats()
         assert stats["engines"]["float"]["loaded_entries"] >= 1
         assert stats["engines"]["exact"]["loaded_entries"] >= 1
-        before = stats["engines"]["float"]["stats"]["cache_hits"]
+        # A repeat question may be answered by the engine cache or by the
+        # serving layer's event-loop fast peek — both are reloaded-cache
+        # hits, so count them together.
+        def _hits(s):
+            return (
+                s["engines"]["float"]["stats"]["cache_hits"]
+                + s["service"]["cache_fast_hits"]
+            )
+
+        before = _hits(stats)
         assert client.disclosure(figure3_like, 2) == float_value
-        after = client.stats()["engines"]["float"]["stats"]["cache_hits"]
+        after = _hits(client.stats())
         assert after == before + 1  # answered from the reloaded cache
     finally:
         process.send_signal(signal.SIGTERM)
@@ -576,5 +585,9 @@ def test_background_service_cache_roundtrip(tmp_path, figure3_like):
         stats = client.stats()
         assert stats["engines"]["float"]["loaded_entries"] >= 1
         assert client.disclosure(figure3_like, 3, model="negation") == first
-        after = client.stats()["engines"]["float"]["stats"]
-        assert after["cache_hits"] >= 1
+        after = client.stats()
+        assert (
+            after["engines"]["float"]["stats"]["cache_hits"]
+            + after["service"]["cache_fast_hits"]
+            >= 1
+        )
