@@ -1,0 +1,35 @@
+"""Repo-specific static analysis: the invariant linter behind ``repro lint``.
+
+See :mod:`repro.analysis.core` for the framework and
+:mod:`repro.analysis.rules` for the shipped contracts (REP001–REP005).
+"""
+
+from repro.analysis import rules as _rules  # noqa: F401  (registers rules)
+from repro.analysis.core import (
+    BARE_NOQA_RULE,
+    PARSE_ERROR_RULE,
+    Baseline,
+    Finding,
+    Project,
+    Rule,
+    available_rules,
+    get_rules,
+    register_rule,
+    run_rules,
+)
+from repro.analysis.reporters import render_json, render_text
+
+__all__ = [
+    "BARE_NOQA_RULE",
+    "PARSE_ERROR_RULE",
+    "Baseline",
+    "Finding",
+    "Project",
+    "Rule",
+    "available_rules",
+    "get_rules",
+    "register_rule",
+    "run_rules",
+    "render_json",
+    "render_text",
+]

@@ -1,0 +1,124 @@
+"""Small AST helpers shared by the lint rules."""
+
+from __future__ import annotations
+
+import ast
+
+__all__ = ["ImportMap", "dotted_name", "body_terminates", "FunctionIndex"]
+
+
+class ImportMap:
+    """Resolve a module's imported names back to their origin.
+
+    ``import numpy as np`` maps ``np -> numpy``; ``from time import sleep``
+    maps ``sleep -> time.sleep``. Rules use this so aliasing never hides a
+    forbidden call.
+    """
+
+    def __init__(self, tree: ast.Module) -> None:
+        #: local alias -> imported module dotted path
+        self.modules: dict[str, str] = {}
+        #: local name -> "module.attr" for from-imports
+        self.names: dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    target = alias.asname and alias.name or alias.name
+                    # `import http.client` binds `http`, reaching
+                    # `http.client` through attribute access.
+                    if alias.asname is None:
+                        target = alias.name.split(".")[0]
+                    self.modules[local] = target
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                if node.level:  # relative import: stays inside the package
+                    continue
+                for alias in node.names:
+                    local = alias.asname or alias.name
+                    self.names[local] = f"{node.module}.{alias.name}"
+
+    def origin(self, name: str) -> str | None:
+        """The dotted origin of a bare name, if it was imported."""
+        if name in self.names:
+            return self.names[name]
+        if name in self.modules:
+            return self.modules[name]
+        return None
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` for nested Name/Attribute chains, else ``None``."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def body_terminates(body: list[ast.stmt]) -> bool:
+    """Whether a statement block always leaves the enclosing function
+    (ends in ``return``/``raise``/``continue``/``break``)."""
+    if not body:
+        return False
+    last = body[-1]
+    if isinstance(last, (ast.Return, ast.Raise, ast.Continue, ast.Break)):
+        return True
+    if isinstance(last, ast.If):
+        return (
+            bool(last.orelse)
+            and body_terminates(last.body)
+            and body_terminates(last.orelse)
+        )
+    return False
+
+
+class FunctionIndex:
+    """Every function/method in a module, keyed by qualified name.
+
+    Methods are recorded as ``ClassName.method``; the *simple* name index
+    (``method``) is what name-based call-graph resolution uses — an
+    over-approximation that never misses an edge.
+    """
+
+    def __init__(self, tree: ast.Module, module: str) -> None:
+        self.module = module
+        #: qualname -> def node
+        self.functions: dict[str, ast.FunctionDef | ast.AsyncFunctionDef] = {}
+        #: class name -> its __init__ argument names (for entry-point rules)
+        self.class_init_args: dict[str, list[str]] = {}
+        self._collect(tree.body, prefix="", class_name=None)
+
+    def _collect(self, body, prefix: str, class_name: str | None) -> None:
+        for node in body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qualname = f"{prefix}{node.name}"
+                self.functions[qualname] = node
+                if class_name is not None and node.name == "__init__":
+                    self.class_init_args[class_name] = [
+                        arg.arg for arg in arg_names(node)
+                    ]
+                # Nested defs are reachable only through their parent;
+                # record them under a scoped name so they exist in the
+                # graph, resolved by simple name like everything else.
+                self._collect(
+                    node.body, prefix=f"{qualname}.<locals>.", class_name=None
+                )
+            elif isinstance(node, ast.ClassDef):
+                self._collect(
+                    node.body, prefix=f"{node.name}.", class_name=node.name
+                )
+
+
+def arg_names(node: ast.FunctionDef | ast.AsyncFunctionDef) -> list[ast.arg]:
+    """All explicit argument nodes of a function, every flavour."""
+    args = node.args
+    return [
+        *args.posonlyargs,
+        *args.args,
+        *args.kwonlyargs,
+        *([args.vararg] if args.vararg else []),
+        *([args.kwarg] if args.kwarg else []),
+    ]

@@ -1,0 +1,342 @@
+"""The invariant linter's chassis: files, rules, suppressions, baseline.
+
+The engine's headline guarantee — *exact* worst-case disclosure bounds —
+rests on contracts no runtime test can prove the absence of violations of:
+Fraction-mode purity, bit-identical backends, cache keys that capture
+everything a result depends on. This package is the static side of that
+story: a repo-specific AST analysis framework whose rules each encode one
+such contract, run over the tree at CI time.
+
+Pieces
+------
+:class:`SourceFile`
+    One parsed python file: source, AST, and its suppression comments.
+:class:`Project`
+    The scanned tree (``src/repro`` plus the cross-file anchors in
+    ``scripts/`` and ``benchmarks/``), parsed once and shared by every rule.
+:class:`Rule` / :func:`register_rule`
+    The rule protocol and its id-keyed registry. A rule declares the
+    *contract it protects* — surfaced verbatim in reports so a CI failure
+    explains itself.
+:class:`Finding`
+    One violation: rule id, location, message, contract.
+Suppressions
+    ``# repro: noqa[REP001] <justification>`` silences one line for the
+    named rule(s); ``# repro: noqa-file[REP001] <justification>`` silences
+    a whole file. A suppression **without** a justification is itself a
+    finding (:data:`BARE_NOQA_RULE`): grandfathering must say why.
+Baseline
+    A committed JSON file of grandfathered findings (``lint-baseline.json``)
+    matched by ``(rule, path, message)`` — line numbers drift, contracts
+    don't. ``repro lint --write-baseline`` regenerates it.
+"""
+
+from __future__ import annotations
+
+import abc
+import ast
+import json
+import re
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import ClassVar
+
+__all__ = [
+    "Finding",
+    "SourceFile",
+    "Project",
+    "Rule",
+    "register_rule",
+    "available_rules",
+    "get_rules",
+    "Baseline",
+    "run_rules",
+    "BARE_NOQA_RULE",
+    "PARSE_ERROR_RULE",
+]
+
+#: Synthetic rule ids the runner itself emits (not registry rules, so they
+#: can never be disabled by ``--rules`` and never baselined away silently).
+BARE_NOQA_RULE = "REP000"
+PARSE_ERROR_RULE = "REP999"
+
+#: Directories scanned relative to the project root. ``src/repro`` carries
+#: the contracts; ``scripts`` and ``benchmarks`` are cross-file anchors for
+#: the stats-drift rule (REP004).
+DEFAULT_SCAN_DIRS = ("src/repro", "scripts", "benchmarks")
+
+_NOQA = re.compile(
+    r"#\s*repro:\s*noqa(?P<scope>-file)?\[(?P<rules>[A-Z0-9,\s]+)\]"
+    r"(?P<why>[^\n]*)"
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One contract violation at a concrete location."""
+
+    rule: str
+    path: str  #: project-root-relative, forward slashes
+    line: int
+    message: str
+    contract: str = ""
+
+    @property
+    def fingerprint(self) -> tuple[str, str, str]:
+        """The baseline identity: stable across line-number drift."""
+        return (self.rule, self.path, self.message)
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+            "contract": self.contract,
+        }
+
+
+@dataclass
+class _Suppression:
+    line: int
+    rules: frozenset[str]
+    file_scope: bool
+    justified: bool
+    used: bool = False
+
+
+class SourceFile:
+    """One parsed file plus its suppression comments."""
+
+    def __init__(self, path: Path, rel: str, source: str) -> None:
+        self.path = path
+        self.rel = rel
+        self.source = source
+        self.lines = source.splitlines()
+        self.parse_error: SyntaxError | None = None
+        try:
+            self.tree: ast.Module = ast.parse(source)
+        except SyntaxError as exc:
+            self.parse_error = exc
+            self.tree = ast.Module(body=[], type_ignores=[])
+        self.suppressions: list[_Suppression] = self._scan_suppressions()
+
+    def _scan_suppressions(self) -> list[_Suppression]:
+        found = []
+        for number, text in enumerate(self.lines, start=1):
+            match = _NOQA.search(text)
+            if match is None:
+                continue
+            rules = frozenset(
+                token.strip()
+                for token in match.group("rules").split(",")
+                if token.strip()
+            )
+            found.append(
+                _Suppression(
+                    line=number,
+                    rules=rules,
+                    file_scope=match.group("scope") is not None,
+                    justified=bool(match.group("why").strip(" -—:\t")),
+                )
+            )
+        return found
+
+    def suppressed(self, rule: str, line: int) -> bool:
+        """Whether ``rule`` is silenced at ``line`` (marking the
+        suppression as used, so unused ones could be reported later)."""
+        for supp in self.suppressions:
+            if rule not in supp.rules:
+                continue
+            if supp.file_scope or supp.line == line:
+                supp.used = True
+                return True
+        return False
+
+
+class Project:
+    """The scanned tree: every file parsed once, shared by all rules."""
+
+    def __init__(
+        self, root: Path, scan_dirs: Iterable[str] = DEFAULT_SCAN_DIRS
+    ) -> None:
+        self.root = Path(root).resolve()
+        self.files: list[SourceFile] = []
+        for scan_dir in scan_dirs:
+            base = self.root / scan_dir
+            if not base.is_dir():
+                continue
+            for path in sorted(base.rglob("*.py")):
+                if "__pycache__" in path.parts:
+                    continue
+                rel = path.relative_to(self.root).as_posix()
+                self.files.append(
+                    SourceFile(path, rel, path.read_text(encoding="utf-8"))
+                )
+        self._by_rel = {f.rel: f for f in self.files}
+
+    def get(self, rel: str) -> SourceFile | None:
+        return self._by_rel.get(rel)
+
+    def in_dir(self, prefix: str) -> list[SourceFile]:
+        """Files under a root-relative directory prefix (posix form)."""
+        if not prefix.endswith("/"):
+            prefix += "/"
+        return [f for f in self.files if f.rel.startswith(prefix)]
+
+
+class Rule(abc.ABC):
+    """One enforced contract. Subclasses declare identity and scan logic."""
+
+    #: e.g. ``"REP001"`` — stable, referenced by suppressions and baseline.
+    id: ClassVar[str]
+    #: Short human name, e.g. ``"exact-path float taint"``.
+    title: ClassVar[str]
+    #: The invariant this rule protects, printed with every finding so a CI
+    #: failure explains *why* the pattern is forbidden.
+    contract: ClassVar[str]
+
+    @abc.abstractmethod
+    def check(self, project: Project) -> Iterator[Finding]:
+        """Yield every violation in ``project``."""
+
+    def finding(self, file: SourceFile, line: int, message: str) -> Finding:
+        return Finding(
+            rule=self.id,
+            path=file.rel,
+            line=line,
+            message=message,
+            contract=self.contract,
+        )
+
+
+_RULES: dict[str, type[Rule]] = {}
+
+
+def register_rule(cls: type[Rule]) -> type[Rule]:
+    """Class decorator: add a :class:`Rule` under its ``id``."""
+    rule_id = getattr(cls, "id", None)
+    if not isinstance(rule_id, str) or not rule_id:
+        raise ValueError(f"{cls.__qualname__} must define a non-empty `id`")
+    existing = _RULES.get(rule_id)
+    if existing is not None and existing is not cls:
+        raise ValueError(
+            f"lint rule id {rule_id!r} already registered by "
+            f"{existing.__qualname__}"
+        )
+    _RULES[rule_id] = cls
+    return cls
+
+
+def available_rules() -> tuple[str, ...]:
+    """Registered rule ids, sorted."""
+    return tuple(sorted(_RULES))
+
+
+def get_rules(ids: Iterable[str] | None = None) -> list[Rule]:
+    """Instantiate the selected rules (all registered ones by default)."""
+    if ids is None:
+        return [_RULES[rule_id]() for rule_id in available_rules()]
+    rules = []
+    for rule_id in ids:
+        if rule_id not in _RULES:
+            raise ValueError(
+                f"unknown lint rule {rule_id!r}; "
+                f"available: {', '.join(available_rules())}"
+            )
+        rules.append(_RULES[rule_id]())
+    return rules
+
+
+@dataclass
+class Baseline:
+    """The committed set of grandfathered findings."""
+
+    entries: set[tuple[str, str, str]] = field(default_factory=set)
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        record = json.loads(path.read_text(encoding="utf-8"))
+        entries = {
+            (entry["rule"], entry["path"], entry["message"])
+            for entry in record.get("findings", [])
+        }
+        return cls(entries=entries)
+
+    @classmethod
+    def from_findings(cls, findings: Iterable[Finding]) -> "Baseline":
+        return cls(entries={f.fingerprint for f in findings})
+
+    def save(self, path: Path) -> None:
+        findings = [
+            {"rule": rule, "path": rel, "message": message}
+            for rule, rel, message in sorted(self.entries)
+        ]
+        path.write_text(
+            json.dumps({"version": 1, "findings": findings}, indent=2) + "\n",
+            encoding="utf-8",
+        )
+
+    def covers(self, finding: Finding) -> bool:
+        return finding.fingerprint in self.entries
+
+
+def run_rules(
+    project: Project,
+    rules: Iterable[Rule],
+    baseline: Baseline | None = None,
+) -> tuple[list[Finding], list[Finding]]:
+    """Run ``rules`` over ``project``.
+
+    Returns ``(active, baselined)``: suppressed findings are dropped,
+    baselined ones are split out (reported, but not failures). The runner
+    also emits its own two checks — unparseable files
+    (:data:`PARSE_ERROR_RULE`) and suppressions without a justification
+    (:data:`BARE_NOQA_RULE`) — which no rule selection can turn off.
+    """
+    collected: list[Finding] = []
+    for file in project.files:
+        if file.parse_error is not None:
+            collected.append(
+                Finding(
+                    rule=PARSE_ERROR_RULE,
+                    path=file.rel,
+                    line=file.parse_error.lineno or 1,
+                    message=f"file does not parse: {file.parse_error.msg}",
+                    contract="every scanned file must be valid python",
+                )
+            )
+        for supp in file.suppressions:
+            if not supp.justified:
+                collected.append(
+                    Finding(
+                        rule=BARE_NOQA_RULE,
+                        path=file.rel,
+                        line=supp.line,
+                        message=(
+                            "suppression without a justification: "
+                            "say why the pattern is intentional, e.g. "
+                            "`# repro: noqa[REP001] inf sentinel is "
+                            "mode-neutral`"
+                        ),
+                        contract=(
+                            "every lint suppression carries a one-line "
+                            "justification"
+                        ),
+                    )
+                )
+    for rule in rules:
+        for finding in rule.check(project):
+            file = project.get(finding.path)
+            if file is not None and file.suppressed(
+                finding.rule, finding.line
+            ):
+                continue
+            collected.append(finding)
+    collected.sort(key=lambda f: (f.path, f.line, f.rule, f.message))
+    if baseline is None:
+        return collected, []
+    active = [f for f in collected if not baseline.covers(f)]
+    grandfathered = [f for f in collected if baseline.covers(f)]
+    return active, grandfathered

@@ -1,0 +1,63 @@
+"""Text and JSON renderers for lint runs.
+
+The text form is what a developer reads in CI: rule id, ``file:line``,
+message, and — because a failing invariant should explain itself — the
+contract the rule protects, indented under each finding. The JSON form is
+machine-readable (``repro lint --format json``) for tooling and the CI
+annotation step.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Sequence
+
+from repro.analysis.core import Finding
+
+__all__ = ["render_text", "render_json"]
+
+
+def render_text(
+    active: Sequence[Finding],
+    baselined: Sequence[Finding],
+    *,
+    verbose: bool = False,
+) -> str:
+    lines: list[str] = []
+    for finding in active:
+        lines.append(
+            f"{finding.path}:{finding.line}: {finding.rule} "
+            f"{finding.message}"
+        )
+        if finding.contract:
+            lines.append(f"    contract: {finding.contract}")
+    if baselined:
+        lines.append(
+            f"{len(baselined)} grandfathered finding(s) covered by the "
+            "baseline (not failures)"
+        )
+        if verbose:
+            for finding in baselined:
+                lines.append(
+                    f"  [baseline] {finding.path}:{finding.line}: "
+                    f"{finding.rule} {finding.message}"
+                )
+    if active:
+        lines.append(f"{len(active)} finding(s)")
+    else:
+        lines.append("clean: no non-baselined findings")
+    return "\n".join(lines)
+
+
+def render_json(
+    active: Sequence[Finding], baselined: Sequence[Finding]
+) -> str:
+    return json.dumps(
+        {
+            "findings": [f.as_dict() for f in active],
+            "baselined": [f.as_dict() for f in baselined],
+            "clean": not active,
+        },
+        indent=2,
+        sort_keys=True,
+    )

@@ -1,0 +1,22 @@
+"""The shipped invariant rules. Importing this package registers them.
+
+Adding a rule: create ``repNNN_<slug>.py`` defining a
+:class:`~repro.analysis.core.Rule` subclass decorated with
+:func:`~repro.analysis.core.register_rule`, and import the module here.
+"""
+
+from repro.analysis.rules import (  # noqa: F401  (import registers the rules)
+    rep001_float_taint,
+    rep002_blocking,
+    rep003_cache_key,
+    rep004_stats_drift,
+    rep005_nondeterminism,
+)
+
+__all__ = [
+    "rep001_float_taint",
+    "rep002_blocking",
+    "rep003_cache_key",
+    "rep004_stats_drift",
+    "rep005_nondeterminism",
+]

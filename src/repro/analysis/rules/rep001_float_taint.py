@@ -1,0 +1,288 @@
+"""REP001 — no float taint on the exact-arithmetic path in ``core/``.
+
+The paper's guarantee is *exact* worst-case disclosure bounds: when a caller
+asks for ``exact=True`` every intermediate value must be a
+:class:`~fractions.Fraction` (or an int), because one float literal or one
+``math.*`` call silently converts the whole chain to floating point and the
+"exact" answer stops being exact — the kind of bug no tolerance-based test
+can distinguish from legitimate rounding.
+
+The rule computes the set of functions **reachable from the exact-mode
+entry points** of ``src/repro/core/`` — any function with an ``exact``
+parameter, any method of a class constructed with one (the shared solver),
+and everything in ``core/exact.py`` (the always-exact oracle) — via a
+name-based intra-package call graph, and flags, inside those functions:
+
+- float literals (``0.5``),
+- ``float(...)`` conversions,
+- ``math.*`` / ``cmath.*`` uses other than the integer-exact functions
+  (``factorial``, ``comb``, ``gcd``, ...), through any import alias,
+- any ``numpy`` use (the vectorized kernel is float-by-design and lives in
+  the exempt ``core/kernel.py``).
+
+The codebase's *guard idiom* is understood and allowed: float expressions
+lexically confined to the non-exact side of an ``exact`` test —
+``Fraction(1) if exact else 1.0``, the ``else`` branch of ``if exact:``,
+or code after an ``if exact:`` block that always returns — are the float
+mode's half of the contract, not taint.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.astutil import (
+    FunctionIndex,
+    ImportMap,
+    arg_names,
+    body_terminates,
+    dotted_name,
+)
+from repro.analysis.core import Finding, Project, Rule, SourceFile, register_rule
+
+CORE_DIR = "src/repro/core"
+#: The vectorized kernel is the float path *by design* (exact mode always
+#: resolves to the scalar kernel before it is ever consulted).
+EXEMPT_FILES = frozenset({"src/repro/core/kernel.py"})
+#: Modules whose every function is an exact-mode entry point.
+ALWAYS_EXACT_MODULES = frozenset({"src/repro/core/exact.py"})
+#: ``math`` functions that are exact on ints — allowed everywhere.
+EXACT_MATH = frozenset(
+    {"factorial", "comb", "perm", "gcd", "lcm", "isqrt", "prod"}
+)
+
+_FuncKey = tuple[str, str]  # (file rel path, qualified function name)
+
+
+def _exact_test(expr: ast.expr) -> int:
+    """Classify a test: +1 = "we are in exact mode", -1 = negated, 0 = other.
+
+    Recognizes the codebase's guard spellings: a bare ``exact`` name, any
+    ``*.exact`` / ``*._exact`` attribute (``context.exact``,
+    ``solver.exact``, ``self._exact``), and ``not`` around either.
+    """
+    if isinstance(expr, ast.UnaryOp) and isinstance(expr.op, ast.Not):
+        return -_exact_test(expr.operand)
+    if isinstance(expr, ast.Name) and expr.id.strip("_").lower() == "exact":
+        return 1
+    if (
+        isinstance(expr, ast.Attribute)
+        and expr.attr.strip("_").lower() == "exact"
+    ):
+        return 1
+    return 0
+
+
+class _FunctionScanner:
+    """Scan one reachable function body for float taint, honouring the
+    ``exact``-guard idiom (see module docstring)."""
+
+    def __init__(
+        self,
+        rule: Rule,
+        file: SourceFile,
+        imports: ImportMap,
+        qualname: str,
+    ) -> None:
+        self.rule = rule
+        self.file = file
+        self.imports = imports
+        self.qualname = qualname
+        self.findings: list[Finding] = []
+
+    # -- reporting ----------------------------------------------------
+    def _flag(self, node: ast.AST, what: str) -> None:
+        self.findings.append(
+            self.rule.finding(
+                self.file,
+                getattr(node, "lineno", 1),
+                f"{what} in exact-reachable function `{self.qualname}`",
+            )
+        )
+
+    # -- leaf checks --------------------------------------------------
+    def _check_node(self, node: ast.expr) -> None:
+        if isinstance(node, ast.Constant) and isinstance(
+            node.value, (float, complex)
+        ):
+            self._flag(node, f"float literal {node.value!r}")
+            return
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            if node.func.id == "float":
+                self._flag(node, "float() conversion")
+                return
+            origin = self.imports.origin(node.func.id)
+            if origin is not None and "." in origin:
+                root, _, attr = origin.rpartition(".")
+                if root in ("math", "cmath") and attr not in EXACT_MATH:
+                    self._flag(node, f"call to {origin}")
+                elif root.split(".")[0] == "numpy":
+                    self._flag(node, f"call to {origin}")
+            return
+        if isinstance(node, ast.Attribute):
+            dotted = dotted_name(node)
+            if dotted is None:
+                return
+            head, _, rest = dotted.partition(".")
+            origin = self.imports.origin(head) or head
+            if origin in ("math", "cmath") and rest:
+                if rest.split(".")[0] not in EXACT_MATH:
+                    self._flag(node, f"use of {origin}.{rest}")
+            elif origin == "numpy" or origin.startswith("numpy."):
+                self._flag(node, f"use of numpy ({dotted})")
+
+    # -- traversal ----------------------------------------------------
+    def scan_function(
+        self, node: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> None:
+        for default in [
+            *node.args.defaults,
+            *[d for d in node.args.kw_defaults if d is not None],
+        ]:
+            self.scan_expr(default, float_ok=False)
+        self.scan_block(node.body, float_ok=False)
+
+    def scan_block(self, stmts: list[ast.stmt], float_ok: bool) -> None:
+        allowed = float_ok
+        for stmt in stmts:
+            self.scan_stmt(stmt, allowed)
+            # Early-return guard: after `if <exact>: ... return`, the rest
+            # of this block only ever runs in float mode.
+            if (
+                isinstance(stmt, ast.If)
+                and not stmt.orelse
+                and _exact_test(stmt.test) == 1
+                and body_terminates(stmt.body)
+            ):
+                allowed = True
+
+    def scan_stmt(self, stmt: ast.stmt, float_ok: bool) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return  # separate call-graph node; scanned on its own if reachable
+        if isinstance(stmt, ast.If):
+            guard = _exact_test(stmt.test)
+            self.scan_expr(stmt.test, float_ok)
+            self.scan_block(stmt.body, float_ok or guard == -1)
+            self.scan_block(stmt.orelse, float_ok or guard == 1)
+            return
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self.scan_expr(stmt.iter, float_ok)
+            self.scan_block(stmt.body, float_ok)
+            self.scan_block(stmt.orelse, float_ok)
+            return
+        if isinstance(stmt, ast.While):
+            self.scan_expr(stmt.test, float_ok)
+            self.scan_block(stmt.body, float_ok)
+            self.scan_block(stmt.orelse, float_ok)
+            return
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                self.scan_expr(item.context_expr, float_ok)
+            self.scan_block(stmt.body, float_ok)
+            return
+        if isinstance(stmt, ast.Try):
+            self.scan_block(stmt.body, float_ok)
+            for handler in stmt.handlers:
+                self.scan_block(handler.body, float_ok)
+            self.scan_block(stmt.orelse, float_ok)
+            self.scan_block(stmt.finalbody, float_ok)
+            return
+        if isinstance(stmt, ast.AnnAssign):
+            # Annotations are typing metadata, not arithmetic.
+            if stmt.value is not None:
+                self.scan_expr(stmt.value, float_ok)
+            return
+        for child in ast.iter_child_nodes(stmt):
+            if isinstance(child, ast.expr):
+                self.scan_expr(child, float_ok)
+
+    def scan_expr(self, node: ast.expr | None, float_ok: bool) -> None:
+        if node is None:
+            return
+        if isinstance(node, ast.IfExp):
+            guard = _exact_test(node.test)
+            self.scan_expr(node.test, float_ok)
+            self.scan_expr(node.body, float_ok or guard == -1)
+            self.scan_expr(node.orelse, float_ok or guard == 1)
+            return
+        if not float_ok:
+            self._check_node(node)
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                self.scan_expr(child, float_ok)
+            elif isinstance(child, ast.comprehension):
+                self.scan_expr(child.iter, float_ok)
+                for cond in child.ifs:
+                    self.scan_expr(cond, float_ok)
+
+
+def _called_names(node: ast.AST) -> set[str]:
+    """Simple names this function calls (name-based edge resolution)."""
+    names: set[str] = set()
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Call):
+            if isinstance(sub.func, ast.Name):
+                names.add(sub.func.id)
+            elif isinstance(sub.func, ast.Attribute):
+                names.add(sub.func.attr)
+    return names
+
+
+@register_rule
+class ExactPathFloatTaint(Rule):
+    id = "REP001"
+    title = "exact-path float taint"
+    contract = (
+        "exact mode returns true Fractions: no float literal, float() cast, "
+        "math.* or numpy use on any path reachable from an exact-mode entry "
+        "point in core/ (kernel.py is float-by-design and exempt)"
+    )
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        files = [
+            f
+            for f in project.in_dir(CORE_DIR)
+            if f.rel not in EXEMPT_FILES and f.parse_error is None
+        ]
+        functions: dict[_FuncKey, ast.AST] = {}
+        by_simple_name: dict[str, list[_FuncKey]] = {}
+        imports: dict[str, ImportMap] = {}
+        entries: set[_FuncKey] = set()
+        for file in files:
+            imports[file.rel] = ImportMap(file.tree)
+            index = FunctionIndex(file.tree, file.rel)
+            exact_classes = {
+                cls
+                for cls, args in index.class_init_args.items()
+                if "exact" in args
+            }
+            for qualname, node in index.functions.items():
+                key = (file.rel, qualname)
+                functions[key] = node
+                by_simple_name.setdefault(node.name, []).append(key)
+                params = {a.arg for a in arg_names(node)}
+                if (
+                    "exact" in params
+                    or file.rel in ALWAYS_EXACT_MODULES
+                    or qualname.split(".")[0] in exact_classes
+                ):
+                    entries.add(key)
+        # Reachability closure over name-resolved call edges.
+        reachable = set(entries)
+        queue = list(entries)
+        while queue:
+            key = queue.pop()
+            for name in _called_names(functions[key]):
+                for target in by_simple_name.get(name, ()):
+                    if target not in reachable:
+                        reachable.add(target)
+                        queue.append(target)
+        for rel, qualname in sorted(reachable):
+            file = project.get(rel)
+            assert file is not None
+            scanner = _FunctionScanner(self, file, imports[rel], qualname)
+            node = functions[(rel, qualname)]
+            assert isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+            scanner.scan_function(node)
+            yield from scanner.findings

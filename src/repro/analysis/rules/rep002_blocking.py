@@ -1,0 +1,116 @@
+"""REP002 — no blocking calls lexically inside ``async def`` in ``service/``.
+
+The serving tier (PRs 4–7) is a single-threaded asyncio event loop per
+shard: one synchronous ``time.sleep``, socket connect, ``open`` or
+``subprocess`` call inside a coroutine stalls *every* in-flight request on
+that shard — the kind of latency bug that only shows under load, never in
+unit tests.
+
+The rule walks every ``async def`` in ``src/repro/service/`` and flags
+direct (lexical) calls to the blocking families: ``time.sleep``, the
+``socket`` module, ``http.client``, builtin ``open``, and the synchronous
+``subprocess`` API. Nested *sync* ``def``s and lambdas are skipped — the
+codebase's idiom ships those to ``run_in_executor``/``to_thread``, which is
+exactly the sanctioned escape hatch (``asyncio.create_subprocess_exec`` is
+likewise untouched: its root module is ``asyncio``).
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.astutil import FunctionIndex, ImportMap, dotted_name
+from repro.analysis.core import Finding, Project, Rule, register_rule
+
+SERVICE_DIR = "src/repro/service"
+
+#: random.* is *not* here — it is nondeterminism (REP005), not blocking.
+_BLOCKING_ROOTS = frozenset({"socket", "subprocess"})
+
+
+def _call_origin(call: ast.Call, imports: ImportMap) -> str | None:
+    """The dotted origin of a call through any import alias, or ``None``."""
+    func = call.func
+    if isinstance(func, ast.Name):
+        if func.id == "open":
+            return "open"
+        return imports.origin(func.id)
+    dotted = dotted_name(func)
+    if dotted is None:
+        return None
+    head, _, rest = dotted.partition(".")
+    origin = imports.origin(head)
+    if origin is None:
+        return None
+    return f"{origin}.{rest}" if rest else origin
+
+
+def _blocking_reason(origin: str) -> str | None:
+    if origin == "open":
+        return "builtin open() performs blocking file I/O"
+    if origin == "time.sleep":
+        return "time.sleep() blocks the event loop (use asyncio.sleep)"
+    root = origin.split(".")[0]
+    if root in _BLOCKING_ROOTS:
+        return f"synchronous {origin}() blocks the event loop"
+    if origin.startswith("http.client"):
+        return f"synchronous {origin}() blocks the event loop"
+    return None
+
+
+class _AsyncBodyScanner(ast.NodeVisitor):
+    """Collect blocking calls in one coroutine body, skipping nested
+    function scopes (sync defs/lambdas run in executors; nested async defs
+    are scanned as their own coroutines)."""
+
+    def __init__(self, imports: ImportMap) -> None:
+        self.imports = imports
+        self.hits: list[tuple[int, str]] = []
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        pass  # executor-bound sync helper: its blocking is the point
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        pass  # scanned separately as its own coroutine
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        pass  # run_in_executor(None, lambda: ...) idiom
+
+    def visit_Call(self, node: ast.Call) -> None:
+        origin = _call_origin(node, self.imports)
+        if origin is not None:
+            reason = _blocking_reason(origin)
+            if reason is not None:
+                self.hits.append((node.lineno, reason))
+        self.generic_visit(node)
+
+
+@register_rule
+class EventLoopBlockingCalls(Rule):
+    id = "REP002"
+    title = "event-loop blocking call"
+    contract = (
+        "service/ coroutines never call blocking APIs (time.sleep, socket, "
+        "http.client, open, subprocess) directly — blocking work goes "
+        "through run_in_executor or the asyncio equivalents"
+    )
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        for file in project.in_dir(SERVICE_DIR):
+            if file.parse_error is not None:
+                continue
+            imports = ImportMap(file.tree)
+            index = FunctionIndex(file.tree, file.rel)
+            for qualname, node in sorted(index.functions.items()):
+                if not isinstance(node, ast.AsyncFunctionDef):
+                    continue
+                scanner = _AsyncBodyScanner(imports)
+                for stmt in node.body:
+                    scanner.visit(stmt)
+                for line, reason in scanner.hits:
+                    yield self.finding(
+                        file,
+                        line,
+                        f"{reason} in coroutine `{qualname}`",
+                    )

@@ -1,0 +1,188 @@
+"""REP003 — every adversary ``__init__`` parameter reaches the cache key.
+
+The engine's plane cache (and the parallel backend's model identity) key
+results by ``(model.name, model.params_key(), ...)``. A parametric model
+whose constructor takes a knob that never reaches :meth:`params_key` /
+:meth:`cache_key` is a *stale-cache* bug: two differently-parameterized
+instances collide on the same key and the second silently returns the
+first's numbers. ROADMAP's next planned model (Wong et al.'s bounded
+prior-ratio ``b``) is exactly this shape — this rule makes the mistake
+impossible to land.
+
+For each class registered via ``@register_adversary`` (or subclassing
+``AdversaryModel``) in ``src/repro/engine/``, the rule maps every
+``__init__`` parameter to the ``self.*`` attributes it is stored into, then
+checks that at least one of those attributes (or the bare parameter name)
+is read inside the class's ``params_key``/``cache_key`` — searching
+inherited definitions through the in-package base-class chain, so a
+subclass that relies on a parent's complete key stays clean.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.astutil import arg_names, dotted_name
+from repro.analysis.core import Finding, Project, Rule, register_rule
+
+ENGINE_DIR = "src/repro/engine"
+BASE_CLASS = "AdversaryModel"
+KEY_METHODS = ("params_key", "cache_key")
+
+
+def _self_attr_reads(node: ast.AST) -> set[str]:
+    """Names of ``self.<attr>`` reads (and bare names) inside ``node``."""
+    reads: set[str] = set()
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Attribute) and isinstance(
+            sub.value, ast.Name
+        ):
+            if sub.value.id == "self":
+                reads.add(sub.attr)
+        elif isinstance(sub, ast.Name):
+            reads.add(sub.id)
+    return reads
+
+
+def _names_in(node: ast.AST) -> set[str]:
+    return {
+        sub.id for sub in ast.walk(node) if isinstance(sub, ast.Name)
+    }
+
+
+class _ModelClass:
+    def __init__(self, file_rel: str, node: ast.ClassDef) -> None:
+        self.file_rel = file_rel
+        self.node = node
+        self.bases = [
+            name.split(".")[-1]
+            for name in (dotted_name(b) for b in node.bases)
+            if name is not None
+        ]
+        self.methods: dict[str, ast.FunctionDef | ast.AsyncFunctionDef] = {
+            item.name: item
+            for item in node.body
+            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+
+    @property
+    def is_registered(self) -> bool:
+        for deco in self.node.decorator_list:
+            target = deco.func if isinstance(deco, ast.Call) else deco
+            name = dotted_name(target)
+            if name is not None and name.split(".")[-1] == "register_adversary":
+                return True
+        return False
+
+
+def _find_method(
+    cls: _ModelClass, name: str, classes: dict[str, _ModelClass]
+) -> ast.FunctionDef | ast.AsyncFunctionDef | None:
+    """MRO-ish lookup through the in-package base chain, stopping at the
+    abstract base (whose default ``params_key`` keys nothing)."""
+    seen: set[str] = set()
+    stack = [cls]
+    while stack:
+        current = stack.pop(0)
+        if current.node.name in seen:
+            continue
+        seen.add(current.node.name)
+        if current.node.name == BASE_CLASS:
+            continue
+        if name in current.methods:
+            return current.methods[name]
+        for base in current.bases:
+            if base in classes:
+                stack.append(classes[base])
+    return None
+
+
+@register_rule
+class CacheKeyCompleteness(Rule):
+    id = "REP003"
+    title = "cache-key completeness"
+    contract = (
+        "every AdversaryModel __init__ parameter is reflected in "
+        "params_key()/cache_key() — otherwise two differently-parameterized "
+        "instances share a plane-cache entry and the second gets the "
+        "first's results"
+    )
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        classes: dict[str, _ModelClass] = {}
+        for file in project.in_dir(ENGINE_DIR):
+            if file.parse_error is not None:
+                continue
+            for node in ast.walk(file.tree):
+                if isinstance(node, ast.ClassDef):
+                    classes[node.name] = _ModelClass(file.rel, node)
+
+        def is_model(cls: _ModelClass) -> bool:
+            if cls.node.name == BASE_CLASS:
+                return False
+            if cls.is_registered:
+                return True
+            stack = list(cls.bases)
+            seen: set[str] = set()
+            while stack:
+                base = stack.pop()
+                if base in seen:
+                    continue
+                seen.add(base)
+                if base == BASE_CLASS:
+                    return True
+                if base in classes:
+                    stack.extend(classes[base].bases)
+            return False
+
+        for name in sorted(classes):
+            cls = classes[name]
+            if not is_model(cls):
+                continue
+            init = _find_method(cls, "__init__", classes)
+            if init is None:
+                continue
+            params = [a.arg for a in arg_names(init) if a.arg != "self"]
+            if not params:
+                continue
+            # param -> the self attributes it is stored into
+            stored: dict[str, set[str]] = {p: set() for p in params}
+            for stmt in ast.walk(init):
+                if not isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+                    continue
+                targets = (
+                    stmt.targets
+                    if isinstance(stmt, ast.Assign)
+                    else [stmt.target]
+                )
+                if stmt.value is None:
+                    continue
+                value_names = _names_in(stmt.value)
+                for target in targets:
+                    if (
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                    ):
+                        for param in params:
+                            if param in value_names:
+                                stored[param].add(target.attr)
+            keyed_reads: set[str] = set()
+            for method_name in KEY_METHODS:
+                method = _find_method(cls, method_name, classes)
+                if method is not None:
+                    keyed_reads |= _self_attr_reads(method)
+            file = project.get(cls.file_rel)
+            assert file is not None
+            for param in params:
+                identities = stored[param] | {param}
+                if identities & keyed_reads:
+                    continue
+                yield self.finding(
+                    file,
+                    init.lineno,
+                    f"__init__ parameter `{param}` of model "
+                    f"`{cls.node.name}` never reaches "
+                    "params_key()/cache_key()",
+                )

@@ -1,0 +1,142 @@
+"""REP005 — nondeterminism hazards on the bit-identical paths.
+
+The suite's strongest claims are equivalences: serial == parallel,
+in-process == subprocess backend, scalar == numpy kernel, single ==
+sharded service — all asserted *bit-identically*. Three statically
+detectable patterns can break that without failing any unit test:
+
+- **unseeded global ``random.*``** — results change run to run; the
+  sanctioned spelling is an explicit ``random.Random(seed)`` instance
+  (``SamplingAdversary`` does exactly this);
+- **ordered output fed from set iteration** — ``for x in set(...)`` (or a
+  set literal/comprehension) has hash-seed-dependent order, so anything
+  order-sensitive built from it differs across processes — the exact bug
+  class the subprocess backend's bit-identical contract forbids;
+- **``json.dumps`` without ``sort_keys=True``** — dict insertion order
+  leaks into the serialized form, so two semantically equal payloads built
+  in different orders hash/compare differently across backends.
+
+Scope: ``src/repro/core/`` and ``src/repro/engine/``, the layers under the
+equivalence contracts.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.astutil import ImportMap, dotted_name
+from repro.analysis.core import Finding, Project, Rule, register_rule
+
+SCOPES = ("src/repro/core", "src/repro/engine")
+
+#: ``random`` module functions backed by the *global* (unseeded) PRNG.
+GLOBAL_RANDOM_FUNCS = frozenset(
+    {
+        "random",
+        "randint",
+        "randrange",
+        "randbytes",
+        "getrandbits",
+        "choice",
+        "choices",
+        "shuffle",
+        "sample",
+        "uniform",
+        "triangular",
+        "betavariate",
+        "binomialvariate",
+        "expovariate",
+        "gammavariate",
+        "gauss",
+        "lognormvariate",
+        "normalvariate",
+        "vonmisesvariate",
+        "paretovariate",
+        "weibullvariate",
+    }
+)
+
+
+def _call_origin(call: ast.Call, imports: ImportMap) -> str | None:
+    func = call.func
+    if isinstance(func, ast.Name):
+        return imports.origin(func.id)
+    dotted = dotted_name(func)
+    if dotted is None:
+        return None
+    head, _, rest = dotted.partition(".")
+    origin = imports.origin(head)
+    if origin is None:
+        return None
+    return f"{origin}.{rest}" if rest else origin
+
+
+def _is_set_expr(node: ast.expr) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in ("set", "frozenset")
+    ):
+        return True
+    return False
+
+
+@register_rule
+class NondeterminismHazards(Rule):
+    id = "REP005"
+    title = "nondeterminism hazard"
+    contract = (
+        "core/ and engine/ results are bit-identical across runs, "
+        "processes and backends: no global random state, no ordered "
+        "output from set iteration, no order-sensitive json.dumps"
+    )
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        for scope in SCOPES:
+            for file in project.in_dir(scope):
+                if file.parse_error is not None:
+                    continue
+                imports = ImportMap(file.tree)
+                for node in ast.walk(file.tree):
+                    if isinstance(node, ast.Call):
+                        origin = _call_origin(node, imports)
+                        if origin is not None:
+                            root, _, attr = origin.partition(".")
+                            if (
+                                root == "random"
+                                and attr in GLOBAL_RANDOM_FUNCS
+                            ):
+                                yield self.finding(
+                                    file,
+                                    node.lineno,
+                                    f"unseeded global random call "
+                                    f"`{origin}()` — use an explicit "
+                                    "random.Random(seed) instance",
+                                )
+                            elif origin == "json.dumps" and not any(
+                                kw.arg == "sort_keys"
+                                for kw in node.keywords
+                            ):
+                                yield self.finding(
+                                    file,
+                                    node.lineno,
+                                    "json.dumps without sort_keys=True — "
+                                    "serialized form depends on dict "
+                                    "insertion order",
+                                )
+                    iter_expr: ast.expr | None = None
+                    if isinstance(node, (ast.For, ast.AsyncFor)):
+                        iter_expr = node.iter
+                    elif isinstance(node, ast.comprehension):
+                        iter_expr = node.iter
+                    if iter_expr is not None and _is_set_expr(iter_expr):
+                        yield self.finding(
+                            file,
+                            iter_expr.lineno,
+                            "iteration directly over a set feeds "
+                            "hash-order into the result — sort it "
+                            "(`sorted(...)`) before iterating",
+                        )

@@ -380,6 +380,54 @@ def build_parser() -> argparse.ArgumentParser:
     # otherwise), so serve's defaults enable both together.
     p_serve.set_defaults(backend="persistent", workers=2)
 
+    p_lint = sub.add_parser(
+        "lint",
+        help="run the invariant linter (REP001-REP005) over the tree",
+    )
+    p_lint.add_argument(
+        "--root",
+        default=".",
+        help="project root to scan (default: current directory)",
+    )
+    p_lint.add_argument(
+        "--rules",
+        nargs="+",
+        metavar="RULE",
+        default=None,
+        help="run only these rule ids (default: all registered rules)",
+    )
+    p_lint.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        dest="output_format",
+        help="report format (default text)",
+    )
+    p_lint.add_argument(
+        "--baseline",
+        default="lint-baseline.json",
+        metavar="PATH",
+        help=(
+            "baseline file of grandfathered findings, relative to --root "
+            "(default lint-baseline.json; missing file = empty baseline)"
+        ),
+    )
+    p_lint.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the baseline: report every finding as active",
+    )
+    p_lint.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="regenerate the baseline from the current findings and exit 0",
+    )
+    p_lint.add_argument(
+        "--verbose",
+        action="store_true",
+        help="also list baselined findings in the text report",
+    )
+
     return parser
 
 
@@ -708,6 +756,45 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    # Imported lazily: the analysis framework is a dev/CI tool and should
+    # add nothing to the cost of the numeric commands.
+    from pathlib import Path
+
+    from repro.analysis import (
+        Baseline,
+        Project,
+        get_rules,
+        render_json,
+        render_text,
+        run_rules,
+    )
+
+    root = Path(args.root).resolve()
+    if not root.is_dir():
+        raise ValueError(f"--root {args.root!r} is not a directory")
+    project = Project(root)
+    rules = get_rules(args.rules)
+    baseline_path = root / args.baseline
+    if args.write_baseline:
+        findings, _ = run_rules(project, rules, baseline=None)
+        Baseline.from_findings(findings).save(baseline_path)
+        print(
+            f"wrote {len(findings)} grandfathered finding(s) to "
+            f"{baseline_path}"
+        )
+        return 0
+    baseline = None
+    if not args.no_baseline and baseline_path.is_file():
+        baseline = Baseline.load(baseline_path)
+    active, baselined = run_rules(project, rules, baseline=baseline)
+    if args.output_format == "json":
+        print(render_json(active, baselined))
+    else:
+        print(render_text(active, baselined, verbose=args.verbose))
+    return 1 if active else 0
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "fig5": _cmd_fig5,
@@ -718,6 +805,7 @@ _COMMANDS = {
     "breach": _cmd_breach,
     "estimate": _cmd_estimate,
     "serve": _cmd_serve,
+    "lint": _cmd_lint,
 }
 
 

@@ -1,0 +1,9 @@
+"""REP004 link-3 fixture: one covered stats key, one drifted one."""
+
+
+def emit(router_stats):
+    return {
+        "requests_total": router_stats["requests_total"],  # CLEAN: covered
+        "ghost_counter": router_stats["ghost_counter"],  # BAD: schema drift
+        "config": {"shards": 4},  # CLEAN: not a stats subscript
+    }

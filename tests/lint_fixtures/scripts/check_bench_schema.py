@@ -1,0 +1,3 @@
+"""REP004 link-3 anchor: the key sets the benchmark emissions must match."""
+
+SERVICE_KEYS = {"requests_total", "coalesced_batches"}

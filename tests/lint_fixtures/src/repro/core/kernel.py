@@ -1,0 +1,5 @@
+"""CLEAN by exemption: core/kernel.py is the float path by design."""
+
+
+def vector_disclosure(counts, exact=False):
+    return [1.0 / (1.0 + c) for c in counts]

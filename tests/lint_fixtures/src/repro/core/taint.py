@@ -1,0 +1,56 @@
+"""REP001 fixtures: float taint on the exact path, plus clean guards."""
+
+import math as m
+from fractions import Fraction
+from math import factorial, sqrt as root
+
+
+def disclosure(counts, exact=False):
+    # BAD: float literal on a path an exact=True caller can reach.
+    total = 0.5 * sum(counts)
+    return _helper(total)
+
+
+def _helper(x):
+    # BAD (reachable from `disclosure`): aliased math call and float().
+    return m.sqrt(float(x))
+
+
+def aliased_from_import(x, exact=False):
+    # BAD: `from math import sqrt as root` must not hide the call.
+    return root(x)
+
+
+def exact_combinatorics(n, k, exact=False):
+    # CLEAN: integer-exact math functions are allowed everywhere.
+    return factorial(n) // factorial(k)
+
+
+def guarded_ternary(ratio, exact=False):
+    # CLEAN: the codebase's guard idiom — float confined to the non-exact arm.
+    return Fraction(1, 1 + ratio) if exact else 1.0 / (1.0 + ratio)
+
+
+def guarded_branches(ratio, exact=False):
+    # CLEAN: if/else guard.
+    if exact:
+        return Fraction(1, 1 + ratio)
+    else:
+        return 1.0 / (1.0 + ratio)
+
+
+def guarded_early_return(ratio, exact=False):
+    # CLEAN: after the exact arm returns, only float mode remains.
+    if exact:
+        return Fraction(1, 1 + ratio)
+    return 1.0 / (1.0 + ratio)
+
+
+def unreachable_float_helper(x):
+    # CLEAN: nothing on the exact path calls this.
+    return 0.25 * x
+
+
+def suppressed_sentinel(exact=False):
+    # CLEAN: justified suppression.
+    return 1e9  # repro: noqa[REP001] saturation sentinel is mode-neutral

@@ -1,0 +1,47 @@
+"""REP003 fixtures: a leaky cache key and a complete one."""
+
+
+class AdversaryModel:
+    def params_key(self):
+        return ()
+
+    def cache_key(self, bucketization):
+        return (self.params_key(),)
+
+
+def register_adversary(cls):
+    return cls
+
+
+@register_adversary
+class LeakyAdversary(AdversaryModel):
+    """BAD: `tilt` changes results but never reaches the key."""
+
+    def __init__(self, tilt=None, scale=1):
+        self.tilt = tilt
+        self._scale = scale
+
+    def params_key(self):
+        return (self._scale,)  # `tilt` missing: stale-cache collision
+
+    def evaluate(self, bucketization):
+        return self.tilt
+
+
+@register_adversary
+class KeyedAdversary(AdversaryModel):
+    """CLEAN: every constructor knob reaches the key."""
+
+    def __init__(self, samples=100, seed=0):
+        self.samples = samples
+        self._seed = seed
+
+    def params_key(self):
+        return (self.samples, self._seed)
+
+
+class InheritedKeyAdversary(KeyedAdversary):
+    """CLEAN: relies on the parent's complete key for the same params."""
+
+    def evaluate(self, bucketization):
+        return self.samples

@@ -1,0 +1,35 @@
+"""REP005 fixtures: nondeterminism hazards and their deterministic twins."""
+
+import json
+import random
+import random as rnd
+
+
+def bad_randomness(items):
+    # BAD: global PRNG — differs run to run.
+    pick = random.choice(items)
+    noise = rnd.random()
+    return pick, noise
+
+
+def bad_set_order(values):
+    # BAD: hash-order feeds an ordered result.
+    out = []
+    for v in set(values):
+        out.append(v)
+    listed = [v for v in {1, 2, 3}]
+    return out, listed
+
+
+def bad_json_identity(payload):
+    # BAD: serialized form depends on dict insertion order.
+    return json.dumps(payload)
+
+
+def good_determinism(values, payload, seed=0):
+    # CLEAN: seeded instance, sorted iteration, sorted keys.
+    rng = random.Random(seed)
+    ordered = [v for v in sorted(set(values))]
+    blob = json.dumps(payload, sort_keys=True)
+    membership = 2 in set(values)  # CLEAN: membership, not iteration
+    return rng.random(), ordered, blob, membership

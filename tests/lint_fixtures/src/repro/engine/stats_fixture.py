@@ -1,0 +1,28 @@
+"""REP004 fixtures: a counter that never reaches /stats, a ghost increment."""
+
+
+class LeakyStats:
+    def __init__(self):
+        self.requests_total = 0
+        self.dropped = 0  # BAD: initialized but invisible in as_dict
+
+    def as_dict(self):
+        return {"requests_total": self.requests_total}
+
+
+class CleanStats:
+    def __init__(self):
+        self.hits = 0
+        self.started_at = None  # not a counter: no exposure required
+
+    def as_dict(self):
+        return {"hits": self.hits}
+
+
+class _Server:
+    def __init__(self):
+        self._stats = LeakyStats()
+
+    def handle(self):
+        self._stats.requests_total += 1  # CLEAN: declared counter
+        self._stats.ghost += 1  # BAD: no *Stats class declares `ghost`

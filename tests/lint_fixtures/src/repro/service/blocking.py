@@ -1,0 +1,44 @@
+"""REP002 fixtures: blocking calls in coroutines, plus sanctioned escapes."""
+
+import asyncio
+import socket
+import subprocess
+import time
+from http.client import HTTPConnection
+
+
+async def bad_sleep(self):
+    # BAD: stalls every in-flight request on this shard.
+    time.sleep(0.1)
+
+
+async def bad_io():
+    # BAD: sync file, socket, subprocess and http.client use in a coroutine.
+    with open("/tmp/payload") as fh:
+        data = fh.read()
+    conn = socket.create_connection(("localhost", 80))
+    subprocess.run(["true"])
+    HTTPConnection("localhost").request("GET", "/")
+    return data, conn
+
+
+async def good_async():
+    # CLEAN: the async equivalents.
+    await asyncio.sleep(0.1)
+    await asyncio.create_subprocess_exec("true")
+
+
+async def good_executor():
+    # CLEAN: blocking work shipped off the loop is the sanctioned escape.
+    loop = asyncio.get_running_loop()
+    await loop.run_in_executor(None, lambda: time.sleep(1))
+    await loop.run_in_executor(None, _blocking_helper)
+
+
+def _blocking_helper():
+    # CLEAN: sync function — its blocking is the point.
+    time.sleep(1)
+
+
+async def suppressed(self):
+    time.sleep(0)  # repro: noqa[REP002] yields to OS scheduler on purpose
