@@ -31,7 +31,13 @@ against in-process :class:`~repro.service.server.BackgroundService` /
 - **routing is cheap**: the ``router_overhead`` microbench times one
   routing decision three ways — the old full-reparse path (build a
   ``Bucketization``), the keyed path (one signature pass over raw
-  lists) and the steady-state byte-memo lookup.
+  lists) and the steady-state byte-memo lookup;
+- **tenants share nothing**: two tenants with disjoint default threat
+  models sweep the same questions through one service — the
+  ``multi_tenant`` section records per-tenant req/s, per-tenant engine
+  cache entries and per-tenant cache files, with answers bit-identical
+  to each tenant's direct engine (``cache_isolated`` /
+  ``identical_results`` are enforced by the schema check).
 
 ``BENCH_service.json`` records all of it (schema-checked in CI via
 ``scripts/check_bench_schema.py``; ``BENCH_TINY=1`` shrinks the
@@ -43,13 +49,15 @@ from __future__ import annotations
 
 import json
 import random
+import tempfile
 import threading
 import time
+from pathlib import Path
 
 from reporting import tiny_mode, write_bench_json
 
 from repro.bucketization import Bucketization
-from repro.engine import DisclosureEngine
+from repro.engine import DisclosureEngine, get_adversary
 from repro.service import BackgroundRouter, BackgroundService, ServiceClient
 from repro.service.router import shard_key
 from repro.service.wire import (
@@ -120,6 +128,93 @@ def _router_overhead_microbench(b: Bucketization) -> dict[str, float]:
         "memo_us": round(memo_s / iterations * 1e6, 3),
         "keyed_speedup": round(reparse_s / keyed_s, 3) if keyed_s > 0 else 0.0,
         "memo_speedup": round(reparse_s / memo_s, 3) if memo_s > 0 else 0.0,
+    }
+
+
+#: Two tenants with disjoint default threat models — the isolation claim
+#: is only meaningful if their parameterizations share nothing.
+TENANTS = {
+    "acme": {
+        "model": "weighted",
+        "params": {"weights": {"a": 2.5, "b": 0.5}},
+    },
+    "globex": {"model": "sampling", "params": {"samples": 400, "seed": 7}},
+}
+
+
+def _multi_tenant_bench(bs: list[Bucketization]) -> dict:
+    """Two tenants sweeping the same question list through one service:
+    per-tenant req/s, and the cache-isolation evidence — each tenant's
+    answers land in that tenant's engines (own entry counts) and persist
+    to that tenant's cache files, while staying bit-identical to a direct
+    per-tenant :class:`DisclosureEngine`."""
+    questions = bs[: 4 if tiny_mode() else 12]
+    engine = DisclosureEngine()
+    expected = {
+        "acme": [
+            engine.evaluate(
+                b, K, model=get_adversary("weighted", weights={"a": 2.5, "b": 0.5})
+            )
+            for b in questions
+        ],
+        "globex": [
+            engine.evaluate(
+                b, K, model=get_adversary("sampling", samples=400, seed=7)
+            )
+            for b in questions
+        ],
+    }
+    with tempfile.TemporaryDirectory() as tmp:
+        prefix = Path(tmp) / "fleet"
+        with BackgroundService(
+            backend="serial",
+            batch_window=0.0,
+            tenants=TENANTS,
+            cache_path=prefix,
+        ) as bg:
+            client = bg.client()
+            answers: dict[str, list] = {tenant: [] for tenant in TENANTS}
+            start = time.perf_counter()
+            for tenant in TENANTS:
+                for b in questions:
+                    answers[tenant].append(
+                        client.disclosure(b, K, tenant=tenant)
+                    )
+            elapsed = time.perf_counter() - start
+            tenant_stats = client.stats()["tenants"]
+            per_tenant_requests = {
+                tenant: tenant_stats[tenant]["requests"] for tenant in TENANTS
+            }
+            per_tenant_cache_entries = {
+                tenant: tenant_stats[tenant]["engines"]["float"][
+                    "cache_entries"
+                ]
+                for tenant in TENANTS
+            }
+        tenant_files = sorted(
+            entry.name
+            for entry in Path(tmp).iterdir()
+            if any(f".{tenant}." in entry.name for tenant in TENANTS)
+        )
+    requests = len(TENANTS) * len(questions)
+    identical = all(answers[t] == expected[t] for t in TENANTS)
+    # Isolation: every tenant computed its own answers (non-empty private
+    # cache) and persisted them to its own files — nothing shared.
+    cache_isolated = all(
+        per_tenant_cache_entries[tenant] >= 1
+        and f"fleet.{tenant}.float.pkl" in tenant_files
+        for tenant in TENANTS
+    )
+    return {
+        "tenants": sorted(TENANTS),
+        "questions": len(questions),
+        "requests": requests,
+        "requests_per_s": round(requests / elapsed, 1) if elapsed > 0 else 0.0,
+        "per_tenant_requests": per_tenant_requests,
+        "per_tenant_cache_entries": per_tenant_cache_entries,
+        "cache_files": tenant_files,
+        "cache_isolated": cache_isolated,
+        "identical_results": identical,
     }
 
 
@@ -330,6 +425,9 @@ def test_service_latency_throughput_coalescing(benchmark):
 
     sharded_ratio = sharded_rps / single_rps if single_rps > 0 else 0.0
     router_overhead = _router_overhead_microbench(bs[0])
+    multi_tenant = _multi_tenant_bench(bs)
+    assert multi_tenant["identical_results"]
+    assert multi_tenant["cache_isolated"]
 
     benchmark.extra_info["requests_per_s"] = round(requests_per_s, 1)
     benchmark.extra_info["batch_speedup"] = round(batch_speedup, 3)
@@ -382,5 +480,6 @@ def test_service_latency_throughput_coalescing(benchmark):
                 "coalesced_batches": router_stats["coalesced_batches"],
                 "identical_results": sharded_identical,
             },
+            "multi_tenant": multi_tenant,
         },
     )

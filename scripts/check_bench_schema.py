@@ -102,6 +102,7 @@ REQUIRED = {
         "router_overhead",
         "keepalive",
         "sharded",
+        "multi_tenant",
     },
 }
 
@@ -168,6 +169,17 @@ SHARDED_KEYS = (
         "identical_results",
     }
 )
+MULTI_TENANT_KEYS = {
+    "tenants",
+    "questions",
+    "requests",
+    "requests_per_s",
+    "per_tenant_requests",
+    "per_tenant_cache_entries",
+    "cache_files",
+    "cache_isolated",
+    "identical_results",
+}
 
 
 def _load(path: str):
@@ -238,9 +250,10 @@ def _check_service(path: str, record: dict) -> list[str]:
     """The service record's invariants: served values bit-identical to the
     direct engine (single, batch, keep-alive and sharded topologies),
     concurrent singles actually coalesced, the latency / router-overhead /
-    keep-alive / sharded sections present and complete, and — at bench
-    scale (non-tiny) — the sharded topology at least matching the single
-    service's req/s (the PR-7 routing-hot-path floor)."""
+    keep-alive / sharded / multi-tenant sections present and complete,
+    tenants provably cache-isolated, and — at bench scale (non-tiny) —
+    the sharded topology at least matching the single service's req/s
+    (the PR-7 routing-hot-path floor)."""
     errors: list[str] = []
     if record.get("identical_results") is not True:
         errors.append(f"{path}: service answers diverged from the engine")
@@ -255,6 +268,7 @@ def _check_service(path: str, record: dict) -> list[str]:
         ("router_overhead", ROUTER_OVERHEAD_KEYS),
         ("keepalive", KEEPALIVE_KEYS),
         ("sharded", SHARDED_KEYS),
+        ("multi_tenant", MULTI_TENANT_KEYS),
     ):
         entry = record.get(section)
         if not isinstance(entry, dict):
@@ -268,6 +282,18 @@ def _check_service(path: str, record: dict) -> list[str]:
         errors.append(
             f"{path}: sharded deployment diverged from the single engine"
         )
+    multi_tenant = record.get("multi_tenant")
+    if isinstance(multi_tenant, dict):
+        if multi_tenant.get("identical_results") is not True:
+            errors.append(
+                f"{path}: multi-tenant answers diverged from the per-tenant "
+                f"direct engines"
+            )
+        if multi_tenant.get("cache_isolated") is not True:
+            errors.append(
+                f"{path}: tenants shared cache state "
+                f"(multi_tenant.cache_isolated is not true)"
+            )
     if isinstance(sharded, dict) and not record.get("tiny"):
         sharded_rps = sharded.get("requests_per_s")
         single_rps = sharded.get("single_requests_per_s")

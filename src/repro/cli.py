@@ -374,6 +374,18 @@ def build_parser() -> argparse.ArgumentParser:
             "default unbounded)"
         ),
     )
+    p_serve.add_argument(
+        "--tenants",
+        default=None,
+        metavar="FILE",
+        help=(
+            "serve multiple tenants from one process: FILE is a JSON "
+            'object {tenant: {"model": name, "params": {...}}} giving '
+            "each tenant its default threat model; every tenant gets its "
+            "own engines, /stats counters and cache files "
+            "(PREFIX.<tenant>[.shard<i>].<mode>.pkl); validated at boot"
+        ),
+    )
     _add_engine_options(p_serve)
     # A service is the persistent backend's home workload — but the backend
     # only engages when workers > 1 (the engine's serial path wins
@@ -674,6 +686,7 @@ async def _serve_until_signalled(args: argparse.Namespace) -> int:
             cache_path=args.cache_file,
             batch_window=args.batch_window,
             max_connections=args.max_connections,
+            tenants=args.tenants,
         )
     else:
         from repro.service.server import DisclosureService
@@ -688,6 +701,7 @@ async def _serve_until_signalled(args: argparse.Namespace) -> int:
             cache_path=args.cache_file,
             batch_window=args.batch_window,
             max_connections=args.max_connections,
+            tenants=args.tenants,
         )
     # Handlers go in BEFORE the port line is printed: a supervisor (the
     # shard router, a test harness) treats the port line as "booted" and

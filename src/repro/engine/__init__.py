@@ -46,7 +46,9 @@ from repro.engine.base import (
     AdversaryModel,
     EngineContext,
     available_adversaries,
+    canonical_params,
     get_adversary,
+    param_schema,
     register_adversary,
 )
 from repro.engine.engine import DisclosureEngine, EngineStats
@@ -80,6 +82,8 @@ __all__ = [
     "register_adversary",
     "get_adversary",
     "available_adversaries",
+    "canonical_params",
+    "param_schema",
     "ImplicationAdversary",
     "NegationAdversary",
     "WeightedAdversary",

@@ -25,7 +25,8 @@ disconnected function cluster; this module gives them one shape:
 from __future__ import annotations
 
 import abc
-from collections.abc import Hashable, Iterable
+import inspect
+from collections.abc import Hashable, Iterable, Mapping
 from typing import Any, ClassVar
 
 from repro.bucketization.bucketization import Bucketization
@@ -39,6 +40,8 @@ __all__ = [
     "register_adversary",
     "get_adversary",
     "available_adversaries",
+    "canonical_params",
+    "param_schema",
 ]
 
 
@@ -278,3 +281,78 @@ def get_adversary(model: str | AdversaryModel, **params: Any) -> AdversaryModel:
 def available_adversaries() -> tuple[str, ...]:
     """Registered model names, sorted (the CLI's ``--adversary`` choices)."""
     return tuple(sorted(_REGISTRY))
+
+
+def _canonical_value(value: Any) -> Hashable:
+    if isinstance(value, Mapping):
+        # Key-sorted by repr, matching WeightedAdversary.params_key's
+        # ordering, so the same weights always canonicalize identically.
+        return (
+            "map",
+            tuple(
+                sorted(
+                    ((k, _canonical_value(v)) for k, v in value.items()),
+                    key=lambda kv: repr(kv[0]),
+                )
+            ),
+        )
+    if isinstance(value, (list, tuple)):
+        return tuple(_canonical_value(v) for v in value)
+    return value
+
+
+def canonical_params(params: Mapping[str, Any] | None) -> tuple:
+    """Constructor kwargs as a stable, hashable, name-sorted tuple.
+
+    This is the *identity* of a parameterization, shared by every layer
+    that keys on it: the engine's model-instance memo, the serving tier's
+    coalescer groups, and the shard router's routing hash. Two kwargs
+    mappings that construct interchangeable model instances (same names,
+    ``==`` values) canonicalize equal; ``None`` and ``{}`` both mean
+    "defaults" and canonicalize to ``()``.
+    """
+    if not params:
+        return ()
+    return tuple(
+        sorted((name, _canonical_value(value)) for name, value in params.items())
+    )
+
+
+def param_schema(model: str | type[AdversaryModel]) -> list[dict[str, Any]]:
+    """A machine-usable description of a model's constructor parameters.
+
+    One entry per ``__init__`` parameter: ``name``, ``type`` (the
+    annotation as written) and ``default`` (JSON-safe: scalars pass
+    through, anything richer is stringified). ``/models`` serves this so
+    clients can discover tunables without reading source, and the
+    conformance suite asserts the schema round-trips through
+    :func:`get_adversary` — defaults rebuilt from the schema must yield
+    the default :meth:`AdversaryModel.params_key`.
+    """
+    cls = _REGISTRY[model] if isinstance(model, str) else model
+    schema: list[dict[str, Any]] = []
+    variadic = (
+        inspect.Parameter.VAR_POSITIONAL,
+        inspect.Parameter.VAR_KEYWORD,
+    )
+    for parameter in inspect.signature(cls.__init__).parameters.values():
+        if parameter.name == "self" or parameter.kind in variadic:
+            # ``self`` is not a tunable; *args/**kwargs are what
+            # ``object.__init__`` shows for parameterless models.
+            continue
+        annotation = parameter.annotation
+        if annotation is inspect.Parameter.empty:
+            annotation = "Any"
+        default: Any = None
+        if parameter.default is not inspect.Parameter.empty:
+            default = parameter.default
+        if not isinstance(default, (str, int, float, bool, type(None))):
+            default = str(default)
+        schema.append(
+            {
+                "name": parameter.name,
+                "type": str(annotation),
+                "default": default,
+            }
+        )
+    return schema

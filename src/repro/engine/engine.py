@@ -39,7 +39,7 @@ from __future__ import annotations
 
 import pickle
 from collections import OrderedDict
-from collections.abc import Callable, Iterable, Sequence
+from collections.abc import Callable, Iterable, Mapping, Sequence
 from contextlib import contextmanager
 from dataclasses import dataclass
 from fractions import Fraction
@@ -47,7 +47,12 @@ from typing import Any
 
 from repro.bucketization.bucketization import Bucketization
 from repro.engine.backend import ExecutionBackend, create_backend
-from repro.engine.base import AdversaryModel, EngineContext, get_adversary
+from repro.engine.base import (
+    AdversaryModel,
+    EngineContext,
+    canonical_params,
+    get_adversary,
+)
 from repro.engine.plane import CachePolicy, SignaturePlane
 from repro.errors import SearchError
 
@@ -202,7 +207,7 @@ class DisclosureEngine:
         self._cache: OrderedDict[tuple, Any] = OrderedDict()
         self._pinned: set[tuple] = set()
         self._pin_depth = 0
-        self._instances: dict[str, AdversaryModel] = {}
+        self._instances: dict[tuple, AdversaryModel] = {}
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -228,15 +233,28 @@ class DisclosureEngine:
     # ------------------------------------------------------------------
     # Model resolution and cache plumbing
     # ------------------------------------------------------------------
-    def model(self, model: str | AdversaryModel) -> AdversaryModel:
-        """Resolve a name or instance to a model, reusing one instance per
-        name so default-parameter models share cache identity."""
+    def model(
+        self,
+        model: str | AdversaryModel,
+        params: Mapping[str, Any] | None = None,
+    ) -> AdversaryModel:
+        """Resolve a name (plus optional constructor ``params``) or pass an
+        instance through, reusing one instance per ``(name, canonical
+        params)`` so equal parameterizations share cache identity.
+
+        Constructor errors propagate: :class:`TypeError` for an unknown
+        parameter name, :class:`ValueError` for an out-of-range value —
+        callers serving requests map both to a 400.
+        """
         if isinstance(model, AdversaryModel):
+            if params:
+                raise ValueError("params are only valid with a model *name*")
             return model
-        instance = self._instances.get(model)
+        key = (model, canonical_params(params))
+        instance = self._instances.get(key)
         if instance is None:
-            instance = get_adversary(model)
-            self._instances[model] = instance
+            instance = get_adversary(model, **(params or {}))
+            self._instances[key] = instance
         return instance
 
     def cache_size(self) -> int:

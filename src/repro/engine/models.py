@@ -224,7 +224,13 @@ class ProbabilisticAdversary(AdversaryModel):
     name: ClassVar[str] = "probabilistic"
 
     def __init__(self, confidence: Fraction | float = 1) -> None:
-        q = Fraction(confidence).limit_denominator(10**9)
+        q = Fraction(confidence)
+        if isinstance(confidence, float):
+            # Floats carry binary-repr noise (0.9 is not 9/10); cap the
+            # denominator for them only. An exact user-supplied Fraction
+            # must survive untouched — it IS the threat model, and it is
+            # part of the cache identity via params_key().
+            q = q.limit_denominator(10**9)
         if not 0 <= q <= 1:
             raise ValueError(f"confidence must be in [0, 1], got {confidence}")
         self.confidence = q

@@ -55,12 +55,15 @@ from repro.service.server import (
     BackgroundService,
     DisclosureService,
     ServiceStats,
+    load_tenants,
 )
 from repro.service.wire import (
     bucket_lists,
     bucketization_from_payload,
+    decode_params,
     decode_series,
     decode_value,
+    encode_params,
     encode_series,
     encode_value,
 )
@@ -69,6 +72,7 @@ __all__ = [
     "DisclosureService",
     "BackgroundService",
     "ServiceStats",
+    "load_tenants",
     "ShardRouter",
     "BackgroundRouter",
     "RouterStats",
@@ -84,6 +88,8 @@ __all__ = [
     "decode_value",
     "encode_series",
     "decode_series",
+    "encode_params",
+    "decode_params",
     "bucket_lists",
     "bucketization_from_payload",
 ]

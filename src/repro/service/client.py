@@ -22,13 +22,18 @@ from __future__ import annotations
 import http.client
 import json
 import threading
-from collections.abc import Sequence
+from collections.abc import Mapping, Sequence
 from fractions import Fraction
 from typing import Any
 
 from repro.errors import ReproError
 from repro.service.httpbase import set_nodelay
-from repro.service.wire import bucket_lists, decode_series, decode_value
+from repro.service.wire import (
+    bucket_lists,
+    decode_series,
+    decode_value,
+    encode_params,
+)
 
 __all__ = ["ServiceError", "ServiceClient"]
 
@@ -195,24 +200,60 @@ class ServiceClient:
     # ------------------------------------------------------------------
     # Endpoints
     # ------------------------------------------------------------------
+    @staticmethod
+    def _threat_fields(
+        payload: dict[str, Any],
+        model: str | None,
+        params: Mapping[str, Any] | None,
+        tenant: str | None,
+    ) -> dict[str, Any]:
+        """Attach the optional threat-model fields, omitting absent ones.
+
+        ``model=None`` sends no ``model`` field at all — the server then
+        applies its default (``implication``, or the tenant's configured
+        model), which is what lets a tenant's defaults actually engage.
+        ``params`` are model constructor kwargs, encoded losslessly by
+        :func:`~repro.service.wire.encode_params` (Fractions as
+        ``"num/den"``, floats bit-identical). ``tenant`` selects a
+        server-configured tenant (its own engines and cache files, and its
+        default model/params when the request omits them).
+        """
+        if model is not None:
+            payload["model"] = model
+        if params is not None:
+            payload["params"] = encode_params(params)
+        if tenant is not None:
+            payload["tenant"] = tenant
+        return payload
+
     def disclosure(
         self,
         bucketization,
         k: int,
         *,
-        model: str = "implication",
+        model: str | None = None,
         exact: bool = False,
+        params: Mapping[str, Any] | None = None,
+        tenant: str | None = None,
     ) -> float | Fraction:
-        """Single worst-case disclosure (coalesced server-side)."""
+        """Single worst-case disclosure (coalesced server-side).
+
+        ``model=None`` uses the server default: ``implication``, or the
+        tenant's configured model when ``tenant`` is given.
+        """
         answer = self.request(
             "POST",
             "/disclosure",
-            {
-                "buckets": bucket_lists(bucketization),
-                "k": k,
-                "model": model,
-                "exact": exact,
-            },
+            self._threat_fields(
+                {
+                    "buckets": bucket_lists(bucketization),
+                    "k": k,
+                    "exact": exact,
+                },
+                model,
+                params,
+                tenant,
+            ),
         )
         return decode_value(answer["value"])
 
@@ -221,20 +262,26 @@ class ServiceClient:
         bucketization,
         k: int,
         *,
-        model: str = "implication",
+        model: str | None = None,
         exact: bool = False,
+        params: Mapping[str, Any] | None = None,
+        tenant: str | None = None,
     ) -> dict[str, Any]:
         """Single evaluation plus the serialized worst-case witness."""
         answer = self.request(
             "POST",
             "/disclosure",
-            {
-                "buckets": bucket_lists(bucketization),
-                "k": k,
-                "model": model,
-                "exact": exact,
-                "witness": True,
-            },
+            self._threat_fields(
+                {
+                    "buckets": bucket_lists(bucketization),
+                    "k": k,
+                    "exact": exact,
+                    "witness": True,
+                },
+                model,
+                params,
+                tenant,
+            ),
         )
         answer["value"] = decode_value(answer["value"])
         answer["witness"]["disclosure"] = decode_value(
@@ -247,20 +294,28 @@ class ServiceClient:
         bucketizations: Sequence,
         ks: Sequence[int],
         *,
-        model: str = "implication",
+        model: str | None = None,
         exact: bool = False,
+        params: Mapping[str, Any] | None = None,
+        tenant: str | None = None,
     ) -> list[dict[int, float | Fraction]]:
         """One series per bucketization — the wire form of
         :meth:`~repro.engine.engine.DisclosureEngine.evaluate_many`."""
         answer = self.request(
             "POST",
             "/disclosure",
-            {
-                "bucketizations": [bucket_lists(b) for b in bucketizations],
-                "ks": list(ks),
-                "model": model,
-                "exact": exact,
-            },
+            self._threat_fields(
+                {
+                    "bucketizations": [
+                        bucket_lists(b) for b in bucketizations
+                    ],
+                    "ks": list(ks),
+                    "exact": exact,
+                },
+                model,
+                params,
+                tenant,
+            ),
         )
         return [decode_series(series) for series in answer["series"]]
 
@@ -270,20 +325,26 @@ class ServiceClient:
         c: float,
         k: int,
         *,
-        model: str = "implication",
+        model: str | None = None,
         exact: bool = False,
+        params: Mapping[str, Any] | None = None,
+        tenant: str | None = None,
     ) -> dict[str, Any]:
         """(c, k)-safety verdict plus the underlying disclosure value."""
         answer = self.request(
             "POST",
             "/safety",
-            {
-                "buckets": bucket_lists(bucketization),
-                "c": c,
-                "k": k,
-                "model": model,
-                "exact": exact,
-            },
+            self._threat_fields(
+                {
+                    "buckets": bucket_lists(bucketization),
+                    "c": c,
+                    "k": k,
+                    "exact": exact,
+                },
+                model,
+                params,
+                tenant,
+            ),
         )
         answer["value"] = decode_value(answer["value"])
         return answer
@@ -293,19 +354,27 @@ class ServiceClient:
         bucketization,
         ks: Sequence[int],
         *,
-        models: Sequence[str] = ("implication", "negation"),
+        models: Sequence[str] | None = None,
         exact: bool = False,
+        params: Mapping[str, Any] | None = None,
+        tenant: str | None = None,
     ) -> dict[str, dict[int, float | Fraction]]:
-        """Cross-model comparison (Figure 5 as a service call)."""
+        """Cross-model comparison (Figure 5 as a service call).
+
+        ``models=None`` uses the server default pair
+        ``("implication", "negation")``.
+        """
+        payload: dict[str, Any] = {
+            "buckets": bucket_lists(bucketization),
+            "ks": list(ks),
+            "exact": exact,
+        }
+        if models is not None:
+            payload["models"] = list(models)
         answer = self.request(
             "POST",
             "/compare",
-            {
-                "buckets": bucket_lists(bucketization),
-                "ks": list(ks),
-                "models": list(models),
-                "exact": exact,
-            },
+            self._threat_fields(payload, None, params, tenant),
         )
         return {
             name: decode_series(series)

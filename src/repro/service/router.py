@@ -80,12 +80,14 @@ import json
 import os
 import re
 import sys
+import tempfile
 import time
 from collections import Counter
+from collections.abc import Mapping
 from pathlib import Path
 from typing import Any
 
-from repro.engine.base import available_adversaries
+from repro.engine.base import available_adversaries, canonical_params
 from repro.service.httpbase import (
     BackgroundHost,
     BadRequest,
@@ -95,8 +97,12 @@ from repro.service.httpbase import (
     require_ks,
     set_nodelay,
 )
-from repro.service.server import DisclosureService, parse_json_body
-from repro.service.wire import signature_items_from_lists
+from repro.service.server import (
+    DisclosureService,
+    load_tenants,
+    parse_json_body,
+)
+from repro.service.wire import decode_params, signature_items_from_lists
 
 __all__ = [
     "RouterStats",
@@ -137,16 +143,26 @@ def resolve_shard_mode(shard_mode: str, shards: int) -> str:
 
 
 def shard_key(
-    mode: str, model: Any, ks: tuple[int, ...], signature_items
+    mode: str,
+    model: Any,
+    ks: tuple[int, ...],
+    signature_items,
+    params: tuple = (),
+    tenant: str | None = None,
 ) -> int:
-    """Stable hash of the plane key ``(mode, model, ks, signature-multiset)``.
+    """Stable hash of the plane key ``(mode, model, ks, signature-multiset,
+    canonical params, tenant)``.
 
     Uses SHA-256 over the ``repr`` (not :func:`hash`, which is randomized
     per process) so every router process — and a restarted one — routes a
     given question to the same shard, which is what keeps the per-shard
     caches hot and the persisted cache files meaningful across restarts.
+    ``params`` must be the **canonical** tuple from
+    :func:`~repro.engine.base.canonical_params` — never an instance repr,
+    whose ``object at 0x..`` addresses would scatter identical requests
+    across shards between restarts.
     """
-    payload = repr((mode, model, ks, signature_items)).encode()
+    payload = repr((mode, model, ks, signature_items, params, tenant)).encode()
     return int.from_bytes(hashlib.sha256(payload).digest()[:8], "big")
 
 
@@ -254,10 +270,11 @@ class _RouteEntry:
     """One memoized routing decision for a single-bucketization body."""
 
     __slots__ = ("shard_index", "mode", "model", "k", "items", "buckets",
-                 "coalescible")
+                 "coalescible", "tenant", "params", "cparams", "params_wire")
 
     def __init__(
-        self, shard_index, mode, model, k, items, buckets, coalescible
+        self, shard_index, mode, model, k, items, buckets, coalescible,
+        tenant, params, cparams, params_wire,
     ) -> None:
         self.shard_index = shard_index
         self.mode = mode
@@ -268,16 +285,25 @@ class _RouteEntry:
         #: what an upstream batch is built from on a memo hit).
         self.buckets = buckets
         self.coalescible = coalescible
+        self.tenant = tenant
+        #: Decoded constructor kwargs (the inproc peek needs real values),
+        #: their canonical tuple (the group/shard key needs hashability),
+        #: and the original wire object (a rebuilt upstream batch needs
+        #: the JSON shape back).
+        self.params = params
+        self.cparams = cparams
+        self.params_wire = params_wire
 
 
 class _RouterPending:
     """One single request awaiting the router-side upstream coalescer."""
 
-    __slots__ = ("body", "buckets", "future")
+    __slots__ = ("body", "buckets", "params_wire", "future")
 
-    def __init__(self, body: bytes, buckets, future) -> None:
+    def __init__(self, body: bytes, buckets, params_wire, future) -> None:
         self.body = body
         self.buckets = buckets
+        self.params_wire = params_wire
         self.future = future
 
 
@@ -318,6 +344,15 @@ class ShardRouter(JsonHttpServer):
     forward_timeout:
         Seconds the router waits for a shard's answer before treating the
         shard as failed (restart-and-replay, then 503).
+    tenants:
+        Optional multi-tenant topology — a JSON file path or its parsed
+        mapping, validated at boot by
+        :func:`~repro.service.server.load_tenants` and handed to every
+        shard (``--tenants`` for subprocesses, the constructor for
+        embedded services), so each shard carries per-tenant engines and
+        cache files. The tenant id joins the shard key: two tenants'
+        identical questions may land on different shards, and never on
+        the same cache entry.
     host, port, request_timeout, max_connections:
         The router's own listening socket, as in
         :class:`~repro.service.httpbase.JsonHttpServer`.
@@ -340,6 +375,7 @@ class ShardRouter(JsonHttpServer):
         forward_timeout: float = 120.0,
         request_timeout: float | None = 30.0,
         max_connections: int | None = None,
+        tenants: str | Path | Mapping[str, Any] | None = None,
     ) -> None:
         super().__init__(
             host=host,
@@ -366,6 +402,19 @@ class ShardRouter(JsonHttpServer):
         self.batch_window = batch_window
         self.health_interval = health_interval
         self.forward_timeout = forward_timeout
+        #: The tenant topology: validated now (a bad file fails the boot,
+        #: not the first request), while the original source is kept so
+        #: shards can re-validate the same JSON themselves.
+        self.tenants: dict[str, dict] = (
+            load_tenants(tenants) if tenants is not None else {}
+        )
+        self.tenants_path: Path | None = (
+            Path(tenants) if isinstance(tenants, (str, Path)) else None
+        )
+        self._tenants_raw: Mapping[str, Any] | None = (
+            tenants if isinstance(tenants, Mapping) else None
+        )
+        self._tenants_tmp: Path | None = None
         shard_class = (
             InprocShard if self.shard_mode == "inproc" else ProcessShard
         )
@@ -375,9 +424,11 @@ class ShardRouter(JsonHttpServer):
         #: ``(path, body) -> _RouteEntry``: the zero-reparse routing memo.
         self._route_memo: dict[tuple[str, bytes], _RouteEntry] = {}
         #: The upstream coalescer's queue, keyed like the shard's own
-        #: coalescer plus the owning shard.
+        #: coalescer plus the owning shard:
+        #: ``(shard, tenant, mode, model, k, canonical params)``.
         self._pending: dict[
-            tuple[int, str, str, int], list[_RouterPending]
+            tuple[int, str | None, str, str, int, tuple],
+            list[_RouterPending],
         ] = {}
         self._kick: asyncio.Event | None = None
         self._coalescer: asyncio.Task | None = None
@@ -392,6 +443,23 @@ class ShardRouter(JsonHttpServer):
         return self.cache_path.with_name(
             f"{self.cache_path.name}.shard{shard.index}"
         )
+
+    def _tenants_file(self) -> Path | None:
+        """The tenants topology as a file path for ``--tenants`` — the
+        user's own file when one was given, otherwise a lazily written
+        tempfile of the mapping (removed in :meth:`stop`)."""
+        if not self.tenants:
+            return None
+        if self.tenants_path is not None:
+            return self.tenants_path
+        if self._tenants_tmp is None:
+            fd, name = tempfile.mkstemp(
+                prefix="repro-tenants-", suffix=".json"
+            )
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(self._tenants_raw, handle)
+            self._tenants_tmp = Path(name)
+        return self._tenants_tmp
 
     def _shard_argv(self, shard: ProcessShard) -> list[str]:
         argv = [
@@ -416,6 +484,9 @@ class ShardRouter(JsonHttpServer):
             argv += ["--cache-limit", str(self.cache_limit)]
         if self.cache_path is not None:
             argv += ["--cache-file", str(self._shard_cache_prefix(shard))]
+        tenants_file = self._tenants_file()
+        if tenants_file is not None:
+            argv += ["--tenants", str(tenants_file)]
         return argv
 
     @staticmethod
@@ -442,6 +513,11 @@ class ShardRouter(JsonHttpServer):
                 cache_limit=self.cache_limit,
                 cache_path=self._shard_cache_prefix(shard),
                 batch_window=self.batch_window,
+                tenants=(
+                    self.tenants_path
+                    if self.tenants_path is not None
+                    else self._tenants_raw
+                ),
             )
             await service.start_local()
             shard.service = service
@@ -596,6 +672,9 @@ class ShardRouter(JsonHttpServer):
                 await process.wait()
 
         await asyncio.gather(*(_reap(shard) for shard in self.shards))
+        if self._tenants_tmp is not None:
+            self._tenants_tmp.unlink(missing_ok=True)
+            self._tenants_tmp = None
 
     # ------------------------------------------------------------------
     # Forwarding
@@ -743,9 +822,16 @@ class ShardRouter(JsonHttpServer):
         """Queue one routed single and await its (possibly batched) answer."""
         loop = asyncio.get_running_loop()
         future = loop.create_future()
-        key = (entry.shard_index, entry.mode, entry.model, entry.k)
+        key = (
+            entry.shard_index,
+            entry.tenant,
+            entry.mode,
+            entry.model,
+            entry.k,
+            entry.cparams,
+        )
         self._pending.setdefault(key, []).append(
-            _RouterPending(body, entry.buckets, future)
+            _RouterPending(body, entry.buckets, entry.params_wire, future)
         )
         assert self._kick is not None
         self._kick.set()
@@ -753,7 +839,7 @@ class ShardRouter(JsonHttpServer):
 
     async def _coalesce_loop(self) -> None:
         """Drain pending singles into one upstream request per
-        ``(shard, mode, model, k)`` group.
+        ``(shard, tenant, mode, model, k, params)`` group.
 
         Mirrors the shard-side coalescer: while upstream exchanges are in
         flight, newly arriving singles keep queueing, so batches form
@@ -786,10 +872,12 @@ class ShardRouter(JsonHttpServer):
                     raise
 
     async def _run_group(
-        self, key: tuple[int, str, str, int], items: list[_RouterPending]
+        self,
+        key: tuple[int, str | None, str, str, int, tuple],
+        items: list[_RouterPending],
     ) -> None:
         """One drained group: forward solo bytes untouched, or batch."""
-        shard_index, mode, model, k = key
+        shard_index, tenant, mode, model, k, _cparams = key
         shard = self.shards[shard_index]
         try:
             if len(items) == 1:
@@ -805,6 +893,14 @@ class ShardRouter(JsonHttpServer):
                     "model": model,
                     "exact": mode == "exact",
                 }
+                # The rebuilt batch names the model explicitly, which at
+                # the shard suppresses tenant *defaults* — so the group's
+                # effective params ride along explicitly too (every member
+                # shares them: params are part of the group key).
+                if items[0].params_wire is not None:
+                    batch["params"] = items[0].params_wire
+                if tenant is not None:
+                    batch["tenant"] = tenant
                 status, answer = await self._forward(
                     shard, "POST", "/disclosure", json.dumps(batch).encode()
                 )
@@ -847,10 +943,8 @@ class ShardRouter(JsonHttpServer):
         exact = require(payload, "exact", bool, optional=True, default=False)
         return "exact" if exact else "float"
 
-    def _model_name(self, payload: dict) -> str:
-        name = require(
-            payload, "model", str, optional=True, default="implication"
-        )
+    def _model_name(self, payload: dict, default: str = "implication") -> str:
+        name = require(payload, "model", str, optional=True, default=default)
         if name not in available_adversaries():
             raise BadRequest(
                 f"unknown adversary model {name!r}; registered: "
@@ -858,9 +952,61 @@ class ShardRouter(JsonHttpServer):
             )
         return name
 
-    def _shard_for(self, mode: str, model: Any, ks: tuple[int, ...], buckets):
+    def _tenant(self, payload: dict) -> str | None:
+        """Validate the optional ``tenant`` field against the topology —
+        the same 400 the shard itself would produce, but before any
+        routing work."""
+        tenant = require(payload, "tenant", str, optional=True, default=None)
+        if tenant is None:
+            return None
+        if tenant not in self.tenants:
+            raise BadRequest(
+                f"unknown tenant {tenant!r}"
+                + (
+                    f"; configured: {', '.join(sorted(self.tenants))}"
+                    if self.tenants
+                    else " (no tenants configured)"
+                )
+            )
+        return tenant
+
+    def _effective_threat(
+        self, payload: dict, tenant: str | None
+    ) -> tuple[str, dict, tuple, Any]:
+        """The request's effective threat model, resolved exactly as the
+        shard's ``_resolve_model`` will resolve it — ``(name, decoded
+        params, canonical params, wire params)`` — so router and shard
+        always agree on the identity the shard key and cache key hash.
+        """
+        config = self.tenants.get(tenant) if tenant is not None else None
+        name = self._model_name(
+            payload, default=config["model"] if config else "implication"
+        )
+        if "params" in payload:
+            params = decode_params(payload["params"])  # ValueError -> 400
+            params_wire = payload["params"]
+        elif config is not None and "model" not in payload:
+            params = config["params"]
+            params_wire = config["params_wire"]
+        else:
+            params = {}
+            params_wire = None
+        return name, params, canonical_params(params), params_wire
+
+    def _shard_for(
+        self,
+        mode: str,
+        model: Any,
+        ks: tuple[int, ...],
+        buckets,
+        cparams: tuple = (),
+        tenant: str | None = None,
+    ):
         """The owning shard, keyed without building a ``Bucketization``."""
-        key = shard_key(mode, model, ks, signature_items_from_lists(buckets))
+        key = shard_key(
+            mode, model, ks, signature_items_from_lists(buckets),
+            cparams, tenant,
+        )
         return self.shards[key % len(self.shards)]
 
     def _memoize(self, path: str, body: bytes, entry: _RouteEntry) -> None:
@@ -913,7 +1059,12 @@ class ShardRouter(JsonHttpServer):
         if shard.mode == "inproc":
             if entry.coalescible and shard.service is not None:
                 answer = shard.service.peek_single(
-                    entry.mode, entry.model, entry.k, entry.items
+                    entry.mode,
+                    entry.model,
+                    entry.k,
+                    entry.items,
+                    params=entry.params,
+                    tenant=entry.tenant,
                 )
                 if answer is not None:
                     self.stats.fast_hits += 1
@@ -933,12 +1084,15 @@ class ShardRouter(JsonHttpServer):
         """Single-bucketization endpoints (``/disclosure``, ``/safety``):
         derive the plane key with one pass over the raw lists, memoize
         the decision against the request bytes, dispatch."""
+        tenant = self._tenant(payload)
         mode = self._mode(payload)
-        model = self._model_name(payload)
+        model, params, cparams, params_wire = self._effective_threat(
+            payload, tenant
+        )
         k = require(payload, "k", int)
         buckets = require(payload, "buckets", list)
         items = signature_items_from_lists(buckets)
-        key = shard_key(mode, model, (k,), items)
+        key = shard_key(mode, model, (k,), items, cparams, tenant)
         # Only plain /disclosure singles may be answered from a peek or
         # folded into an upstream batch: /safety has a different response
         # shape, witnesses need the real endpoint, and a negative k must
@@ -958,21 +1112,33 @@ class ShardRouter(JsonHttpServer):
             items,
             buckets if coalescible else None,
             coalescible,
+            tenant,
+            params,
+            cparams,
+            params_wire,
         )
         self._memoize(path, body, entry)
         return await self._dispatch_single(path, body, entry)
 
     async def _ep_compare(self, path: str, payload: dict, body: bytes):
         """``/compare`` spans models; its plane key uses the model tuple."""
+        tenant = self._tenant(payload)
         mode = self._mode(payload)
         models = payload.get("models", ["implication", "negation"])
         if not isinstance(models, list) or not all(
             isinstance(name, str) for name in models
         ):
             raise BadRequest("'models' must be a list of model names")
+        if "params" in payload:
+            cparams = canonical_params(decode_params(payload["params"]))
+        elif tenant is not None and "models" not in payload:
+            cparams = canonical_params(self.tenants[tenant]["params"])
+        else:
+            cparams = ()
         ks = tuple(require_ks(payload))
         shard = self._shard_for(
-            mode, tuple(models), ks, require(payload, "buckets", list)
+            mode, tuple(models), ks, require(payload, "buckets", list),
+            cparams, tenant,
         )
         return await self._forward(shard, "POST", path, body)
 
@@ -984,15 +1150,20 @@ class ShardRouter(JsonHttpServer):
         re-encoding, no merge pass) and the skip is counted in
         ``whole_batches``.
         """
+        tenant = self._tenant(payload)
         mode = self._mode(payload)
-        model = self._model_name(payload)
+        model, _params, cparams, params_wire = self._effective_threat(
+            payload, tenant
+        )
         ks = require_ks(payload)
         raw = require(payload, "bucketizations", list)
         if not raw:
             raise BadRequest("'bucketizations' must be a non-empty list")
         groups: dict[int, list[int]] = {}
         for position, buckets in enumerate(raw):
-            shard = self._shard_for(mode, model, tuple(ks), buckets)
+            shard = self._shard_for(
+                mode, model, tuple(ks), buckets, cparams, tenant
+            )
             groups.setdefault(shard.index, []).append(position)
         if len(groups) == 1:
             self.stats.whole_batches += 1
@@ -1007,6 +1178,10 @@ class ShardRouter(JsonHttpServer):
                 "model": model,
                 "exact": mode == "exact",
             }
+            if params_wire is not None:
+                sub_payload["params"] = params_wire
+            if tenant is not None:
+                sub_payload["tenant"] = tenant
             return await self._forward(
                 self.shards[shard_index],
                 "POST",
@@ -1084,6 +1259,7 @@ class ShardRouter(JsonHttpServer):
             *(_shard_stats(shard) for shard in self.shards)
         )
         totals: Counter[str] = Counter()
+        tenant_requests: Counter[str] = Counter()
         for entry in shard_stats:
             service = entry.get("service")
             if not isinstance(service, dict):
@@ -1099,16 +1275,27 @@ class ShardRouter(JsonHttpServer):
                 value = service.get(field)
                 if isinstance(value, int):
                     totals[field] += value
+            by_tenant = service.get("by_tenant")
+            if isinstance(by_tenant, dict):
+                for tenant, count in by_tenant.items():
+                    if isinstance(count, int):
+                        tenant_requests[tenant] += count
         router = self.stats.as_dict()
         router["shards"] = len(self.shards)
         router["shard_mode"] = self.shard_mode
         router["connections"] = self.connections.as_dict()
         router["max_connections"] = self.max_connections
-        return 200, {
+        answer = {
             "router": router,
             "totals": dict(totals),
             "shards": shard_stats,
         }
+        if self.tenants:
+            answer["tenants"] = {
+                tenant: {"requests": tenant_requests.get(tenant, 0)}
+                for tenant in self.tenants
+            }
+        return 200, answer
 
 
 class BackgroundRouter(BackgroundHost):

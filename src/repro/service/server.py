@@ -49,15 +49,23 @@ from __future__ import annotations
 import asyncio
 import dataclasses
 import json
+import re
 import time
 from collections import Counter
+from collections.abc import Mapping
 from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
 from typing import Any
 
 from repro.bucketization.bucketization import Bucketization
 from repro.engine.backend import PersistentBackend
-from repro.engine.base import available_adversaries, get_adversary
+from repro.engine.base import (
+    AdversaryModel,
+    available_adversaries,
+    canonical_params,
+    get_adversary,
+    param_schema,
+)
 from repro.engine.engine import DisclosureEngine
 from repro.engine.plane import CachePolicy
 from repro.service.httpbase import (
@@ -71,6 +79,7 @@ from repro.service.httpbase import (
 )
 from repro.service.wire import (
     bucketization_from_payload,
+    decode_params,
     encode_series,
     encode_value,
     signature_items_from_lists,
@@ -81,7 +90,79 @@ __all__ = [
     "ServiceStats",
     "DisclosureService",
     "BackgroundService",
+    "load_tenants",
 ]
+
+#: Tenant ids become cache-file name components, so they are restricted to
+#: a filename-safe alphabet up front.
+_TENANT_ID = re.compile(r"^[A-Za-z0-9][A-Za-z0-9_-]*$")
+#: A shard-suffixed cache prefix (the router hands each shard
+#: ``<prefix>.shard<i>``); tenants are namespaced *before* the suffix.
+_SHARD_SUFFIX = re.compile(r"(\.shard\d+)$")
+
+
+def load_tenants(source: str | Path | Mapping[str, Any]) -> dict[str, dict]:
+    """Validate a tenant topology (a JSON file path, or its already-parsed
+    mapping) into ``{tenant: {"model", "params", "params_wire"}}``.
+
+    Each tenant entry maps a tenant id to its *default* threat model:
+    an optional registered model ``name`` and an optional ``params`` wire
+    object (decoded here once, and test-constructed so a bad topology
+    fails at boot, not on the first request). ``params_wire`` keeps the
+    original JSON shape for re-serialization (subprocess shards receive
+    the topology over ``--tenants``).
+
+    Raises :class:`ValueError` on any problem — the CLI maps that to a
+    clean exit 1.
+    """
+    if isinstance(source, (str, Path)):
+        try:
+            raw = json.loads(Path(source).read_text(encoding="utf-8"))
+        except OSError as exc:
+            raise ValueError(f"cannot read tenants file {source}: {exc}") from None
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"tenants file {source} is not JSON: {exc}") from None
+    else:
+        raw = source
+    if not isinstance(raw, Mapping) or not raw:
+        raise ValueError("tenants must be a non-empty JSON object")
+    tenants: dict[str, dict] = {}
+    for tenant, entry in raw.items():
+        if not isinstance(tenant, str) or not _TENANT_ID.match(tenant):
+            raise ValueError(
+                f"tenant id {tenant!r} must match {_TENANT_ID.pattern} "
+                "(it names cache files)"
+            )
+        if entry is None:
+            entry = {}
+        if not isinstance(entry, Mapping):
+            raise ValueError(f"tenant {tenant!r} entry must be an object")
+        unknown = set(entry) - {"model", "params"}
+        if unknown:
+            raise ValueError(
+                f"tenant {tenant!r} has unknown keys {sorted(unknown)}"
+            )
+        name = entry.get("model", "implication")
+        if name not in available_adversaries():
+            raise ValueError(
+                f"tenant {tenant!r} names unknown model {name!r}; "
+                f"registered: {', '.join(available_adversaries())}"
+            )
+        params_wire = entry.get("params")
+        params = decode_params(params_wire) if params_wire is not None else {}
+        try:
+            get_adversary(name, **params)
+        except (TypeError, ValueError) as exc:
+            raise ValueError(
+                f"tenant {tenant!r} default params are invalid: {exc}"
+            ) from None
+        tenants[tenant] = {
+            "model": name,
+            "params": params,
+            "params_wire": params_wire,
+        }
+    return tenants
+
 
 #: The two engine modes a service always carries.
 _MODES = ("float", "exact")
@@ -131,6 +212,7 @@ class ServiceStats:
         self.coalesced_batches = 0
         self.coalesced_singles = 0
         self.max_coalesced = 0
+        self.by_tenant: Counter[str] = Counter()
 
     def note_coalesced(self, group_size: int) -> None:
         if group_size > 1:
@@ -150,16 +232,22 @@ class ServiceStats:
             "coalesced_batches": self.coalesced_batches,
             "coalesced_singles": self.coalesced_singles,
             "max_coalesced": self.max_coalesced,
+            "by_tenant": dict(self.by_tenant),
         }
 
 
 class _Pending:
     """One enqueued single evaluation awaiting a coalesced batch."""
 
-    __slots__ = ("bucketization", "future")
+    __slots__ = ("bucketization", "instance", "future")
 
-    def __init__(self, bucketization: Bucketization, future) -> None:
+    def __init__(
+        self, bucketization: Bucketization, instance: AdversaryModel, future
+    ) -> None:
         self.bucketization = bucketization
+        #: The resolved model instance — every member of a coalescer group
+        #: shares one (same name + canonical params => same engine memo).
+        self.instance = instance
         self.future = future
 
 
@@ -221,6 +309,7 @@ class DisclosureService(JsonHttpServer):
         batch_window: float = 0.002,
         request_timeout: float | None = 30.0,
         max_connections: int | None = None,
+        tenants: str | Path | Mapping[str, Any] | None = None,
     ) -> None:
         super().__init__(
             host=host,
@@ -232,37 +321,73 @@ class DisclosureService(JsonHttpServer):
             raise ValueError(f"batch_window must be >= 0, got {batch_window}")
         self.batch_window = batch_window
         self.cache_path = Path(cache_path) if cache_path is not None else None
-        self.engines: dict[str, DisclosureEngine] = {
-            mode: DisclosureEngine(
-                exact=(mode == "exact"),
-                policy=CachePolicy(max_entries=cache_limit),
-                workers=workers,
-                backend=backend,
-                kernel=kernel,
-            )
-            for mode in _MODES
+
+        def _engine_pair() -> dict[str, DisclosureEngine]:
+            return {
+                mode: DisclosureEngine(
+                    exact=(mode == "exact"),
+                    policy=CachePolicy(max_entries=cache_limit),
+                    workers=workers,
+                    backend=backend,
+                    kernel=kernel,
+                )
+                for mode in _MODES
+            }
+
+        self.engines: dict[str, DisclosureEngine] = _engine_pair()
+        #: tenant id -> its default threat model (see :func:`load_tenants`).
+        self.tenants: dict[str, dict] = (
+            load_tenants(tenants) if tenants is not None else {}
+        )
+        #: tenant id -> its own mode-fixed engine pair. Structural cache
+        #: isolation: a tenant's entries live in its own engines and
+        #: persist to its own ``<prefix>.<tenant>[.shard<i>].<mode>.pkl``.
+        self.tenant_engines: dict[str, dict[str, DisclosureEngine]] = {
+            tenant: _engine_pair() for tenant in self.tenants
         }
         self.stats = ServiceStats()
         self.loaded_entries: dict[str, int] = dict.fromkeys(_MODES, 0)
         self.saved_entries: dict[str, int] = dict.fromkeys(_MODES, 0)
+        self.tenant_loaded: dict[tuple[str, str], int] = {
+            (tenant, mode): 0 for tenant in self.tenants for mode in _MODES
+        }
         # All engine work runs on ONE executor thread: the engines are not
         # thread-safe, and the serialization is what piles concurrent
         # singles into the pending queue for the coalescer to drain.
         self._executor = ThreadPoolExecutor(
             max_workers=1, thread_name_prefix="repro-engine"
         )
-        self._pending: dict[tuple[str, str, int], list[_Pending]] = {}
+        #: Pending singles, grouped by everything that selects an engine
+        #: call: ``(tenant, mode, model name, canonical params, k)``.
+        self._pending: dict[
+            tuple[str | None, str, str, tuple, int], list[_Pending]
+        ] = {}
         self._kick: asyncio.Event | None = None
         self._dispatcher: asyncio.Task | None = None
 
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
-    def _mode_cache_file(self, mode: str) -> Path:
+    def _mode_cache_file(self, mode: str, tenant: str | None = None) -> Path:
         assert self.cache_path is not None
-        return self.cache_path.with_name(
-            f"{self.cache_path.name}.{mode}.pkl"
-        )
+        base = self.cache_path.name
+        if tenant is not None:
+            # Tenant goes before any router-assigned shard suffix, giving
+            # <prefix>.<tenant>.shard<i>.<mode>.pkl in a sharded fleet and
+            # <prefix>.<tenant>.<mode>.pkl for a single service.
+            if _SHARD_SUFFIX.search(base):
+                base = _SHARD_SUFFIX.sub(rf".{tenant}\1", base)
+            else:
+                base = f"{base}.{tenant}"
+        return self.cache_path.with_name(f"{base}.{mode}.pkl")
+
+    def _all_engines(self):
+        """Every ``(tenant-or-None, mode, engine)`` this service carries."""
+        for mode, engine in self.engines.items():
+            yield None, mode, engine
+        for tenant, engines in self.tenant_engines.items():
+            for mode, engine in engines.items():
+                yield tenant, mode, engine
 
     async def start(self) -> None:
         """Load persisted caches, start the coalescer and the socket server."""
@@ -280,10 +405,14 @@ class DisclosureService(JsonHttpServer):
         as in a subprocess shard — minus the socket and the extra process.
         """
         if self.cache_path is not None:
-            for mode, engine in self.engines.items():
-                path = self._mode_cache_file(mode)
+            for tenant, mode, engine in self._all_engines():
+                path = self._mode_cache_file(mode, tenant)
                 if path.exists():
-                    self.loaded_entries[mode] = engine.load_cache(path)
+                    loaded = engine.load_cache(path)
+                    if tenant is None:
+                        self.loaded_entries[mode] = loaded
+                    else:
+                        self.tenant_loaded[(tenant, mode)] = loaded
         self._kick = asyncio.Event()
         self._dispatcher = asyncio.create_task(
             self._dispatch_loop(), name="repro-coalescer"
@@ -314,11 +443,11 @@ class DisclosureService(JsonHttpServer):
                     )
         self._pending.clear()
         if self.cache_path is not None:
-            for mode, engine in self.engines.items():
-                self.saved_entries[mode] = engine.save_cache(
-                    self._mode_cache_file(mode)
-                )
-        for engine in self.engines.values():
+            for tenant, mode, engine in self._all_engines():
+                saved = engine.save_cache(self._mode_cache_file(mode, tenant))
+                if tenant is None:
+                    self.saved_entries[mode] = saved
+        for _, _, engine in self._all_engines():
             engine.close()
         self._executor.shutdown(wait=True)
 
@@ -326,21 +455,29 @@ class DisclosureService(JsonHttpServer):
     # The coalescer
     # ------------------------------------------------------------------
     async def _enqueue_single(
-        self, mode: str, model: str, k: int, bucketization: Bucketization
+        self,
+        tenant: str | None,
+        mode: str,
+        model: str,
+        cparams: tuple,
+        instance: AdversaryModel,
+        k: int,
+        bucketization: Bucketization,
     ):
         """Queue one single evaluation and await its coalesced result."""
         loop = asyncio.get_running_loop()
         future = loop.create_future()
-        key = (mode, model, k)
+        key = (tenant, mode, model, cparams, k)
         self._pending.setdefault(key, []).append(
-            _Pending(bucketization, future)
+            _Pending(bucketization, instance, future)
         )
         assert self._kick is not None
         self._kick.set()
         return await future
 
     async def _dispatch_loop(self) -> None:
-        """Drain pending singles into per-``(mode, model, k)`` engine batches.
+        """Drain pending singles into engine batches, one per
+        ``(tenant, mode, model, canonical params, k)`` group.
 
         While a batch runs on the engine thread, newly arriving singles keep
         queueing; the loop re-drains until the queue is empty, so under load
@@ -356,8 +493,9 @@ class DisclosureService(JsonHttpServer):
             while self._pending:
                 groups, self._pending = self._pending, {}
                 try:
-                    for (mode, model, k), items in groups.items():
-                        engine = self.engines[mode]
+                    for (tenant, mode, _model, _cp, k), items in groups.items():
+                        engine = self._engines_for(tenant)[mode]
+                        instance = items[0].instance
                         bs = [p.bucketization for p in items]
                         try:
                             if len(bs) == 1:
@@ -365,7 +503,7 @@ class DisclosureService(JsonHttpServer):
                                     await loop.run_in_executor(
                                         self._executor,
                                         lambda: engine.evaluate(
-                                            bs[0], k, model=model
+                                            bs[0], k, model=instance
                                         ),
                                     )
                                 ]
@@ -373,7 +511,7 @@ class DisclosureService(JsonHttpServer):
                                 series = await loop.run_in_executor(
                                     self._executor,
                                     lambda: engine.evaluate_many(
-                                        bs, [k], model=model
+                                        bs, [k], model=instance
                                     ),
                                 )
                                 values = [s[k] for s in series]
@@ -431,13 +569,39 @@ class DisclosureService(JsonHttpServer):
             return await handler(payload)
         return await handler()
 
-    def _mode_and_engine(self, payload: dict) -> tuple[str, DisclosureEngine]:
+    def _engines_for(self, tenant: str | None) -> dict[str, DisclosureEngine]:
+        return self.engines if tenant is None else self.tenant_engines[tenant]
+
+    def _tenant(self, payload: dict) -> str | None:
+        tenant = require(payload, "tenant", str, optional=True, default=None)
+        if tenant is None:
+            return None
+        if tenant not in self.tenants:
+            raise BadRequest(
+                f"unknown tenant {tenant!r}"
+                + (
+                    f"; configured: {', '.join(sorted(self.tenants))}"
+                    if self.tenants
+                    else " (no tenants configured)"
+                )
+            )
+        self.stats.by_tenant[tenant] += 1
+        return tenant
+
+    def _mode_and_engine(
+        self, payload: dict, tenant: str | None = None
+    ) -> tuple[str, DisclosureEngine]:
         exact = require(payload, "exact", bool, optional=True, default=False)
         mode = "exact" if exact else "float"
-        return mode, self.engines[mode]
+        return mode, self._engines_for(tenant)[mode]
 
-    def _model_name(self, payload: dict, field: str = "model") -> str:
-        name = require(payload, field, str, optional=True, default="implication")
+    def _model_name(
+        self,
+        payload: dict,
+        field: str = "model",
+        default: str = "implication",
+    ) -> str:
+        name = require(payload, field, str, optional=True, default=default)
         if name not in available_adversaries():
             raise BadRequest(
                 f"unknown adversary model {name!r}; registered: "
@@ -445,11 +609,41 @@ class DisclosureService(JsonHttpServer):
             )
         return name
 
+    def _resolve_model(
+        self, payload: dict, engine: DisclosureEngine, tenant: str | None
+    ) -> tuple[str, tuple, AdversaryModel]:
+        """The request's effective threat model:
+        ``(name, canonical params, resolved instance)``.
+
+        Explicit ``model``/``params`` fields win; a tenant supplies the
+        defaults for whichever is absent. Constructor failures — unknown
+        param name (:class:`TypeError`), out-of-range value
+        (:class:`ValueError`) — surface as a 400 with the message, never
+        a 500.
+        """
+        config = self.tenants.get(tenant) if tenant is not None else None
+        name = self._model_name(
+            payload,
+            default=config["model"] if config else "implication",
+        )
+        if "params" in payload:
+            params = decode_params(payload["params"])  # ValueError -> 400
+        elif config is not None and "model" not in payload:
+            params = config["params"]
+        else:
+            params = {}
+        try:
+            instance = engine.model(name, params)
+        except (TypeError, ValueError) as exc:
+            raise BadRequest(f"invalid params for model {name!r}: {exc}") from None
+        return name, canonical_params(params), instance
+
     async def _ep_disclosure(self, payload: dict):
         if "bucketizations" in payload:
             return await self._ep_disclosure_batch(payload)
-        mode, engine = self._mode_and_engine(payload)
-        model = self._model_name(payload)
+        tenant = self._tenant(payload)
+        mode, engine = self._mode_and_engine(payload, tenant)
+        model, cparams, instance = self._resolve_model(payload, engine, tenant)
         k = require(payload, "k", int)
         if k < 0:
             raise BadRequest(f"k must be non-negative, got {k}")
@@ -462,7 +656,7 @@ class DisclosureService(JsonHttpServer):
             # the executor hop and the Bucketization build. peek_cached is
             # strictly read-only, so it is safe against the engine thread.
             cached = engine.peek_cached(
-                model, k, signature_items_from_lists(raw_buckets)
+                instance, k, signature_items_from_lists(raw_buckets)
             )
             if cached is not None:
                 self.stats.single_requests += 1
@@ -475,7 +669,9 @@ class DisclosureService(JsonHttpServer):
                 }
         bucketization = bucketization_from_payload(raw_buckets)
         self.stats.single_requests += 1
-        value = await self._enqueue_single(mode, model, k, bucketization)
+        value = await self._enqueue_single(
+            tenant, mode, model, cparams, instance, k, bucketization
+        )
         answer: dict[str, Any] = {
             "model": model,
             "k": k,
@@ -487,7 +683,7 @@ class DisclosureService(JsonHttpServer):
             try:
                 witness = await loop.run_in_executor(
                     self._executor,
-                    lambda: engine.witness(bucketization, k, model=model),
+                    lambda: engine.witness(bucketization, k, model=instance),
                 )
             except NotImplementedError as exc:
                 raise BadRequest(str(exc)) from None
@@ -495,8 +691,11 @@ class DisclosureService(JsonHttpServer):
         return 200, answer
 
     async def _ep_disclosure_batch(self, payload: dict):
-        mode, engine = self._mode_and_engine(payload)
-        model = self._model_name(payload)
+        tenant = self._tenant(payload)
+        mode, engine = self._mode_and_engine(payload, tenant)
+        model, _cparams, instance = self._resolve_model(
+            payload, engine, tenant
+        )
         ks = require_ks(payload)
         raw = require(payload, "bucketizations", list)
         if not raw:
@@ -506,7 +705,7 @@ class DisclosureService(JsonHttpServer):
         loop = asyncio.get_running_loop()
         series = await loop.run_in_executor(
             self._executor,
-            lambda: engine.evaluate_many(bs, ks, model=model),
+            lambda: engine.evaluate_many(bs, ks, model=instance),
         )
         return 200, {
             "model": model,
@@ -516,8 +715,9 @@ class DisclosureService(JsonHttpServer):
         }
 
     async def _ep_safety(self, payload: dict):
-        mode, engine = self._mode_and_engine(payload)
-        model = self._model_name(payload)
+        tenant = self._tenant(payload)
+        mode, engine = self._mode_and_engine(payload, tenant)
+        model, cparams, instance = self._resolve_model(payload, engine, tenant)
         k = require(payload, "k", int)
         c = require(payload, "c", (int, float))
         if isinstance(c, bool):
@@ -525,15 +725,17 @@ class DisclosureService(JsonHttpServer):
         raw_buckets = require(payload, "buckets", list)
         # threshold() validates c against the model's scale before any
         # engine work (bad thresholds are a 400, not a computation).
-        threshold = engine.threshold(c, model=model)
+        threshold = engine.threshold(c, model=instance)
         value = engine.peek_cached(
-            model, k, signature_items_from_lists(raw_buckets)
+            instance, k, signature_items_from_lists(raw_buckets)
         )
         if value is not None:
             self.stats.cache_fast_hits += 1
         else:
             bucketization = bucketization_from_payload(raw_buckets)
-            value = await self._enqueue_single(mode, model, k, bucketization)
+            value = await self._enqueue_single(
+                tenant, mode, model, cparams, instance, k, bucketization
+            )
         return 200, {
             "model": model,
             "k": k,
@@ -544,26 +746,39 @@ class DisclosureService(JsonHttpServer):
         }
 
     async def _ep_compare(self, payload: dict):
-        mode, engine = self._mode_and_engine(payload)
+        tenant = self._tenant(payload)
+        mode, engine = self._mode_and_engine(payload, tenant)
         ks = require_ks(payload)
         models = payload.get("models", ["implication", "negation"])
         if not isinstance(models, list) or not models:
             raise BadRequest("'models' must be a non-empty list of names")
-        names = [
-            self._model_name({"model": name}) if isinstance(name, str)
-            else name
-            for name in models
-        ]
-        for name in names:
+        for name in models:
             if not isinstance(name, str):
                 raise BadRequest("'models' must be a list of model names")
+        names = [self._model_name({"model": name}) for name in models]
+        if "params" in payload:
+            # One params object, applied to every listed model (the
+            # /compare use case is one parametric family across k).
+            params = decode_params(payload["params"])
+        elif tenant is not None and "models" not in payload:
+            params = self.tenants[tenant]["params"]
+        else:
+            params = {}
+        instances = []
+        for name in names:
+            try:
+                instances.append(engine.model(name, params))
+            except (TypeError, ValueError) as exc:
+                raise BadRequest(
+                    f"invalid params for model {name!r}: {exc}"
+                ) from None
         bucketization = bucketization_from_payload(
             require(payload, "buckets", list)
         )
         loop = asyncio.get_running_loop()
         comparison = await loop.run_in_executor(
             self._executor,
-            lambda: engine.compare(bucketization, ks, models=names),
+            lambda: engine.compare(bucketization, ks, models=instances),
         )
         return 200, {
             "ks": sorted(set(ks)),
@@ -587,7 +802,10 @@ class DisclosureService(JsonHttpServer):
                     "unbounded_scale": model.unbounded_scale,
                     "monotone": model.monotone,
                     "signature_decomposable": model.signature_decomposable(),
-                    "params_key": [repr(p) for p in model.params_key()],
+                    # The machine-usable tunables: name/type/default per
+                    # constructor parameter (was an opaque repr of the
+                    # default instance's params_key).
+                    "params": param_schema(name),
                 }
             )
         return 200, {"models": models}
@@ -618,7 +836,27 @@ class DisclosureService(JsonHttpServer):
         service = self.stats.as_dict()
         service["connections"] = self.connections.as_dict()
         service["max_connections"] = self.max_connections
-        return 200, {"service": service, "engines": engines}
+        answer = {"service": service, "engines": engines}
+        if self.tenants:
+            answer["tenants"] = {
+                tenant: {
+                    "model": config["model"],
+                    "requests": self.stats.by_tenant.get(tenant, 0),
+                    "engines": {
+                        mode: {
+                            "cache_entries": engine.cache_size(),
+                            "loaded_entries": self.tenant_loaded[
+                                (tenant, mode)
+                            ],
+                        }
+                        for mode, engine in self.tenant_engines[
+                            tenant
+                        ].items()
+                    },
+                }
+                for tenant, config in self.tenants.items()
+            }
+        return 200, answer
 
     async def _ep_healthz(self):
         return 200, {
@@ -630,25 +868,38 @@ class DisclosureService(JsonHttpServer):
     # In-process peek (the router's inproc fast path)
     # ------------------------------------------------------------------
     def peek_single(
-        self, mode: str, model: str, k: Any, signature_items
+        self,
+        mode: str,
+        model: str,
+        k: Any,
+        signature_items,
+        params: Mapping[str, Any] | None = None,
+        tenant: str | None = None,
     ) -> dict[str, Any] | None:
         """A fully-encoded single ``/disclosure`` answer straight from the
         cache, or ``None`` when anything short of a clean cached hit —
-        unknown mode/model, malformed ``k``, unseen signature, cache miss —
-        in which case the caller falls back to the full dispatch path,
-        which validates properly and computes.
+        unknown mode/model/tenant, malformed ``k``, bad params, unseen
+        signature, cache miss — in which case the caller falls back to the
+        full dispatch path, which validates properly and computes (and
+        turns the validation failures into real 400s).
 
         Bumps the same counters the endpoint's own fast path does
         (``single_requests``, ``cache_fast_hits``, plus
         :meth:`note_request`), so a shard's stats are indistinguishable
         whether its router answered from the peek or dispatched.
         """
-        engine = self.engines.get(mode)
+        if tenant is not None and tenant not in self.tenants:
+            return None
+        engine = self._engines_for(tenant).get(mode)
         if engine is None or model not in available_adversaries():
             return None
         if not isinstance(k, int) or isinstance(k, bool) or k < 0:
             return None
-        cached = engine.peek_cached(model, k, signature_items)
+        try:
+            instance = engine.model(model, params)
+        except (TypeError, ValueError):
+            return None
+        cached = engine.peek_cached(instance, k, signature_items)
         if cached is None:
             return None
         try:
@@ -657,6 +908,8 @@ class DisclosureService(JsonHttpServer):
             return None
         self.stats.single_requests += 1
         self.stats.cache_fast_hits += 1
+        if tenant is not None:
+            self.stats.by_tenant[tenant] += 1
         self.note_request("/disclosure", 200)
         return {
             "model": model,

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import math
 from collections import Counter
+from collections.abc import Mapping
 from fractions import Fraction
 from typing import Any
 
@@ -30,6 +31,8 @@ __all__ = [
     "decode_value",
     "encode_series",
     "decode_series",
+    "encode_params",
+    "decode_params",
     "bucket_lists",
     "bucketization_from_payload",
     "signature_items_from_lists",
@@ -95,6 +98,92 @@ def encode_series(series: dict[int, Any]) -> dict[str, float | str]:
 def decode_series(series: dict[str, Any]) -> dict[int, float | Fraction]:
     """Inverse of :func:`encode_series` (keys back to ints)."""
     return {int(k): decode_value(v) for k, v in series.items()}
+
+
+def _encode_param_value(name: str, value: Any) -> Any:
+    if value is None:
+        return None
+    if isinstance(value, Fraction):
+        return str(value)
+    if isinstance(value, Mapping):
+        return {
+            str(key): _encode_param_value(name, item)
+            for key, item in value.items()
+        }
+    if isinstance(value, bool):
+        raise ValueError(f"param {name!r} must not be a boolean")
+    if isinstance(value, int):
+        return value
+    if isinstance(value, float):
+        if not math.isfinite(value):
+            raise ValueError(
+                f"non-finite value in param {name!r} cannot cross the wire"
+            )
+        return value
+    raise ValueError(
+        f"param {name!r} holds an unencodable {type(value).__name__}"
+    )
+
+
+def encode_params(params: Mapping[str, Any]) -> dict[str, Any]:
+    """Model constructor kwargs -> the ``params`` wire object.
+
+    The same lossless conventions as :func:`encode_value`: floats stay JSON
+    numbers (repr round trip), :class:`~fractions.Fraction` becomes
+    ``"num/den"``, and weight maps become JSON objects (keys stringified —
+    JSON object keys are strings; bucket values are strings in practice).
+    """
+    if not isinstance(params, Mapping):
+        raise ValueError("params must be a mapping of constructor kwargs")
+    return {
+        str(name): _encode_param_value(str(name), value)
+        for name, value in params.items()
+    }
+
+
+def _decode_param_value(name: str, value: Any) -> Any:
+    if value is None:
+        return None
+    if isinstance(value, str):
+        try:
+            return Fraction(value)
+        except (ValueError, ZeroDivisionError) as exc:
+            raise ValueError(
+                f"malformed exact value in param {name!r}: {exc}"
+            ) from None
+    if isinstance(value, dict):
+        return {
+            key: _decode_param_value(name, item)
+            for key, item in value.items()
+        }
+    if isinstance(value, bool):
+        raise ValueError(f"param {name!r} must not be a boolean")
+    if isinstance(value, int):
+        return value
+    if isinstance(value, float):
+        if not math.isfinite(value):
+            raise ValueError(f"non-finite value in param {name!r}")
+        return value
+    raise ValueError(
+        f"param {name!r} holds an unsupported {type(value).__name__} "
+        "(expected number, 'num/den' string, object, or null)"
+    )
+
+
+def decode_params(raw: Any) -> dict[str, Any]:
+    """The ``params`` wire object -> model constructor kwargs.
+
+    Inverse of :func:`encode_params`; ints stay ints (sample budgets,
+    seeds), floats stay bit-identical, ``"num/den"`` strings become exact
+    :class:`~fractions.Fraction` values, and nested objects (weight maps)
+    decode per value. Raises :class:`ValueError` with a message safe for a
+    400 body on any other shape.
+    """
+    if not isinstance(raw, dict):
+        raise ValueError("field 'params' must be a JSON object")
+    return {
+        name: _decode_param_value(name, value) for name, value in raw.items()
+    }
 
 
 def bucket_lists(bucketization: Bucketization | Any) -> list[list[Any]]:

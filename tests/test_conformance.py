@@ -38,7 +38,9 @@ from repro.bucketization import Bucketization
 from repro.engine import (
     DisclosureEngine,
     available_adversaries,
+    canonical_params,
     get_adversary,
+    param_schema,
 )
 
 #: Small enough for the oracle-based models — including on the *merged*
@@ -170,3 +172,80 @@ def test_engine_registry_instances_are_reused(name):
     assert engine.model(name) is engine.model(name)
     assert engine.model(name).name == name
     assert get_adversary(name).params_key() == engine.model(name).params_key()
+
+
+# ---------------------------------------------------------------------------
+# Parametric identity: exact params, the schema, and the engine's memo
+# ---------------------------------------------------------------------------
+class TestParametricIdentity:
+    def test_probabilistic_exact_confidence_survives_untouched(self):
+        """Regression: ``limit_denominator`` must only touch float inputs.
+
+        An exact Fraction with a denominator past the float cap is a
+        legitimate threat model; rounding it would silently evaluate a
+        *different* adversary (and alias its cache identity)."""
+        q = Fraction(10**9 + 7, 10**9 + 9)
+        model = get_adversary("probabilistic", confidence=q)
+        assert model.confidence == q
+        assert model.params_key() == (q,)
+
+    def test_probabilistic_float_confidence_is_denoised(self):
+        # Floats carry binary-repr noise: 0.9 is not 9/10 — the cap turns
+        # it back into the rational the caller meant.
+        model = get_adversary("probabilistic", confidence=0.9)
+        assert model.confidence == Fraction(9, 10)
+        assert get_adversary(
+            "probabilistic", confidence=Fraction(9, 10)
+        ).params_key() == model.params_key()
+
+    @pytest.mark.parametrize("name", MODELS)
+    def test_param_schema_round_trips_through_get_adversary(self, name):
+        schema = param_schema(name)
+        for spec in schema:
+            assert set(spec) == {"name", "type", "default"}
+            assert spec["name"].isidentifier()
+        defaults = {spec["name"]: spec["default"] for spec in schema}
+        rebuilt = get_adversary(name, **defaults)
+        assert rebuilt.params_key() == get_adversary(name).params_key()
+
+    def test_canonical_params_is_order_insensitive(self):
+        a = canonical_params({"weights": {"b": 1.0, "a": 2.0}, "x": 1})
+        b = canonical_params({"x": 1, "weights": {"a": 2.0, "b": 1.0}})
+        assert a == b
+        assert canonical_params({}) == ()
+        assert a != canonical_params({"weights": {"a": 2.0, "b": 1.5}, "x": 1})
+
+    def test_engine_memoizes_by_canonical_params(self):
+        engine = DisclosureEngine()
+        first = engine.model("weighted", {"weights": {"b": 1.0, "a": 2.0}})
+        second = engine.model("weighted", {"weights": {"a": 2.0, "b": 1.0}})
+        assert first is second  # key-order in the request is irrelevant
+        assert first is not engine.model("weighted")
+        low = engine.model("probabilistic", {"confidence": Fraction(1, 3)})
+        high = engine.model("probabilistic", {"confidence": Fraction(2, 3)})
+        assert low is not high
+        assert low is engine.model(
+            "probabilistic", {"confidence": Fraction(1, 3)}
+        )
+
+    def test_engine_rejects_params_with_an_instance(self):
+        engine = DisclosureEngine()
+        instance = get_adversary("negation")
+        assert engine.model(instance) is instance
+        with pytest.raises(ValueError, match="model \\*name\\*"):
+            engine.model(instance, {"x": 1})
+
+    def test_distinct_params_get_distinct_cache_entries(self, bucketization):
+        engine = DisclosureEngine()
+        cheap = engine.evaluate(
+            bucketization,
+            1,
+            model=engine.model("weighted", {"weights": {"Flu": 1.0}}),
+        )
+        dear = engine.evaluate(
+            bucketization,
+            1,
+            model=engine.model("weighted", {"weights": {"Flu": 4.0}}),
+        )
+        assert engine.cache_size() == 2
+        assert cheap != dear

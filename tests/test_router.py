@@ -24,12 +24,13 @@ import signal
 import subprocess
 import sys
 import threading
+from fractions import Fraction
 from pathlib import Path
 
 import pytest
 
 from repro.bucketization import Bucketization
-from repro.engine import DisclosureEngine
+from repro.engine import DisclosureEngine, canonical_params, get_adversary
 from repro.service import ServiceClient, ServiceError, ShardRouter
 from repro.service.router import (
     BackgroundRouter,
@@ -235,6 +236,287 @@ class TestAffinity:
             + owner["service"]["cache_fast_hits"]
         )
         assert hits >= repeats - 1
+
+
+# ---------------------------------------------------------------------------
+# Parametric adversaries through the sharded topology
+# ---------------------------------------------------------------------------
+class TestParametricRouting:
+    def test_params_join_the_shard_key(self):
+        b = Bucketization.from_value_lists([["a", "a", "b"], ["c", "d"]])
+        sig = b.signature_items()
+        ordered = canonical_params({"weights": {"b": 1.0, "a": 2.0}})
+        reordered = canonical_params({"weights": {"a": 2.0, "b": 1.0}})
+        base = shard_key("float", "weighted", (2,), sig, ordered)
+        # Request-side key order is irrelevant: one canonical identity.
+        assert base == shard_key("float", "weighted", (2,), sig, reordered)
+        assert base != shard_key(
+            "float", "weighted", (2,), sig,
+            canonical_params({"weights": {"a": 2.0, "b": 1.5}}),
+        )
+        # The legacy 4-arg call is the empty-params, tenantless key.
+        assert shard_key("float", "implication", (3,), sig) == shard_key(
+            "float", "implication", (3,), sig, (), None
+        )
+        assert base != shard_key("float", "weighted", (2,), sig, ordered, "t")
+
+    def test_shard_key_is_a_pure_function_of_values(self):
+        """Two canonicalizations of the same params built independently
+        (fresh objects, fresh Fractions) must hash identically — the key
+        may never depend on instance identity or repr-of-instance."""
+        b = Bucketization.from_value_lists([["a", "a", "b"], ["c", "d"]])
+        first = shard_key(
+            "exact", "probabilistic", (1,), b.signature_items(),
+            canonical_params({"confidence": Fraction(1, 3)}),
+        )
+        second = shard_key(
+            "exact", "probabilistic", (1,),
+            Bucketization.from_value_lists(
+                [["a", "a", "b"], ["c", "d"]]
+            ).signature_items(),
+            canonical_params({"confidence": Fraction(2, 6)}),
+        )
+        assert first == second
+
+    def test_parametric_singles_bit_identical(self, router, client):
+        b = Bucketization.from_value_lists(
+            [["a", "a", "b", "c"], ["a", "b", "d", "d"]]
+        )
+        engine = DisclosureEngine()
+        low = client.disclosure(
+            b, 1, model="probabilistic",
+            params={"confidence": Fraction(1, 3)},
+        )
+        high = client.disclosure(
+            b, 1, model="probabilistic",
+            params={"confidence": Fraction(2, 3)},
+        )
+        assert low == engine.evaluate(
+            b, 1, model=get_adversary("probabilistic", confidence=Fraction(1, 3))
+        )
+        assert high == engine.evaluate(
+            b, 1, model=get_adversary("probabilistic", confidence=Fraction(2, 3))
+        )
+        assert low != high  # two param sets cannot share a cache entry
+        weighted = client.disclosure(
+            b, 2, model="weighted", params={"weights": {"a": 3.0}}
+        )
+        assert weighted == engine.evaluate(
+            b, 2, model=get_adversary("weighted", weights={"a": 3.0})
+        )
+        sampled = client.disclosure(
+            b, 2, model="sampling", params={"samples": 512, "seed": 9}
+        )
+        assert sampled == engine.evaluate(
+            b, 2, model=get_adversary("sampling", samples=512, seed=9)
+        )
+
+    def test_parametric_requests_keep_cache_affinity(self, router, client):
+        b = Bucketization.from_value_lists(
+            [["route", "route", "probe", "x", "y"]]
+        )
+        params = {"weights": {"route": 2.0}}
+        before = {
+            entry["shard"]: entry["service"]["single_requests"]
+            for entry in client.stats()["shards"]
+        }
+        repeats = 5
+        for _ in range(repeats):
+            client.disclosure(b, 2, model="weighted", params=params)
+        after = {
+            entry["shard"]: entry["service"]["single_requests"]
+            for entry in client.stats()["shards"]
+        }
+        deltas = {index: after[index] - before[index] for index in after}
+        grew = [index for index, delta in deltas.items() if delta > 0]
+        assert len(grew) == 1, f"params affinity broken: deltas {deltas}"
+        assert deltas[grew[0]] == repeats
+
+    def test_parametric_route_stable_across_router_restarts(self):
+        """The owning shard for an explicit-params request is a durable
+        function of the question — a restarted router (fresh processes,
+        fresh model instances) routes it to the same shard index."""
+        b = Bucketization.from_value_lists(
+            [["s", "s", "t", "a"], ["s", "t", "b", "b"]]
+        )
+        params = {"weights": {"s": 2.0, "t": 0.5}}
+
+        def owning_shard() -> tuple[int, float]:
+            with BackgroundRouter(
+                shards=SHARDS,
+                shard_mode="inproc",
+                backend="serial",
+                batch_window=0.0,
+            ) as bg:
+                client = bg.client()
+                value = client.disclosure(
+                    b, 1, model="weighted", params=params
+                )
+                counts = {
+                    entry["shard"]: entry["service"]["single_requests"]
+                    for entry in client.stats()["shards"]
+                }
+                (owner,) = [s for s, n in counts.items() if n > 0]
+                return owner, value
+
+        first_owner, first_value = owning_shard()
+        second_owner, second_value = owning_shard()
+        assert first_owner == second_owner
+        assert first_value == second_value
+
+    def test_unknown_tenant_rejected_before_routing(self, router, client):
+        with pytest.raises(ServiceError) as excinfo:
+            client.disclosure(
+                Bucketization.from_value_lists([["a", "b"]]), 1,
+                tenant="nope",
+            )
+        assert excinfo.value.status == 400
+        assert "no tenants configured" in excinfo.value.message
+
+    def test_bad_params_rejected_at_the_router(self, router, client):
+        for payload in (
+            {"buckets": [["a", "b"]], "k": 1, "params": 5},
+            {"buckets": [["a", "b"]], "k": 1, "params": {"x": True}},
+            {
+                "buckets": [["a", "b"]],
+                "k": 1,
+                "model": "sampling",
+                "params": {"samples": 0},
+            },
+        ):
+            with pytest.raises(ServiceError) as excinfo:
+                client.request("POST", "/disclosure", payload)
+            assert excinfo.value.status == 400
+
+
+# ---------------------------------------------------------------------------
+# Multi-tenant topologies behind the router
+# ---------------------------------------------------------------------------
+ROUTER_TENANTS = {
+    "acme": {"model": "weighted", "params": {"weights": {"p": 2.5}}},
+    "globex": {"model": "sampling", "params": {"samples": 500, "seed": 7}},
+}
+
+
+class TestRouterTenants:
+    @pytest.mark.parametrize("shard_mode", ["inproc", "process"])
+    def test_tenants_served_and_isolated(self, tmp_path, shard_mode):
+        prefix = tmp_path / "fleet"
+        b = Bucketization.from_value_lists(
+            [["p", "p", "q", "r"], ["p", "q", "s", "t"]]
+        )
+        engine = DisclosureEngine()
+        with BackgroundRouter(
+            shards=2,
+            shard_mode=shard_mode,
+            backend="serial",
+            batch_window=0.0,
+            cache_path=prefix,
+            tenants=ROUTER_TENANTS,
+        ) as bg:
+            client = bg.client()
+            acme = client.disclosure(b, 2, tenant="acme")
+            globex = client.disclosure(b, 2, tenant="globex")
+            plain = client.disclosure(b, 2)
+            assert acme == engine.evaluate(
+                b, 2, model=get_adversary("weighted", weights={"p": 2.5})
+            )
+            assert globex == engine.evaluate(
+                b, 2, model=get_adversary("sampling", samples=500, seed=7)
+            )
+            assert plain == engine.evaluate(b, 2)
+            assert acme != plain  # tenant defaults engaged through routing
+            stats = client.stats()
+            assert set(stats["tenants"]) == {"acme", "globex"}
+            assert stats["tenants"]["acme"]["requests"] >= 1
+            assert stats["tenants"]["globex"]["requests"] >= 1
+            # Each tenant's questions live in that tenant's engines only.
+            tenant_entries = {
+                tenant: sum(
+                    entry["tenants"][tenant]["engines"]["float"][
+                        "cache_entries"
+                    ]
+                    for entry in stats["shards"]
+                )
+                for tenant in ROUTER_TENANTS
+            }
+            assert tenant_entries["acme"] >= 1
+            assert tenant_entries["globex"] >= 1
+        # One cache file per (tenant, shard, mode) under the shared prefix.
+        for index in range(2):
+            for mode in ("float", "exact"):
+                assert (tmp_path / f"fleet.shard{index}.{mode}.pkl").exists()
+                for tenant in ROUTER_TENANTS:
+                    assert (
+                        tmp_path / f"fleet.{tenant}.shard{index}.{mode}.pkl"
+                    ).exists()
+
+    def test_tenants_file_cli_topology(self, tmp_path):
+        """``repro serve --shards 2 --tenants FILE`` — the subprocess-shard
+        topology reads the same JSON file the router validated."""
+        if not hasattr(signal, "SIGTERM"):
+            pytest.skip("needs POSIX signals")
+        import json as json_module
+
+        tenants_file = tmp_path / "tenants.json"
+        tenants_file.write_text(
+            json_module.dumps(ROUTER_TENANTS), encoding="utf-8"
+        )
+        repo_root = Path(__file__).resolve().parent.parent
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(repo_root / "src") + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        process = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro.cli",
+                "serve",
+                "--port",
+                "0",
+                "--shards",
+                "2",
+                "--shard-mode",
+                "process",
+                "--backend",
+                "serial",
+                "--tenants",
+                str(tenants_file),
+                "--cache-file",
+                str(tmp_path / "fleet"),
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+            env=env,
+            cwd=repo_root,
+        )
+        try:
+            port_line = process.stdout.readline()
+            process.stdout.readline()  # topology line
+            match = re.search(r"http://[^:]+:(\d+)", port_line)
+            assert match, f"no port in {port_line!r}"
+            client = ServiceClient("127.0.0.1", int(match.group(1)))
+            b = Bucketization.from_value_lists(
+                [["p", "p", "q", "r"], ["p", "q", "s", "t"]]
+            )
+            engine = DisclosureEngine()
+            assert client.disclosure(b, 2, tenant="acme") == engine.evaluate(
+                b, 2, model=get_adversary("weighted", weights={"p": 2.5})
+            )
+            assert client.stats()["tenants"]["acme"]["requests"] >= 1
+            client.close()
+        finally:
+            process.send_signal(signal.SIGTERM)
+            _, err = process.communicate(timeout=120)
+        assert process.returncode == 0, err
+
+    def test_bad_tenants_file_fails_boot(self, tmp_path):
+        with pytest.raises(ValueError, match="unknown model"):
+            ShardRouter(
+                shards=2, tenants={"t": {"model": "martian"}}
+            )
 
 
 # ---------------------------------------------------------------------------

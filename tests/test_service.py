@@ -31,8 +31,9 @@ from pathlib import Path
 import pytest
 
 from repro.bucketization import Bucketization
-from repro.engine import DisclosureEngine, available_adversaries
+from repro.engine import DisclosureEngine, available_adversaries, get_adversary
 from repro.service import BackgroundService, ServiceClient, ServiceError
+from repro.service.server import load_tenants
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
@@ -366,6 +367,67 @@ class TestMalformedRequests:
         )
         assert status == 400
 
+    @pytest.mark.parametrize(
+        "body",
+        [
+            # Unknown constructor kwarg -> TypeError -> 400, not 500.
+            {
+                "buckets": [["a", "b"]],
+                "k": 1,
+                "model": "probabilistic",
+                "params": {"bogus": 1},
+            },
+            # Out-of-range value -> ValueError -> 400.
+            {
+                "buckets": [["a", "b"]],
+                "k": 1,
+                "model": "probabilistic",
+                "params": {"confidence": "3/2"},
+            },
+            {
+                "buckets": [["a", "b"]],
+                "k": 1,
+                "model": "sampling",
+                "params": {"samples": 0},
+            },
+            # Malformed params field itself.
+            {"buckets": [["a", "b"]], "k": 1, "params": 5},
+            {"buckets": [["a", "b"]], "k": 1, "params": {"x": True}},
+            {"buckets": [["a", "b"]], "k": 1, "params": {"q": "one/two"}},
+            # Tenant routing on a tenant-less service.
+            {"buckets": [["a", "b"]], "k": 1, "tenant": "nope"},
+            {"buckets": [["a", "b"]], "k": 1, "tenant": 3},
+        ],
+    )
+    def test_bad_params_and_tenant_bodies_are_400(self, service, body):
+        status, payload = _raw_request(
+            service.host,
+            service.port,
+            "POST",
+            "/disclosure",
+            json.dumps(body).encode(),
+        )
+        assert status == 400
+        assert "error" in payload
+
+    @pytest.mark.parametrize("path", ["/safety", "/compare"])
+    def test_bad_params_rejected_on_every_threat_endpoint(self, service, path):
+        body = {
+            "buckets": [["a", "b"]],
+            "k": 1,
+            "c": 0.9,
+            "ks": [1],
+            "model": "probabilistic",
+            "models": ["probabilistic"],
+            "params": {"confidence": "3/2"},
+        }
+        status, payload = _raw_request(
+            service.host, service.port, "POST", path, json.dumps(body).encode()
+        )
+        assert status == 400
+        assert "error" in payload
+        assert "probabilistic" in payload["error"]
+
     def test_errors_do_not_poison_the_service(self, service, figure3_like):
         client = service.client()
         with pytest.raises(ServiceError):
@@ -568,6 +630,254 @@ def test_serve_lifecycle_sigterm_persists_cache(tmp_path, figure3_like):
         process.send_signal(signal.SIGTERM)
         _, err = process.communicate(timeout=60)
     assert process.returncode == 0, err
+
+
+# ---------------------------------------------------------------------------
+# Parametric adversaries over the wire, and multi-tenant serving
+# ---------------------------------------------------------------------------
+PARAMETRIC_CASES = [
+    ("weighted", {"weights": {"Flu": 2.5, "Mumps": 1.0}}),
+    ("sampling", {"samples": 512, "seed": 9}),
+    ("probabilistic", {"confidence": Fraction(1, 3)}),
+]
+
+TENANTS = {
+    "acme": {
+        "model": "weighted",
+        "params": {"weights": {"Flu": 2.5, "Mumps": 1.0}},
+    },
+    "globex": {"model": "sampling", "params": {"samples": 500, "seed": 7}},
+}
+
+
+@pytest.fixture(scope="module")
+def small_pair() -> Bucketization:
+    """Small enough for the oracle-based probabilistic model (sub-second)."""
+    return Bucketization.from_value_lists(
+        [["a", "a", "b", "c"], ["a", "b", "d", "d"]]
+    )
+
+
+class TestParamsAndTenants:
+    @pytest.mark.parametrize("name,params", PARAMETRIC_CASES)
+    def test_parametric_request_bit_identical_to_engine(
+        self, client, figure3_like, small_pair, name, params
+    ):
+        # The probabilistic oracle is exponential in instance size; give it
+        # the small instance and the closed-form models the Figure-3 one.
+        b = small_pair if name == "probabilistic" else figure3_like
+        served = client.disclosure(b, 1, model=name, params=params)
+        direct = DisclosureEngine().evaluate(
+            b, 1, model=get_adversary(name, **params)
+        )
+        assert served == direct
+        # The parametric instance answers differently from the default one
+        # (otherwise this test would pass with params silently dropped).
+        assert served != client.disclosure(b, 1, model=name)
+
+    def test_exact_fraction_confidence_survives_the_wire(
+        self, client, small_pair
+    ):
+        q = Fraction(10**9 + 7, 10**9 + 9)
+        served = client.disclosure(
+            small_pair, 1, model="probabilistic",
+            params={"confidence": q}, exact=True,
+        )
+        direct = DisclosureEngine(exact=True).evaluate(
+            small_pair, 1, model=get_adversary("probabilistic", confidence=q)
+        )
+        assert served == direct
+        assert isinstance(served, Fraction)
+        # q cannot survive a float round trip: bit-equality with the direct
+        # exact engine means the Fraction crossed the wire untouched.
+        assert Fraction(float(q)) != q
+
+    def test_distinct_params_never_share_a_cache_entry(self, small_pair):
+        with BackgroundService(backend="serial", batch_window=0.0) as bg:
+            client = bg.client()
+            low = client.disclosure(
+                small_pair, 1, model="probabilistic",
+                params={"confidence": Fraction(1, 3)},
+            )
+            high = client.disclosure(
+                small_pair, 1, model="probabilistic",
+                params={"confidence": Fraction(2, 3)},
+            )
+            entries = client.stats()["engines"]["float"]["cache_entries"]
+            # Two param sets, one question: two cache entries, two values.
+            assert entries == 2
+            assert low != high
+            # A repeat is answered from cache, not recomputed.
+            before = client.stats()["engines"]["float"]["stats"]["misses"]
+            assert (
+                client.disclosure(
+                    small_pair, 1, model="probabilistic",
+                    params={"confidence": Fraction(1, 3)},
+                )
+                == low
+            )
+            stats = client.stats()
+            after = stats["engines"]["float"]["stats"]["misses"]
+            assert after == before
+            assert stats["engines"]["float"]["cache_entries"] == 2
+
+    def test_compare_applies_params_to_every_model(self, client, small_pair):
+        ks = [0, 1]
+        params = {"confidence": Fraction(1, 2)}
+        served = client.compare(
+            small_pair, ks, models=("probabilistic",), params=params
+        )
+        direct = DisclosureEngine().compare(
+            small_pair,
+            ks,
+            models=(get_adversary("probabilistic", **params),),
+        )
+        assert served.keys() == direct.keys()
+        for name in direct:
+            assert served[name] == direct[name]
+
+    def test_models_exposes_machine_usable_param_schema(self, client):
+        records = {m["name"]: m for m in client.models()}
+        for record in records.values():
+            assert "params_key" not in record
+            for spec in record["params"]:
+                assert {"name", "type", "default"} <= set(spec)
+        assert records["implication"]["params"] == []
+        by_name = {
+            s["name"]: s["default"] for s in records["sampling"]["params"]
+        }
+        assert by_name == {"samples": 20000, "seed": 0}
+        assert [s["name"] for s in records["weighted"]["params"]] == ["weights"]
+        assert records["weighted"]["params"][0]["default"] is None
+        assert records["probabilistic"]["params"][0]["default"] == 1
+
+    def test_param_schema_round_trips_through_get_adversary(self, client):
+        for record in client.models():
+            defaults = {
+                spec["name"]: spec["default"]
+                for spec in record["params"]
+                if not isinstance(spec["default"], str)
+            }
+            rebuilt = get_adversary(record["name"], **defaults)
+            assert rebuilt.params_key() == get_adversary(record["name"]).params_key()
+
+    def test_tenant_defaults_engage_and_answers_match_engine(
+        self, tmp_path, figure3_like
+    ):
+        with BackgroundService(
+            backend="serial",
+            batch_window=0.0,
+            tenants=TENANTS,
+            cache_path=tmp_path / "fleet",
+        ) as bg:
+            client = bg.client()
+            acme = client.disclosure(figure3_like, 2, tenant="acme")
+            globex = client.disclosure(figure3_like, 2, tenant="globex")
+            plain = client.disclosure(figure3_like, 2)
+            engine = DisclosureEngine()
+            assert acme == engine.evaluate(
+                figure3_like,
+                2,
+                model=get_adversary("weighted", weights={"Flu": 2.5, "Mumps": 1.0}),
+            )
+            assert globex == engine.evaluate(
+                figure3_like,
+                2,
+                model=get_adversary("sampling", samples=500, seed=7),
+            )
+            assert plain == engine.evaluate(figure3_like, 2)
+            assert acme != plain  # the tenant default actually engaged
+
+            # An explicit model on a tenant request suppresses the tenant's
+            # default params (they belong to the *default* model).
+            assert client.disclosure(
+                figure3_like, 2, model="implication", tenant="acme"
+            ) == plain
+
+            stats = client.stats()
+            assert set(stats["tenants"]) == {"acme", "globex"}
+            acme_stats = stats["tenants"]["acme"]
+            assert acme_stats["model"] == "weighted"
+            assert acme_stats["requests"] >= 2
+            assert acme_stats["engines"]["float"]["cache_entries"] >= 1
+            assert stats["tenants"]["globex"]["requests"] >= 1
+
+        # Per-tenant engines persist to per-tenant cache files.
+        assert (tmp_path / "fleet.float.pkl").exists()
+        assert (tmp_path / "fleet.acme.float.pkl").exists()
+        assert (tmp_path / "fleet.globex.float.pkl").exists()
+
+    def test_tenants_share_nothing(self, tmp_path, figure3_like):
+        """The same explicit question through two tenants lands in two
+        engines and two cache files — no cross-tenant sharing."""
+        prefix = tmp_path / "iso"
+        with BackgroundService(
+            backend="serial",
+            batch_window=0.0,
+            tenants=TENANTS,
+            cache_path=prefix,
+        ) as bg:
+            client = bg.client()
+            question = dict(model="negation", exact=False)
+            a = client.disclosure(figure3_like, 1, tenant="acme", **question)
+            b = client.disclosure(figure3_like, 1, tenant="globex", **question)
+            assert a == b  # same bits, computed independently
+            stats = client.stats()["tenants"]
+            assert stats["acme"]["engines"]["float"]["cache_entries"] == 1
+            assert stats["globex"]["engines"]["float"]["cache_entries"] == 1
+        acme_file = prefix.parent / "iso.acme.float.pkl"
+        globex_file = prefix.parent / "iso.globex.float.pkl"
+        assert acme_file.exists() and globex_file.exists()
+
+        # A restarted service reloads each tenant's entries into *its*
+        # engine only.
+        with BackgroundService(
+            backend="serial",
+            batch_window=0.0,
+            tenants=TENANTS,
+            cache_path=prefix,
+        ) as bg:
+            client = bg.client()
+            stats = client.stats()["tenants"]
+            assert stats["acme"]["engines"]["float"]["loaded_entries"] == 1
+            assert stats["globex"]["engines"]["float"]["loaded_entries"] == 1
+            assert (
+                client.disclosure(figure3_like, 1, tenant="acme", **question)
+                == a
+            )
+
+    @pytest.mark.parametrize(
+        "raw,match",
+        [
+            ("not json at all", "not JSON"),
+            ({}, "non-empty"),
+            ({"bad tenant!": {}}, "tenant id"),
+            ({"t": {"model": "martian"}}, "unknown model"),
+            ({"t": {"model": "sampling", "params": {"samples": 0}}}, "invalid"),
+            ({"t": {"surprise": 1}}, "unknown keys"),
+            ({"t": ["implication"]}, "must be an object"),
+        ],
+    )
+    def test_load_tenants_rejects_bad_topologies(self, tmp_path, raw, match):
+        source = raw
+        if isinstance(raw, str):
+            path = tmp_path / "tenants.json"
+            path.write_text(raw, encoding="utf-8")
+            source = path
+        with pytest.raises(ValueError, match=match):
+            load_tenants(source)
+
+    def test_load_tenants_missing_file(self, tmp_path):
+        with pytest.raises(ValueError, match="cannot read"):
+            load_tenants(tmp_path / "nope.json")
+
+    def test_tenant_entry_may_omit_params(self):
+        tenants = load_tenants({"t": {"model": "negation"}})
+        assert tenants["t"] == {
+            "model": "negation",
+            "params": {},
+            "params_wire": None,
+        }
 
 
 def test_background_service_cache_roundtrip(tmp_path, figure3_like):

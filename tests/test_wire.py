@@ -23,8 +23,10 @@ from hypothesis import strategies as st
 from repro.service import BackgroundService, ServiceError
 from repro.service.wire import (
     bucketization_from_payload,
+    decode_params,
     decode_series,
     decode_value,
+    encode_params,
     encode_series,
     encode_value,
 )
@@ -170,3 +172,81 @@ class TestMalformedPayloads:
         assert decode_value("3/4") == Fraction(3, 4)
         assert decode_value("-7/2") == Fraction(-7, 2)
         assert decode_value("5") == Fraction(5)
+
+
+# ---------------------------------------------------------------------------
+# The params codec: model constructor kwargs cross the wire losslessly
+# ---------------------------------------------------------------------------
+class TestParamsCodec:
+    def test_exact_fraction_round_trips_untouched(self):
+        # Denominator beyond any limit_denominator cap: the codec must not
+        # approximate — an exact confidence IS the threat model.
+        q = Fraction(10**9 + 7, 10**9 + 9)
+        params = {"confidence": q}
+        over_the_wire = json.loads(json.dumps(encode_params(params)))
+        decoded = decode_params(over_the_wire)
+        assert decoded == {"confidence": q}
+        assert isinstance(decoded["confidence"], Fraction)
+
+    @given(finite_floats)
+    def test_float_params_bit_identical(self, value):
+        over_the_wire = json.loads(json.dumps(encode_params({"x": value})))
+        decoded = decode_params(over_the_wire)
+        assert _bits(decoded["x"]) == _bits(value)
+
+    def test_ints_stay_ints(self):
+        decoded = decode_params(
+            json.loads(json.dumps(encode_params({"samples": 512, "seed": 7})))
+        )
+        assert decoded == {"samples": 512, "seed": 7}
+        assert isinstance(decoded["samples"], int)
+        assert isinstance(decoded["seed"], int)
+
+    def test_weight_maps_round_trip(self):
+        params = {"weights": {"a": 2.5, "b": Fraction(1, 3), "c": 1}}
+        decoded = decode_params(
+            json.loads(json.dumps(encode_params(params)))
+        )
+        assert decoded["weights"]["a"] == 2.5
+        assert decoded["weights"]["b"] == Fraction(1, 3)
+        assert decoded["weights"]["c"] == 1
+
+    def test_none_passes_through(self):
+        assert decode_params(encode_params({"weights": None})) == {
+            "weights": None
+        }
+
+    @pytest.mark.parametrize(
+        "params",
+        [
+            {"flag": True},  # bools are ambiguous on the wire
+            {"x": float("nan")},
+            {"x": float("inf")},
+            {"x": object()},
+            {"x": [1, 2]},
+        ],
+    )
+    def test_encode_rejects(self, params):
+        with pytest.raises(ValueError):
+            encode_params(params)
+
+    def test_encode_rejects_non_mapping(self):
+        with pytest.raises(ValueError):
+            encode_params([("a", 1)])
+
+    @pytest.mark.parametrize(
+        "raw",
+        [
+            5,  # not an object
+            [1, 2],
+            "confidence=1/2",
+            {"confidence": "one/two"},  # malformed fraction string
+            {"confidence": "1/0"},  # zero denominator
+            {"flag": True},
+            {"x": [1, 2]},
+            {"x": float("inf")},
+        ],
+    )
+    def test_decode_rejects(self, raw):
+        with pytest.raises(ValueError):
+            decode_params(raw)
