@@ -1,0 +1,173 @@
+"""Sequential republication: incremental re-check vs. from-scratch.
+
+The publish tier's claim is that checking release v_next of a table costs
+the **changed** multisets, not the whole table: signatures already present
+in the prior accepted release under the same threat policy reuse their
+ledger-stored values (bit-identically — the ledger persists through the
+lossless wire codec), so only genuinely new signatures are evaluated at
+base k, plus the composition sweep at the escalated effective_k.
+
+The benchmark publishes a growing release sequence v1..vN twice, into
+separate ledgers:
+
+- **full**: every version re-checked from scratch (``full=True``), the
+  baseline an operator without a ledger pays;
+- **incremental**: the default path, reusing ledger values.
+
+Both strategies get a *fresh engine per version* — the from-scratch
+baseline is a cold re-run of the checker per release, and the incremental
+path must prove its reuse survives process restarts (ledger, not engine
+cache). Asserted inline and schema-checked in CI
+(``scripts/check_bench_schema.py``):
+
+- verdict decisions (everything but the ``work`` counters) bit-identical
+  between the two strategies, in float **and** exact arithmetic;
+- the release-stage value equal to a direct whole-table
+  :meth:`~repro.engine.engine.DisclosureEngine.evaluate` (the max-over-
+  buckets decomposition the per-signature check relies on);
+- incremental evaluating **strictly fewer** multisets than full, with
+  nonzero reuse.
+
+``BENCH_publish.json`` records both modes' work counters, wall times and
+the resulting speedup (``BENCH_TINY=1`` shrinks the sequence).
+"""
+
+from __future__ import annotations
+
+import time
+from fractions import Fraction
+
+from reporting import tiny_mode, write_bench_json
+
+from repro.bucketization import Bucketization
+from repro.codec import decode_value
+from repro.engine import DisclosureEngine
+from repro.publish import ReleaseLedger, RepublicationEngine
+
+K = 1
+TABLE = "census"
+#: Smallest bucket is 12 distinct values, so even at the deepest
+#: composition escalation (effective_k = versions * K) disclosure stays
+#: well under the threshold and every version is accepted — maximal reuse.
+MIN_BUCKET = 12
+
+
+def _version_lists(versions: int, base: int, added: int) -> list[list[list[str]]]:
+    """Cumulative value-list releases v1..vN with shape-distinct buckets.
+
+    Bucket ``i`` holds ``MIN_BUCKET + i`` distinct values — a signature no
+    other bucket has — so v1 carries ``base`` distinct multisets and each
+    later version adds ``added`` new ones on top of everything before.
+    """
+    def bucket(i: int) -> list[str]:
+        return [f"v{i}_{j}" for j in range(MIN_BUCKET + i)]
+
+    releases = []
+    lists = [bucket(i) for i in range(base)]
+    releases.append([list(b) for b in lists])
+    for version in range(1, versions):
+        start = base + (version - 1) * added
+        lists = lists + [bucket(start + i) for i in range(added)]
+        releases.append([list(b) for b in lists])
+    return releases
+
+
+def _decision(verdict: dict) -> dict:
+    """The verdict minus its work counters (what bit-identity compares)."""
+    return {k: v for k, v in verdict.items() if k != "work"}
+
+
+def _run_sequence(releases, *, exact: bool, c, full: bool) -> dict:
+    """Publish the whole sequence with a fresh (cold) engine per version."""
+    verdicts = []
+    start = time.perf_counter()
+    with ReleaseLedger() as ledger:
+        for lists in releases:
+            engine = DisclosureEngine(exact=exact)
+            rep = RepublicationEngine(engine, ledger)
+            verdicts.append(
+                rep.publish(
+                    TABLE,
+                    Bucketization.from_value_lists(lists),
+                    c=c,
+                    k=K,
+                    full=full,
+                )
+            )
+    wall_s = time.perf_counter() - start
+    return {
+        "verdicts": verdicts,
+        "wall_ms": wall_s * 1000.0,
+        "evaluated": sum(v["work"]["evaluated_multisets"] for v in verdicts),
+        "reused": sum(v["work"]["reused_multisets"] for v in verdicts),
+    }
+
+
+def _mode_section(*, exact: bool, versions: int, base: int, added: int) -> dict:
+    c = Fraction(3, 5) if exact else 0.6
+    releases = _version_lists(versions, base, added)
+    full = _run_sequence(releases, exact=exact, c=c, full=True)
+    incremental = _run_sequence(releases, exact=exact, c=c, full=False)
+
+    identical = all(
+        _decision(a) == _decision(b)
+        for a, b in zip(full["verdicts"], incremental["verdicts"])
+    )
+    # The per-signature release value must equal the whole-table answer.
+    engine = DisclosureEngine(exact=exact)
+    whole = engine.evaluate(Bucketization.from_value_lists(releases[-1]), K)
+    identical = identical and (
+        decode_value(incremental["verdicts"][-1]["value"]) == whole
+    )
+
+    assert identical
+    assert incremental["evaluated"] < full["evaluated"]
+    assert incremental["reused"] > 0
+    assert all(v["accepted"] for v in incremental["verdicts"])
+
+    return {
+        "versions": versions,
+        "buckets_final": len(releases[-1]),
+        "distinct_multisets_final": base + (versions - 1) * added,
+        "accepted_versions": sum(
+            v["accepted"] for v in incremental["verdicts"]
+        ),
+        "identical_results": identical,
+        "full_evaluated_multisets": full["evaluated"],
+        "incremental_evaluated_multisets": incremental["evaluated"],
+        "reused_multisets": incremental["reused"],
+        "evaluated_ratio": incremental["evaluated"] / full["evaluated"],
+        "full_wall_ms": full["wall_ms"],
+        "incremental_wall_ms": incremental["wall_ms"],
+        "speedup": full["wall_ms"] / incremental["wall_ms"]
+        if incremental["wall_ms"] > 0
+        else float("inf"),
+    }
+
+
+def test_incremental_republication_beats_full_recheck(benchmark):
+    if tiny_mode():
+        float_sizes = dict(versions=3, base=5, added=2)
+        exact_sizes = dict(versions=3, base=4, added=2)
+    else:
+        float_sizes = dict(versions=8, base=30, added=6)
+        exact_sizes = dict(versions=6, base=12, added=4)
+
+    sections = benchmark.pedantic(
+        lambda: {
+            "float": _mode_section(exact=False, **float_sizes),
+            "exact": _mode_section(exact=True, **exact_sizes),
+        },
+        rounds=1,
+        iterations=1,
+    )
+
+    write_bench_json(
+        "publish",
+        {
+            "k": K,
+            "c": 0.6,
+            "float": sections["float"],
+            "exact": sections["exact"],
+        },
+    )

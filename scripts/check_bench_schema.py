@@ -104,6 +104,23 @@ REQUIRED = {
         "sharded",
         "multi_tenant",
     },
+    "publish": ENVELOPE | {"k", "c", "float", "exact"},
+}
+
+#: Keys required inside each of the publish record's per-mode sections.
+PUBLISH_MODE_KEYS = {
+    "versions",
+    "buckets_final",
+    "distinct_multisets_final",
+    "accepted_versions",
+    "identical_results",
+    "full_evaluated_multisets",
+    "incremental_evaluated_multisets",
+    "reused_multisets",
+    "evaluated_ratio",
+    "full_wall_ms",
+    "incremental_wall_ms",
+    "speedup",
 }
 
 #: Per-backend keys required inside the "backend" record's ``backends`` map.
@@ -213,6 +230,45 @@ def check(path: str) -> list[str]:
         errors.extend(_check_backend(path, record))
     if name == "service":
         errors.extend(_check_service(path, record))
+    if name == "publish":
+        errors.extend(_check_publish(path, record))
+    return errors
+
+
+def _check_publish(path: str, record: dict) -> list[str]:
+    """The publish record's invariants, per arithmetic mode: incremental
+    decisions bit-identical to the full from-scratch re-check (and to the
+    whole-table engine answer), strictly fewer multisets evaluated than
+    full, and nonzero ledger reuse."""
+    errors: list[str] = []
+    for mode in ("float", "exact"):
+        section = record.get(mode)
+        if not isinstance(section, dict):
+            errors.append(f"{path}: {mode!r} must be an object")
+            continue
+        missing = sorted(PUBLISH_MODE_KEYS - set(section))
+        if missing:
+            errors.append(f"{path}: {mode} missing keys {missing}")
+        if section.get("identical_results") is not True:
+            errors.append(
+                f"{path}: {mode} incremental republication diverged from "
+                f"the full re-check"
+            )
+        evaluated = section.get("incremental_evaluated_multisets")
+        full_evaluated = section.get("full_evaluated_multisets")
+        if (
+            isinstance(evaluated, int)
+            and isinstance(full_evaluated, int)
+            and evaluated >= full_evaluated
+        ):
+            errors.append(
+                f"{path}: {mode} incremental evaluated {evaluated} "
+                f"multisets, not strictly fewer than full's "
+                f"{full_evaluated}"
+            )
+        reused = section.get("reused_multisets")
+        if isinstance(reused, int) and reused <= 0:
+            errors.append(f"{path}: {mode} recorded no ledger reuse")
     return errors
 
 

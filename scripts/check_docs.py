@@ -1,0 +1,148 @@
+#!/usr/bin/env python3
+"""Doc-drift gate: the guides in docs/ must match the code they describe.
+
+Two cross-checks, both against the living registries rather than string
+expectations:
+
+1. **Endpoint table** — the table in ``docs/wire-protocol.md`` must list
+   exactly the routes :mod:`repro.service.server` registers
+   (``ROUTES`` + ``PREFIX_ROUTES``). A parameterized route like
+   ``/releases/{table}/{version}`` documents a prefix route by starting
+   with its prefix. Missing, stale and verb-mismatched rows all fail.
+
+2. **CLI subcommands** — every subcommand wired into ``repro.cli`` must
+   be mentioned (backticked) somewhere in the docs tier, so ``repro
+   --help`` never knows commands the documentation does not.
+
+Run from anywhere: ``python scripts/check_docs.py`` (CI runs it in the
+``lint-invariants`` job). ``--docs-dir`` points at an alternative docs
+tree, which is how ``tests/test_docs.py`` exercises the failure paths.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.cli import _COMMANDS  # noqa: E402
+from repro.service.server import PREFIX_ROUTES, ROUTES  # noqa: E402
+
+#: A table row like ``| `/disclosure` | POST | ... |``.
+ENDPOINT_ROW = re.compile(r"^\|\s*`([^`]+)`\s*\|\s*([A-Z]+)\s*\|")
+
+
+def documented_endpoints(wire_doc: str) -> list[tuple[str, str]]:
+    """``(method, path)`` pairs parsed from the endpoint table."""
+    found = []
+    for line in wire_doc.splitlines():
+        match = ENDPOINT_ROW.match(line)
+        if match and match.group(1).startswith("/"):
+            found.append((match.group(2), match.group(1)))
+    return found
+
+
+def check_endpoints(docs_dir: Path) -> list[str]:
+    """Bidirectional diff between the docs table and the server routes."""
+    wire_path = docs_dir / "wire-protocol.md"
+    if not wire_path.is_file():
+        return [f"missing {wire_path}"]
+    documented = documented_endpoints(wire_path.read_text(encoding="utf-8"))
+    if not documented:
+        return [f"{wire_path}: no endpoint table rows found"]
+
+    errors = []
+    # Every registered route must be documented (with the right verb).
+    for path, (method, _handler) in ROUTES.items():
+        if (method, path) not in documented:
+            errors.append(
+                f"{wire_path}: registered route {method} {path} is not in "
+                "the endpoint table"
+            )
+    for prefix, (method, _handler) in PREFIX_ROUTES.items():
+        if not any(
+            m == method and p.startswith(prefix) for m, p in documented
+        ):
+            errors.append(
+                f"{wire_path}: registered prefix route {method} {prefix}... "
+                "has no endpoint-table row starting with the prefix"
+            )
+
+    # Every documented row must correspond to a registered route.
+    for method, path in documented:
+        exact = ROUTES.get(path)
+        if exact is not None:
+            if exact[0] != method:
+                errors.append(
+                    f"{wire_path}: {path} documented as {method} but "
+                    f"registered as {exact[0]}"
+                )
+            continue
+        prefix_hit = next(
+            (
+                reg
+                for prefix, reg in PREFIX_ROUTES.items()
+                if path.startswith(prefix)
+            ),
+            None,
+        )
+        if prefix_hit is None:
+            errors.append(
+                f"{wire_path}: documented endpoint {method} {path} is not "
+                "a registered route"
+            )
+        elif prefix_hit[0] != method:
+            errors.append(
+                f"{wire_path}: {path} documented as {method} but its "
+                f"prefix route is {prefix_hit[0]}"
+            )
+    return errors
+
+
+def check_cli_commands(docs_dir: Path) -> list[str]:
+    """Every ``repro`` subcommand must be backticked somewhere in docs/."""
+    corpus = "\n".join(
+        path.read_text(encoding="utf-8")
+        for path in sorted(docs_dir.glob("*.md"))
+    )
+    if not corpus:
+        return [f"no markdown files under {docs_dir}"]
+    errors = []
+    for command in _COMMANDS:
+        if not re.search(rf"`[^`]*\b{re.escape(command)}\b[^`]*`", corpus):
+            errors.append(
+                f"CLI subcommand {command!r} is not mentioned (backticked) "
+                f"in any markdown file under {docs_dir}"
+            )
+    return errors
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--docs-dir",
+        type=Path,
+        default=REPO_ROOT / "docs",
+        help="docs tree to check (default: the repo's docs/)",
+    )
+    args = parser.parse_args(argv)
+
+    errors = check_endpoints(args.docs_dir)
+    errors.extend(check_cli_commands(args.docs_dir))
+    for error in errors:
+        print(f"check_docs: {error}", file=sys.stderr)
+    if not errors:
+        routes = len(ROUTES) + len(PREFIX_ROUTES)
+        print(
+            f"check_docs: ok — {routes} routes and {len(_COMMANDS)} CLI "
+            f"subcommands documented in {args.docs_dir}"
+        )
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -19,6 +19,14 @@ Subcommands
     Monte Carlo estimate of Pr(atom | B and formula) for a *given* formula
     (the #P-hard quantity of Theorem 8), with the formula written in the
     text syntax of :mod:`repro.knowledge.parser`.
+``publish``
+    Check and record the next version of a named table through the
+    sequential republication engine
+    (:class:`repro.publish.engine.RepublicationEngine`): the paper's
+    (c,k)-safety per distinct bucket signature, incremental against the
+    prior accepted release in the ledger, plus the cross-release
+    composition check. Prints the JSON verdict; exit 0 = accepted,
+    1 = rejected.
 ``serve``
     Run the JSON-over-HTTP disclosure service
     (:class:`repro.service.server.DisclosureService`): long-lived engines in
@@ -308,6 +316,65 @@ def build_parser() -> argparse.ArgumentParser:
     p_est.add_argument("--samples", type=int, default=20000)
     p_est.add_argument("--sample-seed", type=int, default=0)
 
+    p_pub = sub.add_parser(
+        "publish",
+        help="check + record the next version of a table (release ledger)",
+    )
+    p_pub.add_argument(
+        "table", help="table name (the ledger key, e.g. 'census')"
+    )
+    p_pub.add_argument(
+        "--buckets",
+        required=True,
+        metavar="FILE",
+        help="JSON file: a list of per-bucket sensitive-value lists",
+    )
+    p_pub.add_argument(
+        "--c",
+        required=True,
+        help="safety threshold input (decimal like 0.9, or exact like 9/10)",
+    )
+    p_pub.add_argument("--k", type=int, default=1, help="attacker power")
+    p_pub.add_argument(
+        "--model",
+        choices=available_adversaries(),
+        default="implication",
+        help="background-knowledge model (default implication)",
+    )
+    p_pub.add_argument(
+        "--params",
+        default=None,
+        metavar="JSON",
+        help='model parameters as a JSON object, e.g. \'{"weight": 2}\'',
+    )
+    p_pub.add_argument(
+        "--exact",
+        action="store_true",
+        help="exact rational arithmetic (default: float)",
+    )
+    p_pub.add_argument(
+        "--ledger-file",
+        default=None,
+        metavar="PATH",
+        help=(
+            "SQLite release ledger; versions accumulate across invocations "
+            "(default: in-memory, i.e. a one-shot v1 check)"
+        ),
+    )
+    p_pub.add_argument(
+        "--tenant", default="", help="ledger tenant namespace (default none)"
+    )
+    p_pub.add_argument(
+        "--full",
+        action="store_true",
+        help="force a from-scratch re-check (ignore reusable ledger values)",
+    )
+    p_pub.add_argument(
+        "--witness",
+        action="store_true",
+        help="attach a worst-case formula to each violation",
+    )
+
     p_serve = sub.add_parser(
         "serve", help="run the JSON-over-HTTP disclosure service"
     )
@@ -328,6 +395,16 @@ def build_parser() -> argparse.ArgumentParser:
             "persist engine caches across restarts: loads "
             "PREFIX.float.pkl / PREFIX.exact.pkl on boot (when present) "
             "and writes them back on shutdown"
+        ),
+    )
+    p_serve.add_argument(
+        "--ledger-file",
+        default=None,
+        metavar="PATH",
+        help=(
+            "persist the release ledger (POST /publish history) to this "
+            "SQLite file; with --shards N each shard gets "
+            "PATH.shard<i>.sqlite (default: in-memory, lost on shutdown)"
         ),
     )
     p_serve.add_argument(
@@ -667,6 +744,48 @@ def _cmd_estimate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_publish(args: argparse.Namespace) -> int:
+    import json
+    from fractions import Fraction
+
+    from repro.publish import ReleaseLedger, RepublicationEngine
+    from repro.service.wire import bucketization_from_payload
+
+    with open(args.buckets) as handle:
+        payload = json.load(handle)
+    # Accept the endpoint's envelope form ({"buckets": [...]}) as well as
+    # a bare list of value lists, so a /publish request body works as-is.
+    if isinstance(payload, dict) and "buckets" in payload:
+        payload = payload["buckets"]
+    bucketization = bucketization_from_payload(payload)
+    try:
+        c = Fraction(args.c)
+    except (ValueError, ZeroDivisionError):
+        raise ValueError(
+            f"--c must be a decimal or a fraction, got {args.c!r}"
+        ) from None
+    if not args.exact:
+        c = float(c)
+    params = json.loads(args.params) if args.params else None
+    if params is not None and not isinstance(params, dict):
+        raise ValueError("--params must be a JSON object")
+    engine = DisclosureEngine(exact=args.exact)
+    with ReleaseLedger(args.ledger_file or ":memory:") as ledger:
+        republisher = RepublicationEngine(engine, ledger, tenant=args.tenant)
+        verdict = republisher.publish(
+            args.table,
+            bucketization,
+            c=c,
+            k=args.k,
+            model=args.model,
+            params=params,
+            full=args.full,
+            with_witness=args.witness,
+        )
+    print(json.dumps(verdict, indent=2, sort_keys=True))
+    return 0 if verdict["accepted"] else 1
+
+
 async def _serve_until_signalled(args: argparse.Namespace) -> int:
     import asyncio
     import signal
@@ -687,6 +806,7 @@ async def _serve_until_signalled(args: argparse.Namespace) -> int:
             batch_window=args.batch_window,
             max_connections=args.max_connections,
             tenants=args.tenants,
+            ledger_file=args.ledger_file,
         )
     else:
         from repro.service.server import DisclosureService
@@ -702,6 +822,7 @@ async def _serve_until_signalled(args: argparse.Namespace) -> int:
             batch_window=args.batch_window,
             max_connections=args.max_connections,
             tenants=args.tenants,
+            ledger_file=args.ledger_file,
         )
     # Handlers go in BEFORE the port line is printed: a supervisor (the
     # shard router, a test harness) treats the port line as "booted" and
@@ -818,6 +939,7 @@ _COMMANDS = {
     "witness": _cmd_witness,
     "breach": _cmd_breach,
     "estimate": _cmd_estimate,
+    "publish": _cmd_publish,
     "serve": _cmd_serve,
     "lint": _cmd_lint,
 }

@@ -1,0 +1,209 @@
+"""Lossless JSON codecs for disclosure values, params, and witnesses.
+
+This is the dependency-free bottom of the serialization stack: both the
+HTTP tier (:mod:`repro.service.wire`, which re-exports everything here
+next to its bucketization payload helpers) and the release ledger
+(:mod:`repro.publish.ledger`) persist values through these functions, so
+a number written by either side reads back **bit-identical**:
+
+- float mode: JSON numbers. Python's :mod:`json` serializes floats with
+  ``repr``, which round-trips every IEEE-754 double bit-for-bit, so a
+  value read back by :func:`decode_value` compares ``==`` to the
+  engine's answer.
+- exact mode: :class:`~fractions.Fraction` values are encoded as their
+  ``"num/den"`` string (``str(Fraction)``), which round-trips exactly.
+  Models that are inherently floating-point (``supports_exact = False``)
+  return floats even on an exact engine; those stay JSON numbers.
+
+Nothing here may import from :mod:`repro.service` or
+:mod:`repro.publish` — this module exists precisely so those two can
+share codecs without importing each other.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from collections.abc import Mapping
+from fractions import Fraction
+from typing import Any
+
+__all__ = [
+    "encode_value",
+    "decode_value",
+    "encode_series",
+    "decode_series",
+    "encode_params",
+    "decode_params",
+    "encode_witness",
+]
+
+
+def encode_value(value: Any) -> float | str:
+    """One disclosure value -> JSON scalar (number, or ``"num/den"``).
+
+    Raises
+    ------
+    ValueError
+        On non-finite floats. ``nan``/``inf`` survive Python's ``repr``
+        serialization but are not JSON — :mod:`json` would emit the
+        non-standard ``NaN``/``Infinity`` tokens that strict consumers
+        reject — so they are refused here, at encode time, where the
+        endpoint layer can still turn them into a clean 400.
+    """
+    if isinstance(value, Fraction):
+        return str(value)
+    value = float(value)
+    if not math.isfinite(value):
+        raise ValueError(
+            f"non-finite value {value!r} cannot cross the wire as JSON"
+        )
+    return value
+
+
+def decode_value(value: Any) -> float | Fraction:
+    """Inverse of :func:`encode_value` (bit-identical round trip).
+
+    Raises
+    ------
+    ValueError
+        On anything :func:`encode_value` could not have produced: strings
+        that are not a valid ``"num/den"`` Fraction (including zero
+        denominators), booleans, non-numeric payloads, and non-finite
+        numbers.
+    """
+    if isinstance(value, str):
+        try:
+            return Fraction(value)
+        except (ValueError, ZeroDivisionError) as exc:
+            raise ValueError(
+                f"malformed exact value {value!r}: {exc}"
+            ) from None
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ValueError(
+            f"malformed wire value {value!r} "
+            f"({type(value).__name__} is not a JSON number or 'num/den')"
+        )
+    value = float(value)
+    if not math.isfinite(value):
+        raise ValueError(f"non-finite wire value {value!r}")
+    return value
+
+
+def encode_series(series: dict[int, Any]) -> dict[str, float | str]:
+    """A ``{k: value}`` series -> JSON object (keys become strings)."""
+    return {str(k): encode_value(v) for k, v in series.items()}
+
+
+def decode_series(series: dict[str, Any]) -> dict[int, float | Fraction]:
+    """Inverse of :func:`encode_series` (keys back to ints)."""
+    return {int(k): decode_value(v) for k, v in series.items()}
+
+
+def _encode_param_value(name: str, value: Any) -> Any:
+    if value is None:
+        return None
+    if isinstance(value, Fraction):
+        return str(value)
+    if isinstance(value, Mapping):
+        return {
+            str(key): _encode_param_value(name, item)
+            for key, item in value.items()
+        }
+    if isinstance(value, bool):
+        raise ValueError(f"param {name!r} must not be a boolean")
+    if isinstance(value, int):
+        return value
+    if isinstance(value, float):
+        if not math.isfinite(value):
+            raise ValueError(
+                f"non-finite value in param {name!r} cannot cross the wire"
+            )
+        return value
+    raise ValueError(
+        f"param {name!r} holds an unencodable {type(value).__name__}"
+    )
+
+
+def encode_params(params: Mapping[str, Any]) -> dict[str, Any]:
+    """Model constructor kwargs -> the ``params`` wire object.
+
+    The same lossless conventions as :func:`encode_value`: floats stay JSON
+    numbers (repr round trip), :class:`~fractions.Fraction` becomes
+    ``"num/den"``, and weight maps become JSON objects (keys stringified —
+    JSON object keys are strings; bucket values are strings in practice).
+    """
+    if not isinstance(params, Mapping):
+        raise ValueError("params must be a mapping of constructor kwargs")
+    return {
+        str(name): _encode_param_value(str(name), value)
+        for name, value in params.items()
+    }
+
+
+def _decode_param_value(name: str, value: Any) -> Any:
+    if value is None:
+        return None
+    if isinstance(value, str):
+        try:
+            return Fraction(value)
+        except (ValueError, ZeroDivisionError) as exc:
+            raise ValueError(
+                f"malformed exact value in param {name!r}: {exc}"
+            ) from None
+    if isinstance(value, dict):
+        return {
+            key: _decode_param_value(name, item)
+            for key, item in value.items()
+        }
+    if isinstance(value, bool):
+        raise ValueError(f"param {name!r} must not be a boolean")
+    if isinstance(value, int):
+        return value
+    if isinstance(value, float):
+        if not math.isfinite(value):
+            raise ValueError(f"non-finite value in param {name!r}")
+        return value
+    raise ValueError(
+        f"param {name!r} holds an unsupported {type(value).__name__} "
+        "(expected number, 'num/den' string, object, or null)"
+    )
+
+
+def decode_params(raw: Any) -> dict[str, Any]:
+    """The ``params`` wire object -> model constructor kwargs.
+
+    Inverse of :func:`encode_params`; ints stay ints (sample budgets,
+    seeds), floats stay bit-identical, ``"num/den"`` strings become exact
+    :class:`~fractions.Fraction` values, and nested objects (weight maps)
+    decode per value. Raises :class:`ValueError` with a message safe for a
+    400 body on any other shape.
+    """
+    if not isinstance(raw, dict):
+        raise ValueError("field 'params' must be a JSON object")
+    return {
+        name: _decode_param_value(name, value) for name, value in raw.items()
+    }
+
+
+def encode_witness(witness: Any) -> dict[str, Any]:
+    """Serialize any model's witness object: the uniform ``disclosure``
+    attribute, plus the dataclass fields as JSON scalars (stringified when
+    they are richer objects, e.g. implication formulas)."""
+    payload: dict[str, Any] = {
+        "type": type(witness).__name__,
+        "disclosure": encode_value(witness.disclosure),
+        "description": str(witness),
+    }
+    if dataclasses.is_dataclass(witness):
+        for field in dataclasses.fields(witness):
+            if field.name == "disclosure":
+                continue
+            value = getattr(witness, field.name)
+            if isinstance(value, (str, int, float, bool)) or value is None:
+                payload[field.name] = value
+            elif isinstance(value, (list, tuple, frozenset, set)):
+                payload[field.name] = [str(item) for item in value]
+            else:
+                payload[field.name] = str(value)
+    return payload

@@ -1,0 +1,30 @@
+"""Sequential republication: the release ledger and incremental re-check.
+
+The paper certifies one release in isolation, but a real publisher ships
+v1, v2, ... of the same table — and Riboni et al. (arXiv:1010.0924) show
+the adversary that matters composes background knowledge *across* the
+sequence. This package turns the engine's one-shot safety check into that
+steady-state workload:
+
+- :class:`~repro.publish.ledger.ReleaseLedger` — a persistent (SQLite)
+  ledger of versioned releases per named table: each release stores its
+  signature multiset, threat policy (model, params, k, c, mode), the
+  per-signature disclosure values, and the accept/reject verdict.
+- :class:`~repro.publish.engine.RepublicationEngine` — ``publish()``
+  re-checks only the signature multisets that changed since the prior
+  accepted release (a set difference on the plane's canonical signature
+  form), reuses the ledger's stored values for the rest, and layers a
+  cross-release composition check modelling an adversary who saw every
+  prior accepted release. Incremental verdicts are bit-identical to a
+  full from-scratch re-check in both arithmetic modes.
+
+The service tier mounts this as ``POST /publish`` / ``GET /releases`` on
+:class:`~repro.service.server.DisclosureService`, the shard router
+forwards with per-table ledger affinity, and ``repro publish`` drives it
+from the command line.
+"""
+
+from repro.publish.engine import RepublicationEngine
+from repro.publish.ledger import Release, ReleaseLedger
+
+__all__ = ["Release", "ReleaseLedger", "RepublicationEngine"]

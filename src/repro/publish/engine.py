@@ -1,0 +1,290 @@
+"""The republication engine: incremental, composition-aware publishing.
+
+Worst-case disclosure of a bucketized table decomposes as a **max over
+buckets**, and a bucket's value depends only on its signature — that is
+what lets the engine cache key on the signature plane and what makes the
+unit of republication work here one *distinct signature*, evaluated as a
+single-bucket synthetic bucketization
+(:meth:`~repro.bucketization.bucketization.Bucketization.from_signature_counts`).
+``publish(table, v_next)`` therefore:
+
+1. **Release check** (the paper's (c, k)-safety, per signature): every
+   distinct signature of v_next must have disclosure strictly below the
+   model's threshold at base ``k``. Incrementally, signatures already
+   present in the prior *accepted* release under the same threat policy
+   are not re-evaluated — their stored values are reused from the ledger
+   (a set difference on the plane's canonical signature form), which is
+   bit-identical to recomputing them because both the engine's
+   per-signature evaluation and the ledger's wire codec are lossless.
+2. **Composition check** (Riboni et al., arXiv:1010.0924, conservative
+   form): an adversary who saw every prior accepted release holds ``k``
+   background-knowledge atoms *per distinct accepted content*, so v_next
+   must also be safe at ``effective_k = k * n`` where ``n`` counts the
+   distinct signature multisets among accepted releases including v_next.
+   Republishing identical content grants nothing (``n`` unchanged); every
+   genuinely new release escalates the adversary.
+
+The verdict separates the **decision** (accepted, values, thresholds,
+violations with optional per-bucket witnesses) from the **work** counters
+(evaluated vs reused multisets) so callers can assert that incremental
+and full runs decide identically while doing different amounts of work.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any
+
+from repro.bucketization.bucketization import Bucketization
+from repro.engine.base import AdversaryModel, canonical_params
+from repro.engine.engine import DisclosureEngine
+from repro.publish.ledger import (
+    Multiset,
+    Release,
+    ReleaseLedger,
+    Signature,
+)
+from repro.codec import (
+    decode_params,
+    encode_params,
+    encode_value,
+    encode_witness,
+)
+
+__all__ = ["RepublicationEngine", "TABLE_NAME"]
+
+#: Table names are path segments of the ``/releases/{table}/{version}``
+#: endpoint and ledger keys, so they are restricted to a URL- and
+#: filename-safe alphabet up front (``:`` is reserved as the tenant
+#: qualifier separator).
+TABLE_NAME = re.compile(r"^[A-Za-z0-9][A-Za-z0-9_.-]*$")
+
+
+def _single(signature: Signature) -> Bucketization:
+    """The one-bucket synthetic bucketization realizing ``signature``."""
+    return Bucketization.from_signature_counts(((signature, 1),))
+
+
+class RepublicationEngine:
+    """Publish versioned releases of named tables through one
+    :class:`~repro.engine.engine.DisclosureEngine` and one
+    :class:`~repro.publish.ledger.ReleaseLedger`.
+
+    One instance is bound to one ``(engine, ledger, tenant)`` triple; the
+    service tier keeps one per ``(tenant, mode)`` over its existing
+    engines, so publish work shares the engine cache (and its
+    persistence) with the interactive endpoints.
+    """
+
+    def __init__(
+        self,
+        engine: DisclosureEngine,
+        ledger: ReleaseLedger,
+        *,
+        tenant: str = "",
+    ) -> None:
+        self.engine = engine
+        self.ledger = ledger
+        self.tenant = tenant
+
+    # ------------------------------------------------------------------
+    # The publish check
+    # ------------------------------------------------------------------
+    def publish(
+        self,
+        table: str,
+        bucketization: Bucketization,
+        *,
+        c: Any,
+        k: int,
+        model: str | AdversaryModel = "implication",
+        params: dict[str, Any] | None = None,
+        full: bool = False,
+        with_witness: bool = False,
+    ) -> dict[str, Any]:
+        """Check and record the next version of ``table``.
+
+        Parameters
+        ----------
+        table:
+            Ledger key (must match :data:`TABLE_NAME`).
+        bucketization:
+            The candidate release v_next.
+        c, k:
+            The safety policy: disclosure must stay strictly below the
+            model's threshold for ``c`` at attacker power ``k`` (and at
+            the composition-escalated ``effective_k``).
+        model, params:
+            The threat model, resolved through the engine's instance memo;
+            must be signature-decomposable (per-signature re-checking is
+            meaningless otherwise).
+        full:
+            Force a from-scratch evaluation of every signature, ignoring
+            reusable ledger values — the baseline incremental runs are
+            proven bit-identical against.
+        with_witness:
+            Attach a concrete worst-case formula to each violation when
+            the model supports witness reconstruction.
+
+        Returns
+        -------
+        dict
+            The verdict: decision fields (``accepted``, ``value``,
+            ``threshold``, ``violations``, composition facts) plus a
+            ``work`` sub-dict of evaluated/reused counters. The verdict is
+            recorded in the ledger under the assigned version whether
+            accepted or not.
+        """
+        if not TABLE_NAME.match(table):
+            raise ValueError(
+                f"table name {table!r} must match {TABLE_NAME.pattern}"
+            )
+        if k < 0:
+            raise ValueError(f"k must be non-negative, got {k}")
+        params = dict(params or {})
+        instance = self.engine.model(model, params)
+        if not instance.signature_decomposable():
+            raise ValueError(
+                f"model {instance.name!r} is not signature-decomposable; "
+                "publish re-checks releases per distinct bucket signature"
+            )
+        threshold = self.engine.threshold(c, model=instance)
+        items: Multiset = bucketization.signature_items()
+        mode = "exact" if self.engine.exact else "float"
+        params_wire = encode_params(params)
+
+        prior = self.ledger.latest_accepted(table, tenant=self.tenant)
+        reusable: dict[Signature, Any] = {}
+        incremental = False
+        if prior is not None and not full and self._policy_matches(
+            prior, instance, params, k, mode
+        ):
+            incremental = True
+            reusable = prior.values
+
+        base_values: dict[Signature, Any] = {}
+        evaluated = reused = 0
+        for signature, _count in items:
+            if signature in reusable:
+                base_values[signature] = reusable[signature]
+                reused += 1
+            else:
+                base_values[signature] = self.engine.evaluate(
+                    _single(signature), k, model=instance
+                )
+                evaluated += 1
+
+        prior_contents = self.ledger.accepted_contents(
+            table, tenant=self.tenant
+        )
+        distinct_contents = set(prior_contents)
+        distinct_contents.add(items)
+        multiplier = len(distinct_contents)
+        effective_k = k * multiplier
+        composition_evaluated = 0
+        if effective_k == k:
+            composition_values = dict(base_values)
+        else:
+            composition_values = {}
+            for signature, _count in items:
+                composition_values[signature] = self.engine.evaluate(
+                    _single(signature), effective_k, model=instance
+                )
+                composition_evaluated += 1
+
+        violations = []
+        for signature, count in items:
+            base_value = base_values[signature]
+            composition_value = composition_values[signature]
+            if base_value < threshold and composition_value < threshold:
+                continue
+            stage = "release" if base_value >= threshold else "composition"
+            entry: dict[str, Any] = {
+                "signature": list(signature),
+                "count": count,
+                "stage": stage,
+                "k": k,
+                "effective_k": effective_k,
+                "value": encode_value(base_value),
+                "composition_value": encode_value(composition_value),
+            }
+            if with_witness and instance.supports_witness:
+                witness_k = k if stage == "release" else effective_k
+                entry["witness"] = encode_witness(
+                    self.engine.witness(
+                        _single(signature), witness_k, model=instance
+                    )
+                )
+            violations.append(entry)
+        accepted = not violations
+
+        version = self.ledger.next_version(table, tenant=self.tenant)
+        verdict: dict[str, Any] = {
+            "table": table,
+            "version": version,
+            "tenant": self.tenant or None,
+            "accepted": accepted,
+            "model": instance.name,
+            "params": params_wire,
+            "mode": mode,
+            "k": k,
+            "c": encode_value(c),
+            "threshold": encode_value(threshold),
+            "value": encode_value(max(base_values.values())),
+            "composition_value": encode_value(
+                max(composition_values.values())
+            ),
+            "effective_k": effective_k,
+            "composition": {
+                "multiplier": multiplier,
+                "prior_accepted_releases": len(prior_contents),
+                "prior_distinct_contents": len(set(prior_contents)),
+            },
+            "buckets": sum(count for _signature, count in items),
+            "distinct_multisets": len(items),
+            "violations": violations,
+        }
+        verdict["work"] = {
+            "incremental": incremental,
+            "evaluated_multisets": evaluated + composition_evaluated,
+            "release_evaluated": evaluated,
+            "composition_evaluated": composition_evaluated,
+            "reused_multisets": reused,
+        }
+        self.ledger.record(
+            Release(
+                table=table,
+                version=version,
+                tenant=self.tenant,
+                mode=mode,
+                model=instance.name,
+                params=params_wire,
+                k=k,
+                c=encode_value(c),
+                accepted=accepted,
+                multiset=items,
+                values=base_values,
+                verdict=verdict,
+            )
+        )
+        return verdict
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _policy_matches(
+        self,
+        prior: Release,
+        instance: AdversaryModel,
+        params: dict[str, Any],
+        k: int,
+        mode: str,
+    ) -> bool:
+        """Whether ``prior``'s stored values are reusable for this publish:
+        same model, same canonical params, same ``k``, same arithmetic
+        mode. (``c`` only moves the threshold, never the values.)"""
+        if prior.model != instance.name or prior.k != k or prior.mode != mode:
+            return False
+        return canonical_params(decode_params(prior.params)) == (
+            canonical_params(params)
+        )

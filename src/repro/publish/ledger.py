@@ -1,0 +1,340 @@
+"""The release ledger: versioned, persistent history of published tables.
+
+One SQLite row per publish attempt (accepted *and* rejected — rejections
+consume a version so the audit trail is complete), keyed
+``(tenant, table, version)``. A row stores everything the incremental
+re-check needs to avoid re-evaluating unchanged work:
+
+- the release's **signature multiset** in the portable form of
+  :meth:`~repro.bucketization.bucketization.Bucketization.signature_items`
+  (what the plane interns, what every cache keys on),
+- the **threat policy** it was checked under — model name, wire-form
+  params, ``k``, ``c``, arithmetic mode,
+- the **per-signature disclosure values** at base ``k``, wire-encoded with
+  the same lossless codec the HTTP tier uses (floats round-trip
+  bit-identically via ``repr``; exact values as ``"num/den"``), so a later
+  release can reuse them without any drift,
+- the full JSON **verdict** returned to the publisher.
+
+Everything is JSON-in-TEXT columns behind parameterized statements; no
+timestamps or other nondeterminism, so two identical publish sequences
+produce byte-identical ledgers. The connection is guarded by a lock and
+created with ``check_same_thread=False`` because the service tier runs all
+blocking work on one executor thread while the CLI uses the constructor's
+thread.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+from repro.codec import decode_value, encode_value
+
+__all__ = [
+    "Release",
+    "ReleaseLedger",
+    "multiset_to_wire",
+    "multiset_from_wire",
+    "values_to_wire",
+    "values_from_wire",
+]
+
+#: One bucket signature in canonical engine form.
+Signature = tuple[int, ...]
+#: A signature multiset in canonical engine form (``signature_items()``).
+Multiset = tuple[tuple[Signature, int], ...]
+
+
+def multiset_to_wire(multiset: Multiset) -> list[list[Any]]:
+    """A canonical signature multiset -> JSON shape ``[[sig, count], ...]``."""
+    return [[list(signature), count] for signature, count in multiset]
+
+
+def multiset_from_wire(raw: Any) -> Multiset:
+    """Inverse of :func:`multiset_to_wire` (back to canonical tuples)."""
+    return tuple(
+        (tuple(int(v) for v in signature), int(count))
+        for signature, count in raw
+    )
+
+
+def values_to_wire(values: dict[Signature, Any]) -> list[list[Any]]:
+    """Per-signature disclosure values -> JSON ``[[sig, value], ...]``,
+    signature-sorted, values through the lossless scalar codec."""
+    return [
+        [list(signature), encode_value(values[signature])]
+        for signature in sorted(values)
+    ]
+
+
+def values_from_wire(raw: Any) -> dict[Signature, Any]:
+    """Inverse of :func:`values_to_wire` (bit-identical value round trip)."""
+    return {
+        tuple(int(v) for v in signature): decode_value(value)
+        for signature, value in raw
+    }
+
+
+@dataclass(frozen=True)
+class Release:
+    """One publish attempt of one table version, as the ledger stores it.
+
+    ``params`` is the wire-form params object (the JSON shape
+    :func:`~repro.service.wire.encode_params` produces), ``c`` the
+    wire-form threshold input, ``values`` the decoded per-signature
+    disclosure values at base ``k``, and ``verdict`` the JSON verdict
+    :meth:`~repro.publish.engine.RepublicationEngine.publish` returned.
+    """
+
+    table: str
+    version: int
+    tenant: str
+    mode: str
+    model: str
+    params: dict[str, Any]
+    k: int
+    c: Any
+    accepted: bool
+    multiset: Multiset
+    values: dict[Signature, Any]
+    verdict: dict[str, Any]
+
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS releases (
+    tenant TEXT NOT NULL,
+    table_name TEXT NOT NULL,
+    version INTEGER NOT NULL,
+    mode TEXT NOT NULL,
+    model TEXT NOT NULL,
+    params_json TEXT NOT NULL,
+    k INTEGER NOT NULL,
+    c_json TEXT NOT NULL,
+    accepted INTEGER NOT NULL,
+    multiset_json TEXT NOT NULL,
+    values_json TEXT NOT NULL,
+    verdict_json TEXT NOT NULL,
+    PRIMARY KEY (tenant, table_name, version)
+)
+"""
+
+_COLUMNS = (
+    "tenant, table_name, version, mode, model, params_json, k, c_json, "
+    "accepted, multiset_json, values_json, verdict_json"
+)
+
+
+def _dumps(value: Any) -> str:
+    return json.dumps(value, sort_keys=True, separators=(",", ":"))
+
+
+class ReleaseLedger:
+    """Persistent store of :class:`Release` rows, keyed
+    ``(tenant, table, version)``.
+
+    Parameters
+    ----------
+    path:
+        SQLite database file, or ``":memory:"`` (the default) for an
+        ephemeral ledger — what a service without ``--ledger-file`` and
+        the test-suite use.
+    """
+
+    def __init__(self, path: str | Path = ":memory:") -> None:
+        self.path = str(path)
+        self._lock = threading.Lock()
+        self._conn = sqlite3.connect(self.path, check_same_thread=False)
+        with self._lock, self._conn:
+            self._conn.execute(_SCHEMA)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Close the underlying connection (idempotent)."""
+        with self._lock:
+            self._conn.close()
+
+    def __enter__(self) -> "ReleaseLedger":
+        """Context-manager entry (the ledger itself, already open)."""
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        """Context-manager exit: :meth:`close`."""
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+    def record(self, release: Release) -> None:
+        """Append one publish attempt.
+
+        Raises
+        ------
+        ValueError
+            If ``(tenant, table, version)`` is already recorded — versions
+            are immutable once written.
+        """
+        row = (
+            release.tenant,
+            release.table,
+            release.version,
+            release.mode,
+            release.model,
+            _dumps(release.params),
+            release.k,
+            _dumps(release.c),
+            1 if release.accepted else 0,
+            _dumps(multiset_to_wire(release.multiset)),
+            _dumps(values_to_wire(release.values)),
+            _dumps(release.verdict),
+        )
+        placeholders = ", ".join("?" * len(row))
+        try:
+            with self._lock, self._conn:
+                self._conn.execute(
+                    f"INSERT INTO releases ({_COLUMNS}) "
+                    f"VALUES ({placeholders})",
+                    row,
+                )
+        except sqlite3.IntegrityError:
+            raise ValueError(
+                f"release {release.table!r} v{release.version} already "
+                "recorded (versions are immutable)"
+            ) from None
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    def _row_to_release(self, row: tuple) -> Release:
+        (
+            tenant,
+            table,
+            version,
+            mode,
+            model,
+            params_json,
+            k,
+            c_json,
+            accepted,
+            multiset_json,
+            values_json,
+            verdict_json,
+        ) = row
+        return Release(
+            table=table,
+            version=version,
+            tenant=tenant,
+            mode=mode,
+            model=model,
+            params=json.loads(params_json),
+            k=k,
+            c=json.loads(c_json),
+            accepted=bool(accepted),
+            multiset=multiset_from_wire(json.loads(multiset_json)),
+            values=values_from_wire(json.loads(values_json)),
+            verdict=json.loads(verdict_json),
+        )
+
+    def _select(self, where: str, args: tuple) -> list[Release]:
+        with self._lock:
+            rows = self._conn.execute(
+                f"SELECT {_COLUMNS} FROM releases {where}", args
+            ).fetchall()
+        return [self._row_to_release(row) for row in rows]
+
+    def next_version(self, table: str, tenant: str = "") -> int:
+        """The version the next publish of ``table`` will get (1-based)."""
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT MAX(version) FROM releases "
+                "WHERE tenant = ? AND table_name = ?",
+                (tenant, table),
+            ).fetchone()
+        return (row[0] or 0) + 1
+
+    def get(
+        self, table: str, version: int, tenant: str = ""
+    ) -> Release | None:
+        """One recorded release, or ``None``."""
+        releases = self._select(
+            "WHERE tenant = ? AND table_name = ? AND version = ?",
+            (tenant, table, version),
+        )
+        return releases[0] if releases else None
+
+    def latest_accepted(self, table: str, tenant: str = "") -> Release | None:
+        """The highest-version *accepted* release of ``table`` — the
+        baseline an incremental re-check diffs against."""
+        releases = self._select(
+            "WHERE tenant = ? AND table_name = ? AND accepted = 1 "
+            "ORDER BY version DESC LIMIT 1",
+            (tenant, table),
+        )
+        return releases[0] if releases else None
+
+    def accepted_contents(self, table: str, tenant: str = "") -> list[Multiset]:
+        """Signature multisets of every accepted release of ``table``, in
+        version order (the composition check's view of what the adversary
+        has already seen)."""
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT multiset_json FROM releases "
+                "WHERE tenant = ? AND table_name = ? AND accepted = 1 "
+                "ORDER BY version",
+                (tenant, table),
+            ).fetchall()
+        return [multiset_from_wire(json.loads(row[0])) for row in rows]
+
+    def list_releases(
+        self, table: str | None = None, tenant: str | None = None
+    ) -> list[dict[str, Any]]:
+        """Summaries of recorded releases, ``(tenant, table, version)``
+        ordered, optionally filtered — the ``GET /releases`` shape."""
+        where, args = [], []
+        if table is not None:
+            where.append("table_name = ?")
+            args.append(table)
+        if tenant is not None:
+            where.append("tenant = ?")
+            args.append(tenant)
+        clause = f"WHERE {' AND '.join(where)}" if where else ""
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT tenant, table_name, version, mode, model, k, accepted "
+                f"FROM releases {clause} "
+                "ORDER BY tenant, table_name, version",
+                tuple(args),
+            ).fetchall()
+        return [
+            {
+                "tenant": row[0] or None,
+                "table": row[1],
+                "version": row[2],
+                "mode": row[3],
+                "model": row[4],
+                "k": row[5],
+                "accepted": bool(row[6]),
+            }
+            for row in rows
+        ]
+
+    def counters(self) -> dict[str, int]:
+        """Ledger-level totals for ``/stats``:
+        ``{releases, accepted, rejected, tables}``."""
+        with self._lock:
+            releases, accepted, tables = self._conn.execute(
+                "SELECT COUNT(*), COALESCE(SUM(accepted), 0), "
+                "COUNT(DISTINCT tenant || ':' || table_name) FROM releases"
+            ).fetchone()
+        return {
+            "releases": releases,
+            "accepted": accepted,
+            "rejected": releases - accepted,
+            "tables": tables,
+        }

@@ -33,6 +33,7 @@ from repro.service.wire import (
     decode_series,
     decode_value,
     encode_params,
+    encode_value,
 )
 
 __all__ = ["ServiceError", "ServiceClient"]
@@ -58,6 +59,7 @@ class _NoDelayConnection(http.client.HTTPConnection):
     """
 
     def connect(self) -> None:
+        """Open the socket and set ``TCP_NODELAY`` on it."""
         super().connect()
         set_nodelay(self.sock)
 
@@ -381,6 +383,80 @@ class ServiceClient:
             for name, series in answer["series"].items()
         }
 
+    def publish(
+        self,
+        table: str,
+        bucketization,
+        *,
+        c,
+        k: int,
+        model: str | None = None,
+        exact: bool = False,
+        params: Mapping[str, Any] | None = None,
+        tenant: str | None = None,
+        full: bool = False,
+        witness: bool = False,
+    ) -> dict[str, Any]:
+        """Publish the next version of ``table`` through the release
+        ledger: the per-signature (c, k)-safety check, incremental against
+        the prior accepted release, plus the cross-release composition
+        check. Returns the verdict with ``value``/``composition_value``/
+        ``threshold`` decoded back to engine types.
+
+        ``full=True`` forces a from-scratch re-check (the baseline that
+        incremental runs are bit-identical to); ``witness=True`` attaches
+        a worst-case formula to each violation.
+        """
+        payload: dict[str, Any] = {
+            "table": table,
+            "buckets": bucket_lists(bucketization),
+            "c": encode_value(c) if isinstance(c, Fraction) else c,
+            "k": k,
+            "exact": exact,
+        }
+        if full:
+            payload["full"] = True
+        if witness:
+            payload["witness"] = True
+        answer = self.request(
+            "POST",
+            "/publish",
+            self._threat_fields(payload, model, params, tenant),
+        )
+        for field in ("value", "composition_value", "threshold", "c"):
+            answer[field] = decode_value(answer[field])
+        return answer
+
+    def releases(
+        self,
+        table: str | None = None,
+        *,
+        tenant: str | None = None,
+    ) -> dict[str, Any]:
+        """Release-ledger summaries plus ledger totals, optionally filtered
+        client-side by ``table``/``tenant`` (the endpoint returns all)."""
+        answer = self.request("GET", "/releases")
+        entries = answer["releases"]
+        if table is not None:
+            entries = [e for e in entries if e["table"] == table]
+        if tenant is not None:
+            entries = [e for e in entries if e["tenant"] == tenant]
+        answer["releases"] = entries
+        return answer
+
+    def release(
+        self,
+        table: str,
+        version: int,
+        *,
+        tenant: str | None = None,
+    ) -> dict[str, Any]:
+        """One recorded release's full ledger record (404 ->
+        :class:`ServiceError`). ``tenant`` namespaces the lookup the same
+        way it namespaces ``publish``."""
+        qualified = f"{tenant}:{table}" if tenant else table
+        return self.request("GET", f"/releases/{qualified}/{version}")
+
     def models(self) -> list[dict[str, Any]]:
         """Registry introspection: every registered adversary's contract."""
         return self.request("GET", "/models")["models"]
@@ -390,4 +466,5 @@ class ServiceClient:
         return self.request("GET", "/stats")
 
     def health(self) -> dict[str, Any]:
+        """Liveness probe (``GET /healthz``; per-shard behind a router)."""
         return self.request("GET", "/healthz")

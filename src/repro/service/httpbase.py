@@ -86,6 +86,7 @@ def require(payload: dict, field: str, kind, *, optional=False, default=None):
 
 
 def require_ks(payload: dict) -> list[int]:
+    """The ``"ks"`` field as a non-empty list of real ints (no bools)."""
     ks = require(payload, "ks", list)
     if not ks or not all(
         isinstance(k, int) and not isinstance(k, bool) for k in ks
@@ -131,6 +132,7 @@ class ConnectionStats:
         self.rejected_over_cap = 0
 
     def as_dict(self) -> dict[str, int]:
+        """The connection counters as the ``/stats`` JSON section."""
         return {
             "total": self.total,
             "open": self.open,
@@ -195,11 +197,13 @@ class JsonHttpServer:
         return self._server.sockets[0].getsockname()[1]
 
     async def start_http(self) -> None:
+        """Bind the listening socket and start accepting connections."""
         self._server = await asyncio.start_server(
             self._handle_connection, self.host, self._requested_port
         )
 
     async def stop_http(self) -> None:
+        """Stop accepting and wake every parked keep-alive connection."""
         self._stopping = True
         if self._server is not None:
             self._server.close()

@@ -110,6 +110,8 @@ __all__ = [
     "ProcessShard",
     "InprocShard",
     "resolve_shard_mode",
+    "shard_key",
+    "table_shard_key",
     "ShardRouter",
     "BackgroundRouter",
 ]
@@ -166,6 +168,20 @@ def shard_key(
     return int.from_bytes(hashlib.sha256(payload).digest()[:8], "big")
 
 
+def table_shard_key(table: str, tenant: str | None) -> int:
+    """Stable hash of a ledger identity ``(tenant, table)``.
+
+    Publish traffic routes by **table affinity**, not plane key: every
+    version of one table must land on the shard that owns its slice of
+    the release ledger (each subprocess shard keeps its own
+    ``<prefix>.shard<i>.sqlite``), or the incremental re-check would never
+    see its own prior release. Same SHA-256-over-``repr`` construction as
+    :func:`shard_key`, for the same restart-stability reasons.
+    """
+    payload = repr(("publish", tenant or "", table)).encode()
+    return int.from_bytes(hashlib.sha256(payload).digest()[:8], "big")
+
+
 class RouterStats:
     """The routing-layer counters behind the aggregated ``/stats``."""
 
@@ -187,6 +203,7 @@ class RouterStats:
         self.by_shard: Counter[int] = Counter()
 
     def as_dict(self) -> dict[str, Any]:
+        """The router counters as the ``/stats -> router`` JSON section."""
         return {
             "uptime_s": round(time.monotonic() - self.started, 3),
             "requests_total": self.requests_total,
@@ -225,9 +242,11 @@ class ProcessShard:
         self.boots = 0
 
     def alive(self) -> bool:
+        """Whether the shard subprocess is running."""
         return self.process is not None and self.process.returncode is None
 
     def drop_connections(self) -> None:
+        """Close every pooled upstream connection (e.g. after a restart)."""
         pool, self.pool = self.pool, []
         for _, writer in pool:
             writer.close()
@@ -260,10 +279,11 @@ class InprocShard:
         self.boots = 0
 
     def alive(self) -> bool:
+        """Whether the in-process shard service is built."""
         return self.service is not None
 
-    def drop_connections(self) -> None:  # no sockets to drop
-        pass
+    def drop_connections(self) -> None:
+        """No-op: an in-process shard holds no upstream sockets."""
 
 
 class _RouteEntry:
@@ -353,6 +373,12 @@ class ShardRouter(JsonHttpServer):
         cache files. The tenant id joins the shard key: two tenants'
         identical questions may land on different shards, and never on
         the same cache entry.
+    ledger_file:
+        Optional release-ledger persistence *prefix*: shard ``i`` keeps
+        its slice of the publish ledger in ``<prefix>.shard<i>.sqlite``.
+        ``/publish`` and ``/releases/{table}/{version}`` route by table
+        affinity (:func:`table_shard_key`), so one table's whole release
+        history lives on one shard. ``None`` = in-memory ledgers.
     host, port, request_timeout, max_connections:
         The router's own listening socket, as in
         :class:`~repro.service.httpbase.JsonHttpServer`.
@@ -376,6 +402,7 @@ class ShardRouter(JsonHttpServer):
         request_timeout: float | None = 30.0,
         max_connections: int | None = None,
         tenants: str | Path | Mapping[str, Any] | None = None,
+        ledger_file: str | Path | None = None,
     ) -> None:
         super().__init__(
             host=host,
@@ -399,6 +426,13 @@ class ShardRouter(JsonHttpServer):
         self.kernel = kernel
         self.cache_limit = cache_limit
         self.cache_path = Path(cache_path) if cache_path is not None else None
+        #: Ledger persistence *prefix*: shard ``i`` keeps its slice of the
+        #: release ledger in ``<prefix>.shard<i>.sqlite`` (publish traffic
+        #: routes by table affinity, so one table's history lives whole on
+        #: one shard). ``None`` leaves every shard on an in-memory ledger.
+        self.ledger_path = (
+            Path(ledger_file) if ledger_file is not None else None
+        )
         self.batch_window = batch_window
         self.health_interval = health_interval
         self.forward_timeout = forward_timeout
@@ -444,6 +478,13 @@ class ShardRouter(JsonHttpServer):
             f"{self.cache_path.name}.shard{shard.index}"
         )
 
+    def _shard_ledger_file(self, shard) -> Path | None:
+        if self.ledger_path is None:
+            return None
+        return self.ledger_path.with_name(
+            f"{self.ledger_path.name}.shard{shard.index}.sqlite"
+        )
+
     def _tenants_file(self) -> Path | None:
         """The tenants topology as a file path for ``--tenants`` — the
         user's own file when one was given, otherwise a lazily written
@@ -484,6 +525,8 @@ class ShardRouter(JsonHttpServer):
             argv += ["--cache-limit", str(self.cache_limit)]
         if self.cache_path is not None:
             argv += ["--cache-file", str(self._shard_cache_prefix(shard))]
+        if self.ledger_path is not None:
+            argv += ["--ledger-file", str(self._shard_ledger_file(shard))]
         tenants_file = self._tenants_file()
         if tenants_file is not None:
             argv += ["--tenants", str(tenants_file)]
@@ -512,6 +555,7 @@ class ShardRouter(JsonHttpServer):
                 kernel=self.kernel,
                 cache_limit=self.cache_limit,
                 cache_path=self._shard_cache_prefix(shard),
+                ledger_file=self._shard_ledger_file(shard),
                 batch_window=self.batch_window,
                 tenants=(
                     self.tenants_path
@@ -934,6 +978,7 @@ class ShardRouter(JsonHttpServer):
     # Routing
     # ------------------------------------------------------------------
     def note_request(self, endpoint: str | None, status: int) -> None:
+        """Count one routed request in the router stats."""
         self.stats.requests_total += 1
         if endpoint is not None and status != 404:
             self.stats.by_endpoint[endpoint] += 1
@@ -1018,15 +1063,26 @@ class ShardRouter(JsonHttpServer):
         memo[(path, body)] = entry
 
     async def _route(self, method: str, path: str, body: bytes):
+        """Dispatch one request: the same endpoint table as the shards
+        (exact paths plus the ``/releases/{table}/{version}`` prefix),
+        routed by plane key or, for publish traffic, table affinity."""
         routes = {
             "/disclosure": ("POST", self._ep_disclosure),
             "/safety": ("POST", self._ep_single_key),
             "/compare": ("POST", self._ep_compare),
+            "/publish": ("POST", self._ep_publish),
             "/models": ("GET", self._ep_models),
+            "/releases": ("GET", self._ep_releases),
             "/stats": ("GET", self._ep_stats),
             "/healthz": ("GET", self._ep_healthz),
         }
         route = routes.get(path)
+        if route is None and path.startswith("/releases/"):
+            if method != "GET":
+                return 405, {"error": f"{path} only accepts GET"}
+            if self._stopping:
+                return 503, {"error": "service is shutting down"}
+            return await self._ep_release(path)
         if route is None:
             return 404, {"error": f"unknown path {path!r}"}
         verb, handler = route
@@ -1205,6 +1261,62 @@ class ShardRouter(JsonHttpServer):
             "series": merged,
         }
 
+    async def _ep_publish(self, path: str, payload: dict, body: bytes):
+        """``/publish`` routes by **table affinity** (see
+        :func:`table_shard_key`): every version of one table reaches the
+        shard owning that table's ledger slice, whatever its buckets hash
+        to. The original bytes are forwarded untouched."""
+        tenant = self._tenant(payload)
+        table = require(payload, "table", str)
+        shard = self.shards[
+            table_shard_key(table, tenant) % len(self.shards)
+        ]
+        return await self._forward(shard, "POST", path, body)
+
+    async def _ep_releases(self):
+        """``GET /releases`` fans out to every shard and merges: each shard
+        only knows the tables affinity-routed to it."""
+        answers = await asyncio.gather(
+            *(
+                self._forward(shard, "GET", "/releases", b"")
+                for shard in self.shards
+            )
+        )
+        releases: list[dict[str, Any]] = []
+        counters: Counter[str] = Counter()
+        for status, answer in answers:
+            if status != 200:
+                return status, answer
+            releases.extend(answer.get("releases", []))
+            ledger = answer.get("ledger")
+            if isinstance(ledger, dict):
+                for key, value in ledger.items():
+                    if isinstance(value, int):
+                        counters[key] += value
+        releases.sort(
+            key=lambda entry: (
+                entry.get("tenant") or "",
+                entry.get("table", ""),
+                entry.get("version", 0),
+            )
+        )
+        return 200, {"releases": releases, "ledger": dict(counters)}
+
+    async def _ep_release(self, path: str):
+        """``GET /releases/{table}/{version}`` follows the same table
+        affinity as ``/publish`` (the release record lives on exactly one
+        shard)."""
+        parts = path.split("/")
+        if len(parts) != 4 or not parts[2] or not parts[3]:
+            raise BadRequest(
+                "release path must be /releases/{table}/{version}"
+            )
+        tenant, _, table = parts[2].rpartition(":")
+        shard = self.shards[
+            table_shard_key(table, tenant or None) % len(self.shards)
+        ]
+        return await self._forward(shard, "GET", path, b"")
+
     async def _ep_models(self):
         """Registry introspection is shard-independent: ask shard 0."""
         return await self._forward(self.shards[0], "GET", "/models", b"")
@@ -1260,7 +1372,13 @@ class ShardRouter(JsonHttpServer):
         )
         totals: Counter[str] = Counter()
         tenant_requests: Counter[str] = Counter()
+        ledger_totals: Counter[str] = Counter()
         for entry in shard_stats:
+            ledger = entry.get("ledger")
+            if isinstance(ledger, dict):
+                for field, value in ledger.items():
+                    if isinstance(value, int):
+                        ledger_totals[field] += value
             service = entry.get("service")
             if not isinstance(service, dict):
                 continue
@@ -1271,6 +1389,11 @@ class ShardRouter(JsonHttpServer):
                 "cache_fast_hits",
                 "coalesced_batches",
                 "coalesced_singles",
+                "publishes_total",
+                "publishes_accepted",
+                "publishes_rejected",
+                "publish_multisets_evaluated",
+                "publish_multisets_reused",
             ):
                 value = service.get(field)
                 if isinstance(value, int):
@@ -1288,6 +1411,7 @@ class ShardRouter(JsonHttpServer):
         answer = {
             "router": router,
             "totals": dict(totals),
+            "ledger": dict(ledger_totals),
             "shards": shard_stats,
         }
         if self.tenants:

@@ -26,12 +26,21 @@ path                   verb  body / answer
 ``/safety``            POST  ``{buckets, c, k, model?, exact?}`` -> safe + value
 ``/compare``           POST  ``{buckets, ks, models?, exact?}`` -> per-model
                              series (Figure 5 as an endpoint)
+``/publish``           POST  ``{table, buckets, c, k, model?, params?,
+                             exact?, tenant?, full?, witness?}`` -> the
+                             republication verdict (see
+                             :mod:`repro.publish`)
+``/releases``          GET   summaries of every recorded release + ledger
+                             totals
+``/releases/{t}/{v}``  GET   one full release record (``{t}`` may be
+                             tenant-qualified as ``tenant:table``)
 ``/models``            GET   registry introspection (every registered
                              adversary and its contract flags)
 ``/stats``             GET   service counters (incl. connection/keep-alive
                              counters) + per-engine
                              :class:`~repro.engine.engine.EngineStats`,
-                             cache/plane sizes, backend telemetry
+                             cache/plane sizes, backend telemetry, ledger
+                             totals
 ``/healthz``           GET   liveness
 =====================  ====  ==================================================
 
@@ -47,7 +56,6 @@ topology (N of these processes behind a plane-key hash router) see
 from __future__ import annotations
 
 import asyncio
-import dataclasses
 import json
 import re
 import time
@@ -68,6 +76,8 @@ from repro.engine.base import (
 )
 from repro.engine.engine import DisclosureEngine
 from repro.engine.plane import CachePolicy
+from repro.publish.engine import TABLE_NAME, RepublicationEngine
+from repro.publish.ledger import ReleaseLedger, multiset_to_wire
 from repro.service.httpbase import (
     MAX_BODY_BYTES,
     BackgroundHost,
@@ -80,13 +90,17 @@ from repro.service.httpbase import (
 from repro.service.wire import (
     bucketization_from_payload,
     decode_params,
+    decode_value,
     encode_series,
     encode_value,
+    encode_witness,
     signature_items_from_lists,
 )
 
 __all__ = [
     "MAX_BODY_BYTES",
+    "ROUTES",
+    "PREFIX_ROUTES",
     "ServiceStats",
     "DisclosureService",
     "BackgroundService",
@@ -168,27 +182,26 @@ def load_tenants(source: str | Path | Mapping[str, Any]) -> dict[str, dict]:
 _MODES = ("float", "exact")
 
 
-def _witness_payload(witness: Any) -> dict[str, Any]:
-    """Serialize any model's witness object: the uniform ``disclosure``
-    attribute, plus the dataclass fields as JSON scalars (stringified when
-    they are richer objects, e.g. implication formulas)."""
-    payload: dict[str, Any] = {
-        "type": type(witness).__name__,
-        "disclosure": encode_value(witness.disclosure),
-        "description": str(witness),
-    }
-    if dataclasses.is_dataclass(witness):
-        for field in dataclasses.fields(witness):
-            if field.name == "disclosure":
-                continue
-            value = getattr(witness, field.name)
-            if isinstance(value, (str, int, float, bool)) or value is None:
-                payload[field.name] = value
-            elif isinstance(value, (list, tuple, frozenset, set)):
-                payload[field.name] = [str(item) for item in value]
-            else:
-                payload[field.name] = str(value)
-    return payload
+#: The exact-match endpoint table: ``path -> (verb, handler attribute)``.
+#: This is the single source of truth for what the service serves —
+#: :meth:`DisclosureService._route` dispatches from it and
+#: ``scripts/check_docs.py`` asserts ``docs/wire-protocol.md`` matches it.
+ROUTES: dict[str, tuple[str, str]] = {
+    "/disclosure": ("POST", "_ep_disclosure"),
+    "/safety": ("POST", "_ep_safety"),
+    "/compare": ("POST", "_ep_compare"),
+    "/publish": ("POST", "_ep_publish"),
+    "/models": ("GET", "_ep_models"),
+    "/releases": ("GET", "_ep_releases"),
+    "/stats": ("GET", "_ep_stats"),
+    "/healthz": ("GET", "_ep_healthz"),
+}
+
+#: Parameterized endpoints, matched by path prefix. The handler receives
+#: the raw path and parses its trailing segments.
+PREFIX_ROUTES: dict[str, tuple[str, str]] = {
+    "/releases/": ("GET", "_ep_release"),
+}
 
 
 class ServiceStats:
@@ -213,14 +226,32 @@ class ServiceStats:
         self.coalesced_singles = 0
         self.max_coalesced = 0
         self.by_tenant: Counter[str] = Counter()
+        self.publishes_total = 0
+        self.publishes_accepted = 0
+        self.publishes_rejected = 0
+        self.publish_multisets_evaluated = 0
+        self.publish_multisets_reused = 0
 
     def note_coalesced(self, group_size: int) -> None:
+        """Record one drained coalescer group of ``group_size`` singles."""
         if group_size > 1:
             self.coalesced_batches += 1
             self.coalesced_singles += group_size
         self.max_coalesced = max(self.max_coalesced, group_size)
 
+    def note_publish(self, verdict: Mapping[str, Any]) -> None:
+        """Fold one publish verdict's decision + work counters in."""
+        work = verdict["work"]
+        self.publishes_total += 1
+        if verdict["accepted"]:
+            self.publishes_accepted += 1
+        else:
+            self.publishes_rejected += 1
+        self.publish_multisets_evaluated += work["evaluated_multisets"]
+        self.publish_multisets_reused += work["reused_multisets"]
+
     def as_dict(self) -> dict[str, Any]:
+        """The service counters as the ``/stats -> service`` JSON section."""
         return {
             "uptime_s": round(time.monotonic() - self.started, 3),
             "requests_total": self.requests_total,
@@ -233,6 +264,11 @@ class ServiceStats:
             "coalesced_singles": self.coalesced_singles,
             "max_coalesced": self.max_coalesced,
             "by_tenant": dict(self.by_tenant),
+            "publishes_total": self.publishes_total,
+            "publishes_accepted": self.publishes_accepted,
+            "publishes_rejected": self.publishes_rejected,
+            "publish_multisets_evaluated": self.publish_multisets_evaluated,
+            "publish_multisets_reused": self.publish_multisets_reused,
         }
 
 
@@ -283,6 +319,11 @@ class DisclosureService(JsonHttpServer):
         Cap on concurrently open connections (503 beyond it; ``None`` =
         unbounded). The counters behind it appear under
         ``/stats -> service.connections``.
+    ledger_file:
+        Optional SQLite path for the release ledger behind ``/publish``
+        (in-memory when absent — publish still works, but release history
+        dies with the process). In a sharded fleet the router hands each
+        subprocess shard ``<prefix>.shard<i>.sqlite``.
 
     Notes
     -----
@@ -310,6 +351,7 @@ class DisclosureService(JsonHttpServer):
         request_timeout: float | None = 30.0,
         max_connections: int | None = None,
         tenants: str | Path | Mapping[str, Any] | None = None,
+        ledger_file: str | Path | None = None,
     ) -> None:
         super().__init__(
             host=host,
@@ -345,6 +387,20 @@ class DisclosureService(JsonHttpServer):
         self.tenant_engines: dict[str, dict[str, DisclosureEngine]] = {
             tenant: _engine_pair() for tenant in self.tenants
         }
+        #: The release ledger behind ``/publish`` — persistent when
+        #: ``ledger_file`` is given (the router hands each subprocess shard
+        #: its own ``<prefix>.shard<i>.sqlite``), in-memory otherwise.
+        self.ledger = ReleaseLedger(
+            str(ledger_file) if ledger_file is not None else ":memory:"
+        )
+        #: Lazily-built ``(tenant-or-None, mode) ->``
+        #: :class:`~repro.publish.engine.RepublicationEngine`, each wrapping
+        #: this service's existing engine of that mode (publish work shares
+        #: the engine cache with the interactive endpoints) and the shared
+        #: ledger (tenant namespacing lives in the ledger rows).
+        self._republishers: dict[
+            tuple[str | None, str], RepublicationEngine
+        ] = {}
         self.stats = ServiceStats()
         self.loaded_entries: dict[str, int] = dict.fromkeys(_MODES, 0)
         self.saved_entries: dict[str, int] = dict.fromkeys(_MODES, 0)
@@ -450,6 +506,7 @@ class DisclosureService(JsonHttpServer):
         for _, _, engine in self._all_engines():
             engine.close()
         self._executor.shutdown(wait=True)
+        self.ledger.close()
 
     # ------------------------------------------------------------------
     # The coalescer
@@ -540,6 +597,7 @@ class DisclosureService(JsonHttpServer):
     # Routing and endpoints
     # ------------------------------------------------------------------
     def note_request(self, endpoint: str | None, status: int) -> None:
+        """Count one handled request in the service stats."""
         self.stats.requests_total += 1
         if endpoint is not None and status != 404:
             # Unknown paths are counted by status only: a public socket
@@ -548,22 +606,25 @@ class DisclosureService(JsonHttpServer):
         self.stats.by_status[status] += 1
 
     async def _route(self, method: str, path: str, body: bytes):
-        routes = {
-            "/disclosure": ("POST", self._ep_disclosure),
-            "/safety": ("POST", self._ep_safety),
-            "/compare": ("POST", self._ep_compare),
-            "/models": ("GET", self._ep_models),
-            "/stats": ("GET", self._ep_stats),
-            "/healthz": ("GET", self._ep_healthz),
-        }
-        route = routes.get(path)
+        """Dispatch from :data:`ROUTES` / :data:`PREFIX_ROUTES` (404
+        unknown path, 405 wrong verb, 503 while stopping)."""
+        route = ROUTES.get(path)
+        prefixed = False
+        if route is None:
+            for prefix, entry in PREFIX_ROUTES.items():
+                if path.startswith(prefix):
+                    route, prefixed = entry, True
+                    break
         if route is None:
             return 404, {"error": f"unknown path {path!r}"}
-        verb, handler = route
+        verb, attr = route
+        handler = getattr(self, attr)
         if method != verb:
             return 405, {"error": f"{path} only accepts {verb}"}
         if self._stopping:
             return 503, {"error": "service is shutting down"}
+        if prefixed:
+            return await handler(path)
         if verb == "POST":
             payload = parse_json_body(body)
             return await handler(payload)
@@ -609,11 +670,11 @@ class DisclosureService(JsonHttpServer):
             )
         return name
 
-    def _resolve_model(
+    def _resolve_threat(
         self, payload: dict, engine: DisclosureEngine, tenant: str | None
-    ) -> tuple[str, tuple, AdversaryModel]:
+    ) -> tuple[str, dict[str, Any], tuple, AdversaryModel]:
         """The request's effective threat model:
-        ``(name, canonical params, resolved instance)``.
+        ``(name, decoded params, canonical params, resolved instance)``.
 
         Explicit ``model``/``params`` fields win; a tenant supplies the
         defaults for whichever is absent. Constructor failures — unknown
@@ -636,7 +697,16 @@ class DisclosureService(JsonHttpServer):
             instance = engine.model(name, params)
         except (TypeError, ValueError) as exc:
             raise BadRequest(f"invalid params for model {name!r}: {exc}") from None
-        return name, canonical_params(params), instance
+        return name, params, canonical_params(params), instance
+
+    def _resolve_model(
+        self, payload: dict, engine: DisclosureEngine, tenant: str | None
+    ) -> tuple[str, tuple, AdversaryModel]:
+        """:meth:`_resolve_threat` without the decoded params dict."""
+        name, _params, cparams, instance = self._resolve_threat(
+            payload, engine, tenant
+        )
+        return name, cparams, instance
 
     async def _ep_disclosure(self, payload: dict):
         if "bucketizations" in payload:
@@ -687,7 +757,7 @@ class DisclosureService(JsonHttpServer):
                 )
             except NotImplementedError as exc:
                 raise BadRequest(str(exc)) from None
-            answer["witness"] = _witness_payload(witness)
+            answer["witness"] = encode_witness(witness)
         return 200, answer
 
     async def _ep_disclosure_batch(self, payload: dict):
@@ -790,6 +860,129 @@ class DisclosureService(JsonHttpServer):
             },
         }
 
+    # ------------------------------------------------------------------
+    # Republication endpoints
+    # ------------------------------------------------------------------
+    def _republisher(
+        self, tenant: str | None, mode: str
+    ) -> RepublicationEngine:
+        """The ``(tenant, mode)``-bound republication engine, built lazily
+        over this service's existing engine of that mode (publish work
+        shares its cache and persistence) and the shared ledger."""
+        key = (tenant, mode)
+        republisher = self._republishers.get(key)
+        if republisher is None:
+            republisher = RepublicationEngine(
+                self._engines_for(tenant)[mode],
+                self.ledger,
+                tenant=tenant or "",
+            )
+            self._republishers[key] = republisher
+        return republisher
+
+    async def _ep_publish(self, payload: dict):
+        """``POST /publish``: check and record the next version of a table.
+
+        Runs on the same single engine-executor thread as every other
+        engine call, so a publish serializes cleanly with coalesced
+        batches and shares the engine cache with them.
+        """
+        tenant = self._tenant(payload)
+        mode, engine = self._mode_and_engine(payload, tenant)
+        model, params, _cparams, _instance = self._resolve_threat(
+            payload, engine, tenant
+        )
+        table = require(payload, "table", str)
+        if not TABLE_NAME.match(table):
+            raise BadRequest(
+                f"field 'table' must match {TABLE_NAME.pattern}"
+            )
+        k = require(payload, "k", int)
+        if k < 0:
+            raise BadRequest(f"k must be non-negative, got {k}")
+        if "c" not in payload:
+            raise BadRequest("missing required field 'c'")
+        c = decode_value(payload["c"])  # ValueError -> 400
+        full = require(payload, "full", bool, optional=True, default=False)
+        want_witness = require(
+            payload, "witness", bool, optional=True, default=False
+        )
+        bucketization = bucketization_from_payload(
+            require(payload, "buckets", list)
+        )
+        republisher = self._republisher(tenant, mode)
+        loop = asyncio.get_running_loop()
+        verdict = await loop.run_in_executor(
+            self._executor,
+            lambda: republisher.publish(
+                table,
+                bucketization,
+                c=c,
+                k=k,
+                model=model,
+                params=params,
+                full=full,
+                with_witness=want_witness,
+            ),
+        )
+        self.stats.note_publish(verdict)
+        return 200, verdict
+
+    async def _ep_releases(self):
+        """``GET /releases``: summaries of every recorded release plus the
+        ledger totals."""
+        loop = asyncio.get_running_loop()
+        releases = await loop.run_in_executor(
+            self._executor, self.ledger.list_releases
+        )
+        counters = await loop.run_in_executor(
+            self._executor, self.ledger.counters
+        )
+        return 200, {"releases": releases, "ledger": counters}
+
+    async def _ep_release(self, path: str):
+        """``GET /releases/{table}/{version}``: one full release record.
+
+        The ``{table}`` segment may be tenant-qualified as
+        ``{tenant}:{table}`` (tenant ids and table names never contain
+        ``:``); the bare form reads the default namespace.
+        """
+        parts = path.split("/")
+        if len(parts) != 4 or not parts[2] or not parts[3]:
+            raise BadRequest(
+                "release path must be /releases/{table}/{version}"
+            )
+        qualified, version_raw = parts[2], parts[3]
+        tenant, _, table = qualified.rpartition(":")
+        try:
+            version = int(version_raw)
+        except ValueError:
+            raise BadRequest(
+                f"version must be an integer, got {version_raw!r}"
+            ) from None
+        loop = asyncio.get_running_loop()
+        release = await loop.run_in_executor(
+            self._executor,
+            lambda: self.ledger.get(table, version, tenant=tenant),
+        )
+        if release is None:
+            return 404, {
+                "error": f"no recorded release {qualified!r} v{version}"
+            }
+        return 200, {
+            "table": release.table,
+            "tenant": release.tenant or None,
+            "version": release.version,
+            "mode": release.mode,
+            "model": release.model,
+            "params": release.params,
+            "k": release.k,
+            "c": release.c,
+            "accepted": release.accepted,
+            "multiset": multiset_to_wire(release.multiset),
+            "verdict": release.verdict,
+        }
+
     async def _ep_models(self):
         models = []
         for name in available_adversaries():
@@ -836,7 +1029,11 @@ class DisclosureService(JsonHttpServer):
         service = self.stats.as_dict()
         service["connections"] = self.connections.as_dict()
         service["max_connections"] = self.max_connections
-        answer = {"service": service, "engines": engines}
+        loop = asyncio.get_running_loop()
+        ledger = await loop.run_in_executor(
+            self._executor, self.ledger.counters
+        )
+        answer = {"service": service, "engines": engines, "ledger": ledger}
         if self.tenants:
             answer["tenants"] = {
                 tenant: {

@@ -1,14 +1,10 @@
 """The service wire format: JSON encodings shared by server and client.
 
-Disclosure values cross the wire **losslessly** in both arithmetic modes:
-
-- float mode: JSON numbers. Python's :mod:`json` serializes floats with
-  ``repr``, which round-trips every IEEE-754 double bit-for-bit, so a value
-  read back by :func:`decode_value` compares ``==`` to the engine's answer.
-- exact mode: :class:`~fractions.Fraction` values are encoded as their
-  ``"num/den"`` string (``str(Fraction)``), which round-trips exactly.
-  Models that are inherently floating-point (``supports_exact = False``)
-  return floats even on an exact engine; those stay JSON numbers.
+Disclosure values, model params, and witnesses cross the wire through the
+lossless codecs of :mod:`repro.codec` (re-exported here so service code
+has one import site): floats as JSON numbers (``repr`` round-trips every
+IEEE-754 double bit-for-bit), exact :class:`~fractions.Fraction` values
+as ``"num/den"`` strings.
 
 Bucketizations travel as plain lists of per-bucket sensitive-value lists —
 the exact shape :meth:`~repro.bucketization.bucketization.Bucketization.from_value_lists`
@@ -18,13 +14,19 @@ package's classes.
 
 from __future__ import annotations
 
-import math
 from collections import Counter
-from collections.abc import Mapping
-from fractions import Fraction
 from typing import Any
 
 from repro.bucketization.bucketization import Bucketization
+from repro.codec import (
+    decode_params,
+    decode_series,
+    decode_value,
+    encode_params,
+    encode_series,
+    encode_value,
+    encode_witness,
+)
 
 __all__ = [
     "encode_value",
@@ -33,157 +35,11 @@ __all__ = [
     "decode_series",
     "encode_params",
     "decode_params",
+    "encode_witness",
     "bucket_lists",
     "bucketization_from_payload",
     "signature_items_from_lists",
 ]
-
-
-def encode_value(value: Any) -> float | str:
-    """One disclosure value -> JSON scalar (number, or ``"num/den"``).
-
-    Raises
-    ------
-    ValueError
-        On non-finite floats. ``nan``/``inf`` survive Python's ``repr``
-        serialization but are not JSON — :mod:`json` would emit the
-        non-standard ``NaN``/``Infinity`` tokens that strict consumers
-        reject — so they are refused here, at encode time, where the
-        endpoint layer can still turn them into a clean 400.
-    """
-    if isinstance(value, Fraction):
-        return str(value)
-    value = float(value)
-    if not math.isfinite(value):
-        raise ValueError(
-            f"non-finite value {value!r} cannot cross the wire as JSON"
-        )
-    return value
-
-
-def decode_value(value: Any) -> float | Fraction:
-    """Inverse of :func:`encode_value` (bit-identical round trip).
-
-    Raises
-    ------
-    ValueError
-        On anything :func:`encode_value` could not have produced: strings
-        that are not a valid ``"num/den"`` Fraction (including zero
-        denominators), booleans, non-numeric payloads, and non-finite
-        numbers.
-    """
-    if isinstance(value, str):
-        try:
-            return Fraction(value)
-        except (ValueError, ZeroDivisionError) as exc:
-            raise ValueError(
-                f"malformed exact value {value!r}: {exc}"
-            ) from None
-    if isinstance(value, bool) or not isinstance(value, (int, float)):
-        raise ValueError(
-            f"malformed wire value {value!r} "
-            f"({type(value).__name__} is not a JSON number or 'num/den')"
-        )
-    value = float(value)
-    if not math.isfinite(value):
-        raise ValueError(f"non-finite wire value {value!r}")
-    return value
-
-
-def encode_series(series: dict[int, Any]) -> dict[str, float | str]:
-    """A ``{k: value}`` series -> JSON object (keys become strings)."""
-    return {str(k): encode_value(v) for k, v in series.items()}
-
-
-def decode_series(series: dict[str, Any]) -> dict[int, float | Fraction]:
-    """Inverse of :func:`encode_series` (keys back to ints)."""
-    return {int(k): decode_value(v) for k, v in series.items()}
-
-
-def _encode_param_value(name: str, value: Any) -> Any:
-    if value is None:
-        return None
-    if isinstance(value, Fraction):
-        return str(value)
-    if isinstance(value, Mapping):
-        return {
-            str(key): _encode_param_value(name, item)
-            for key, item in value.items()
-        }
-    if isinstance(value, bool):
-        raise ValueError(f"param {name!r} must not be a boolean")
-    if isinstance(value, int):
-        return value
-    if isinstance(value, float):
-        if not math.isfinite(value):
-            raise ValueError(
-                f"non-finite value in param {name!r} cannot cross the wire"
-            )
-        return value
-    raise ValueError(
-        f"param {name!r} holds an unencodable {type(value).__name__}"
-    )
-
-
-def encode_params(params: Mapping[str, Any]) -> dict[str, Any]:
-    """Model constructor kwargs -> the ``params`` wire object.
-
-    The same lossless conventions as :func:`encode_value`: floats stay JSON
-    numbers (repr round trip), :class:`~fractions.Fraction` becomes
-    ``"num/den"``, and weight maps become JSON objects (keys stringified —
-    JSON object keys are strings; bucket values are strings in practice).
-    """
-    if not isinstance(params, Mapping):
-        raise ValueError("params must be a mapping of constructor kwargs")
-    return {
-        str(name): _encode_param_value(str(name), value)
-        for name, value in params.items()
-    }
-
-
-def _decode_param_value(name: str, value: Any) -> Any:
-    if value is None:
-        return None
-    if isinstance(value, str):
-        try:
-            return Fraction(value)
-        except (ValueError, ZeroDivisionError) as exc:
-            raise ValueError(
-                f"malformed exact value in param {name!r}: {exc}"
-            ) from None
-    if isinstance(value, dict):
-        return {
-            key: _decode_param_value(name, item)
-            for key, item in value.items()
-        }
-    if isinstance(value, bool):
-        raise ValueError(f"param {name!r} must not be a boolean")
-    if isinstance(value, int):
-        return value
-    if isinstance(value, float):
-        if not math.isfinite(value):
-            raise ValueError(f"non-finite value in param {name!r}")
-        return value
-    raise ValueError(
-        f"param {name!r} holds an unsupported {type(value).__name__} "
-        "(expected number, 'num/den' string, object, or null)"
-    )
-
-
-def decode_params(raw: Any) -> dict[str, Any]:
-    """The ``params`` wire object -> model constructor kwargs.
-
-    Inverse of :func:`encode_params`; ints stay ints (sample budgets,
-    seeds), floats stay bit-identical, ``"num/den"`` strings become exact
-    :class:`~fractions.Fraction` values, and nested objects (weight maps)
-    decode per value. Raises :class:`ValueError` with a message safe for a
-    400 body on any other shape.
-    """
-    if not isinstance(raw, dict):
-        raise ValueError("field 'params' must be a JSON object")
-    return {
-        name: _decode_param_value(name, value) for name, value in raw.items()
-    }
 
 
 def bucket_lists(bucketization: Bucketization | Any) -> list[list[Any]]:

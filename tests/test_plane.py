@@ -120,6 +120,112 @@ class TestSignaturePlane:
             Bucketization.from_signature_counts({(2, 1): 0})
 
 
+class TestSignaturesSince:
+    """The delta contract behind the persistent backend's plane mirrors:
+    a mirror that has replayed the first ``start`` signatures agrees with
+    the source plane on every id below ``start``, and appending
+    ``signatures_since(start)`` in order extends the agreement."""
+
+    def test_empty_plane_and_caught_up_mirror_yield_empty_delta(self):
+        plane = SignaturePlane()
+        assert plane.signatures_since(0) == ()
+        plane.intern((2, 1))
+        plane.intern((3,))
+        assert plane.signatures_since(len(plane)) == ()
+        # Re-interning known signatures assigns no new ids: still empty.
+        plane.intern((2, 1))
+        assert plane.signatures_since(2) == ()
+
+    def test_delta_replay_catches_a_mirror_up(self):
+        source = SignaturePlane()
+        mirror = SignaturePlane()
+        for sig in ((2, 1), (3,), (1, 1, 1)):
+            source.intern(sig)
+        for sig in source.signatures_since(0):
+            mirror.intern(sig)
+        baseline = len(mirror)
+        source.intern((3,))  # known: no delta growth
+        source.intern((4, 4))
+        source.intern((5,))
+        delta = source.signatures_since(baseline)
+        assert delta == ((4, 4), (5,))
+        for sig in delta:
+            mirror.intern(sig)
+        assert len(mirror) == len(source)
+        assert all(
+            mirror.signature(i) == source.signature(i)
+            for i in range(len(source))
+        )
+
+    def test_interleaved_interning_from_two_engines(self):
+        """Two engines intern overlapping signatures in different orders;
+        each plane's delta stream replays into an id-exact mirror of *that*
+        plane, even though the shared signatures carry different ids in the
+        two planes."""
+        shared = Bucketization.from_value_lists([["a", "a", "b"]])
+        only_one = Bucketization.from_value_lists([["x", "y", "z"]])
+        only_two = Bucketization.from_value_lists([["p", "p", "q", "q"]])
+        one, two = DisclosureEngine(), DisclosureEngine()
+        mirrors = {id(one): SignaturePlane(), id(two): SignaturePlane()}
+        baselines = {id(one): 0, id(two): 0}
+
+        def sync(engine):
+            mirror = mirrors[id(engine)]
+            for sig in engine.plane.signatures_since(baselines[id(engine)]):
+                mirror.intern(sig)
+            baselines[id(engine)] = len(engine.plane)
+
+        # Interleave: one sees its private shapes first, two sees shared
+        # first — the id orders diverge but each delta stream is faithful.
+        one.evaluate(only_one, 1)
+        sync(one)
+        two.evaluate(shared, 1)
+        sync(two)
+        one.evaluate(shared, 1)
+        two.evaluate(only_two, 1)
+        sync(one)
+        sync(two)
+
+        for engine in (one, two):
+            mirror = mirrors[id(engine)]
+            assert len(mirror) == len(engine.plane)
+            assert all(
+                mirror.signature(i) == engine.plane.signature(i)
+                for i in range(len(engine.plane))
+            )
+        # The shared signature exists in both planes under different ids.
+        shared_sig = (2, 1)
+        assert shared_sig in one.plane and shared_sig in two.plane
+        assert one.plane.intern(shared_sig) != two.plane.intern(shared_sig)
+
+    def test_post_load_cache_baseline_excludes_loaded_signatures(
+        self, tmp_path
+    ):
+        """A worker spawned after ``load_cache`` snapshots its baseline at
+        the warm plane's length: the first delta it ships contains only
+        signatures interned *after* the load, never the reloaded corpus."""
+        warm_b = _random_bucketizations(4, seed=3)
+        donor = DisclosureEngine()
+        donor.evaluate_many(warm_b, [1] * len(warm_b))
+        path = tmp_path / "warm.pkl"
+        donor.save_cache(path)
+
+        engine = DisclosureEngine()
+        assert engine.load_cache(path) > 0
+        baseline = len(engine.plane)
+        assert baseline == len(donor.plane)
+        assert engine.plane.signatures_since(baseline) == ()
+
+        engine.evaluate(warm_b[0], 1)  # already loaded: no new ids
+        assert engine.plane.signatures_since(baseline) == ()
+        fresh = Bucketization.from_value_lists([["n1", "n2", "n2", "n3"]])
+        engine.evaluate(fresh, 2)
+        delta = engine.plane.signatures_since(baseline)
+        assert delta and all(
+            sig not in donor.plane for sig in delta
+        )
+
+
 # ---------------------------------------------------------------------------
 # 2. Parallel == serial
 # ---------------------------------------------------------------------------
